@@ -1,0 +1,297 @@
+//! Finite-difference gradient checking used across the workspace's tests.
+
+use crate::{Graph, Var};
+use qcn_tensor::Tensor;
+
+/// Compares the analytic gradient of a scalar-valued graph function against
+/// central finite differences.
+///
+/// `build` receives a graph plus the input variable and must return the
+/// scalar output variable. Returns the maximum absolute deviation between
+/// analytic and numeric gradients.
+///
+/// # Panics
+///
+/// Panics when `build` returns a non-scalar output.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_autograd::gradcheck::max_grad_error;
+/// use qcn_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![0.5, -0.3, 0.8], [3])?;
+/// let err = max_grad_error(&x, 1e-3, |g, v| {
+///     let s = g.square(v);
+///     g.sum_all(s)
+/// });
+/// assert!(err < 1e-2);
+/// # Ok::<(), qcn_tensor::TensorError>(())
+/// ```
+pub fn max_grad_error(
+    input: &Tensor,
+    step: f32,
+    build: impl Fn(&mut Graph, Var) -> Var,
+) -> f32 {
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let v = g.input(input.clone());
+    let out = build(&mut g, v);
+    g.backward(out);
+    let analytic = g
+        .grad(v)
+        .cloned()
+        .unwrap_or_else(|| Tensor::zeros(input.shape().clone()));
+
+    // Numeric gradient by central differences.
+    let mut max_err = 0.0f32;
+    for i in 0..input.len() {
+        let eval = |x: &Tensor| -> f32 {
+            let mut g = Graph::new();
+            let v = g.input(x.clone());
+            let out = build(&mut g, v);
+            g.value(out).item()
+        };
+        let mut xp = input.clone();
+        xp.data_mut()[i] += step;
+        let mut xm = input.clone();
+        xm.data_mut()[i] -= step;
+        let numeric = (eval(&xp) - eval(&xm)) / (2.0 * step);
+        max_err = max_err.max((analytic.data()[i] - numeric).abs());
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_tensor::conv::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(shape.to_vec(), -1.0, 1.0, &mut rng)
+    }
+
+    const TOL: f32 = 2e-2;
+
+    #[test]
+    fn grad_add_sub_mul() {
+        let x = sample(&[6], 1);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let c = g.constant(sample(&[6], 2));
+            let a = g.add(v, c);
+            let b = g.sub(a, v);
+            let m = g.mul(b, v);
+            g.sum_all(m)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_broadcast_mul() {
+        let x = sample(&[2, 3], 3);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let row = g.constant(sample(&[3], 4));
+            let m = g.mul(v, row);
+            g.sum_all(m)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_relu_sigmoid_square() {
+        let x = sample(&[8], 5);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let r = g.relu(v);
+            let s = g.sigmoid(r);
+            let q = g.square(s);
+            g.mean_all(q)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let x = sample(&[3, 4], 6);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let w = g.constant(sample(&[4, 2], 7));
+            let y = g.matmul(v, w);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_bmm() {
+        let x = sample(&[2, 3, 4], 8);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let w = g.constant(sample(&[2, 4, 2], 9));
+            let y = g.bmm(v, w);
+            g.sum_all(y)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_reshape_permute() {
+        let x = sample(&[2, 3, 4], 10);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let p = g.permute(v, &[2, 0, 1]);
+            let r = g.reshape(p, [4, 6]);
+            let sq = g.square(r);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_softmax() {
+        let x = sample(&[3, 5], 11);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let s = g.softmax_axis(v, 1);
+            let w = g.constant(sample(&[3, 5], 12));
+            let m = g.mul(s, w);
+            g.sum_all(m)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_squash() {
+        let x = sample(&[4, 6], 13);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let s = g.squash_axis(v, 1);
+            let w = g.constant(sample(&[4, 6], 14));
+            let m = g.mul(s, w);
+            g.sum_all(m)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_norm_axis() {
+        let x = sample(&[3, 4], 15);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let n = g.norm_axis_keepdim(v, 1);
+            g.sum_all(n)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_conv2d_input() {
+        let x = sample(&[1, 2, 5, 5], 16);
+        let err = max_grad_error(&x, 1e-2, |g, v| {
+            let w = g.constant(sample(&[3, 2, 3, 3], 17));
+            let b = g.constant(sample(&[3], 18));
+            let y = g.conv2d(v, w, Some(b), Conv2dSpec::new(3, 3, 1, 1));
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+        assert!(err < 5e-2, "{err}");
+    }
+
+    #[test]
+    fn grad_conv2d_weight() {
+        let w0 = sample(&[2, 2, 3, 3], 19);
+        let err = max_grad_error(&w0, 1e-2, |g, v| {
+            let x = g.constant(sample(&[1, 2, 4, 4], 20));
+            let y = g.conv2d(x, v, None, Conv2dSpec::new(3, 3, 1, 0));
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+        assert!(err < 5e-2, "{err}");
+    }
+
+    #[test]
+    fn grad_caps_votes_input() {
+        let u = sample(&[2, 3, 4], 21);
+        let err = max_grad_error(&u, 1e-3, |g, v| {
+            let w = g.constant(sample(&[3, 5, 4, 2], 22));
+            let votes = g.caps_votes(v, w);
+            let sq = g.square(votes);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_caps_votes_weight() {
+        let w0 = sample(&[3, 4, 2, 3], 23);
+        let err = max_grad_error(&w0, 1e-3, |g, v| {
+            let u = g.constant(sample(&[2, 3, 2], 24));
+            let votes = g.caps_votes(u, v);
+            let sq = g.square(votes);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_concat() {
+        let x = sample(&[2, 3], 25);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let other = g.constant(sample(&[2, 2], 26));
+            let c = g.concat(&[v, other], 1);
+            let sq = g.square(c);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+
+    #[test]
+    fn grad_through_unrolled_routing_iteration() {
+        // A miniature dynamic-routing step: softmax over logits, weighted
+        // vote sum, squash — the composite the CapsNet layers differentiate
+        // through three times.
+        let u = sample(&[2, 4, 3], 27);
+        let err = max_grad_error(&u, 1e-3, |g, v| {
+            let w = g.constant(sample(&[4, 2, 3, 4], 28));
+            let votes = g.caps_votes(v, w); // [2,4,2,4]
+            let logits = g.constant(Tensor::zeros([2, 4, 2, 1]));
+            let c = g.softmax_axis(logits, 2);
+            let weighted = g.mul(votes, c);
+            let s = g.sum_axis_keepdim(weighted, 1); // [2,1,2,4]
+            let vout = g.squash_axis(s, 3);
+            let sq = g.square(vout);
+            g.sum_all(sq)
+        });
+        assert!(err < TOL, "{err}");
+    }
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::max_grad_error;
+    use qcn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grad_slice_axis() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let x = Tensor::rand_uniform([2, 5, 3], -1.0, 1.0, &mut rng);
+        let err = max_grad_error(&x, 1e-3, |g, v| {
+            let s = g.slice_axis(v, 1, 1, 3);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        });
+        assert!(err < 2e-2, "{err}");
+    }
+
+    #[test]
+    fn slice_concat_roundtrip_is_identity() {
+        use crate::Graph;
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Tensor::rand_uniform([2, 4, 3], -1.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let v = g.input(x.clone());
+        let a = g.slice_axis(v, 1, 0, 2);
+        let b = g.slice_axis(v, 1, 2, 2);
+        let back = g.concat(&[a, b], 1);
+        assert_eq!(g.value(back), &x);
+    }
+}

@@ -1,0 +1,699 @@
+//! The computation graph: a tape of tensor operations with reverse-mode
+//! automatic differentiation.
+//!
+//! A [`Graph`] owns every intermediate [`Tensor`] produced during a forward
+//! pass. Operations append nodes and return lightweight [`Var`] handles;
+//! [`Graph::backward`] then walks the tape in reverse, accumulating
+//! gradients with analytic adjoints (including the CapsNet-specific
+//! `squash`, `softmax` and capsule-vote operations).
+
+use qcn_tensor::conv::{
+    conv2d, conv2d_backward_bias, conv2d_backward_input, conv2d_backward_weight, Conv2dSpec,
+};
+use qcn_tensor::nn::{softmax_backward, squash_backward};
+use qcn_tensor::reduce::expand_to;
+use qcn_tensor::{Shape, Tensor};
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are cheap indices; they are only meaningful for the graph that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node, with everything needed for its
+/// backward pass.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf: an externally provided tensor (input or parameter).
+    Input,
+    /// Leaf that blocks gradient flow (detached value).
+    Detached,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    ScalarMul(Var, f32),
+    ScalarAdd(Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Square(Var),
+    Matmul(Var, Var),
+    Bmm(Var, Var),
+    Reshape(Var),
+    Permute(Var, Vec<usize>),
+    SumAxisKeepdim(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    NormAxisKeepdim(Var, usize),
+    SoftmaxAxis(Var, usize),
+    SquashAxis(Var, usize),
+    Conv2d {
+        input: Var,
+        weight: Var,
+        bias: Option<Var>,
+        spec: Conv2dSpec,
+        in_h: usize,
+        in_w: usize,
+    },
+    CapsVotes {
+        input: Var,
+        weight: Var,
+    },
+    Concat(Vec<Var>, usize),
+    SliceAxis {
+        input: Var,
+        axis: usize,
+        start: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A tape of tensor operations supporting reverse-mode differentiation.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_autograd::Graph;
+/// use qcn_tensor::Tensor;
+///
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], [3])?);
+/// let y = g.square(x);          // y = x²
+/// let loss = g.sum_all(y);      // Σ x²
+/// g.backward(loss);
+/// assert_eq!(g.grad(x).unwrap().data(), &[2.0, 4.0, 6.0]); // d/dx = 2x
+/// # Ok::<(), qcn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers an input (or parameter) tensor and returns its handle.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Registers a constant whose gradient is never propagated.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Detached)
+    }
+
+    /// Re-enters a value as a gradient-blocking leaf (like `detach()` in
+    /// other frameworks).
+    pub fn detach(&mut self, v: Var) -> Var {
+        let value = self.value(v).clone();
+        self.push(value, Op::Detached)
+    }
+
+    /// The tensor value held by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` does not belong to this graph.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if [`Graph::backward`] has reached it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` does not belong to this graph.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ---- elementwise ----
+
+    /// Elementwise sum with broadcasting.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a) + self.value(b);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Elementwise difference with broadcasting.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a) - self.value(b);
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Elementwise product with broadcasting.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a) * self.value(b);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = -self.value(a);
+        self.push(value, Op::Neg(a))
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn scalar_mul(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a) * c;
+        self.push(value, Op::ScalarMul(a, c))
+    }
+
+    /// Adds a scalar constant.
+    pub fn scalar_add(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a) + c;
+        self.push(value, Op::ScalarAdd(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).relu();
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).sigmoid();
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x * x);
+        self.push(value, Op::Square(a))
+    }
+
+    // ---- linear algebra ----
+
+    /// Rank-2 matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Batched rank-3 matrix product.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).bmm(self.value(b));
+        self.push(value, Op::Bmm(a, b))
+    }
+
+    /// Reshapes to a new shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let value = self
+            .value(a)
+            .reshape(shape)
+            .unwrap_or_else(|e| panic!("graph reshape: {e}"));
+        self.push(value, Op::Reshape(a))
+    }
+
+    /// Permutes axes (copying).
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let value = self.value(a).permute(perm);
+        self.push(value, Op::Permute(a, perm.to_vec()))
+    }
+
+    // ---- reductions ----
+
+    /// Sum along `axis`, keeping it with extent 1.
+    pub fn sum_axis_keepdim(&mut self, a: Var, axis: usize) -> Var {
+        let value = self.value(a).sum_axis_keepdim(axis);
+        self.push(value, Op::SumAxisKeepdim(a))
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Euclidean norm along `axis`, keeping it with extent 1. This is the
+    /// capsule length used by the margin loss.
+    pub fn norm_axis_keepdim(&mut self, a: Var, axis: usize) -> Var {
+        let value = self.value(a).norm_axis_keepdim(axis);
+        self.push(value, Op::NormAxisKeepdim(a, axis))
+    }
+
+    // ---- nonlinearities ----
+
+    /// Numerically stable softmax along `axis` (paper Eq. 1).
+    pub fn softmax_axis(&mut self, a: Var, axis: usize) -> Var {
+        let value = self.value(a).softmax_axis(axis);
+        self.push(value, Op::SoftmaxAxis(a, axis))
+    }
+
+    /// Capsule squash along `axis` (paper Eq. 2).
+    pub fn squash_axis(&mut self, a: Var, axis: usize) -> Var {
+        let value = self.value(a).squash_axis(axis);
+        self.push(value, Op::SquashAxis(a, axis))
+    }
+
+    // ---- structured ops ----
+
+    /// 2-D convolution in NCHW layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches (see
+    /// [`qcn_tensor::conv::conv2d`]).
+    pub fn conv2d(&mut self, input: Var, weight: Var, bias: Option<Var>, spec: Conv2dSpec) -> Var {
+        let in_h = self.value(input).dims()[2];
+        let in_w = self.value(input).dims()[3];
+        let value = conv2d(
+            self.value(input),
+            self.value(weight),
+            bias.map(|b| self.value(b)),
+            spec,
+        );
+        self.push(
+            value,
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                spec,
+                in_h,
+                in_w,
+            },
+        )
+    }
+
+    /// Capsule vote computation (paper Fig. 6, step 1):
+    /// `û[b,i,j,·] = W[i,j,·,·]ᵀ · u[b,i,·]`.
+    ///
+    /// `input` is `[batch, in_caps, in_dim]`, `weight` is
+    /// `[in_caps, out_caps, in_dim, out_dim]`; the result is
+    /// `[batch, in_caps, out_caps, out_dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatches.
+    pub fn caps_votes(&mut self, input: Var, weight: Var) -> Var {
+        let value = caps_votes_forward(self.value(input), self.value(weight));
+        self.push(value, Op::CapsVotes { input, weight })
+    }
+
+    /// Extracts `len` consecutive slices starting at `start` along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the axis extent.
+    pub fn slice_axis(&mut self, input: Var, axis: usize, start: usize, len: usize) -> Var {
+        let value = slice_axis_forward(self.value(input), axis, start, len);
+        self.push(
+            value,
+            Op::SliceAxis { input, axis, start },
+        )
+    }
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vars` is empty or shapes disagree off-axis.
+    pub fn concat(&mut self, vars: &[Var], axis: usize) -> Var {
+        assert!(!vars.is_empty(), "concat of zero tensors");
+        let tensors: Vec<&Tensor> = vars.iter().map(|&v| self.value(v)).collect();
+        let value = concat_forward(&tensors, axis);
+        self.push(value, Op::Concat(vars.to_vec(), axis))
+    }
+
+    // ---- autodiff ----
+
+    /// Runs reverse-mode differentiation from the scalar `root`.
+    ///
+    /// After this call, [`Graph::grad`] returns `∂root/∂v` for every node
+    /// `v` that `root` depends on (except through [`Graph::detach`] /
+    /// [`Graph::constant`] boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `root` is not a scalar (one-element) node.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.nodes[root.0].value.len(),
+            1,
+            "backward requires a scalar root, got shape {}",
+            self.nodes[root.0].value.shape()
+        );
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[root.0].grad = Some(Tensor::ones(self.nodes[root.0].value.shape().clone()));
+        for i in (0..=root.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            let contributions = self.adjoints(&op, i, &grad);
+            for (var, g) in contributions {
+                self.accumulate(var, g);
+            }
+        }
+    }
+
+    /// Computes the gradient contributions of node `i` (with upstream
+    /// gradient `grad`) to each of its inputs.
+    fn adjoints(&self, op: &Op, i: usize, grad: &Tensor) -> Vec<(Var, Tensor)> {
+        let val = |v: Var| &self.nodes[v.0].value;
+        let shape_of = |v: Var| self.nodes[v.0].value.shape().clone();
+        match op {
+            Op::Input | Op::Detached => Vec::new(),
+            Op::Add(a, b) => vec![
+                (*a, Tensor::reduce_to_shape(grad, &shape_of(*a))),
+                (*b, Tensor::reduce_to_shape(grad, &shape_of(*b))),
+            ],
+            Op::Sub(a, b) => vec![
+                (*a, Tensor::reduce_to_shape(grad, &shape_of(*a))),
+                (*b, Tensor::reduce_to_shape(&-grad, &shape_of(*b))),
+            ],
+            Op::Mul(a, b) => vec![
+                (*a, Tensor::reduce_to_shape(&(grad * val(*b)), &shape_of(*a))),
+                (*b, Tensor::reduce_to_shape(&(grad * val(*a)), &shape_of(*b))),
+            ],
+            Op::Neg(a) => vec![(*a, -grad)],
+            Op::ScalarMul(a, c) => vec![(*a, grad * *c)],
+            Op::ScalarAdd(a) => vec![(*a, grad.clone())],
+            Op::Relu(a) => {
+                let mask = val(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                vec![(*a, grad * &mask)]
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|s| s * (1.0 - s));
+                vec![(*a, grad * &dy)]
+            }
+            Op::Square(a) => vec![(*a, &(grad * val(*a)) * 2.0)],
+            Op::Matmul(a, b) => vec![
+                (*a, grad.matmul(&val(*b).transpose())),
+                (*b, val(*a).transpose().matmul(grad)),
+            ],
+            Op::Bmm(a, b) => vec![
+                (*a, grad.bmm(&val(*b).permute(&[0, 2, 1]))),
+                (*b, val(*a).permute(&[0, 2, 1]).bmm(grad)),
+            ],
+            Op::Reshape(a) => vec![(
+                *a,
+                grad.reshape(shape_of(*a))
+                    .expect("reshape adjoint preserves length"),
+            )],
+            Op::Permute(a, perm) => {
+                let mut inverse = vec![0usize; perm.len()];
+                for (out_axis, &in_axis) in perm.iter().enumerate() {
+                    inverse[in_axis] = out_axis;
+                }
+                vec![(*a, grad.permute(&inverse))]
+            }
+            Op::SumAxisKeepdim(a) => vec![(*a, expand_to(grad, &shape_of(*a)))],
+            Op::SumAll(a) => vec![(*a, Tensor::full(shape_of(*a), grad.item()))],
+            Op::MeanAll(a) => {
+                let n = self.nodes[a.0].value.len() as f32;
+                vec![(*a, Tensor::full(shape_of(*a), grad.item() / n))]
+            }
+            Op::NormAxisKeepdim(a, axis) => {
+                // d‖s‖/ds = s/‖s‖ (with an epsilon floor at zero).
+                let s = val(*a);
+                let norm = &self.nodes[i].value;
+                let inv = norm.map(|n| 1.0 / (n + qcn_tensor::nn::EPS));
+                let dir = s * &expand_to(&inv, s.shape());
+                let _ = axis;
+                vec![(*a, &dir * &expand_to(grad, s.shape()))]
+            }
+            Op::SoftmaxAxis(a, axis) => {
+                vec![(*a, softmax_backward(&self.nodes[i].value, grad, *axis))]
+            }
+            Op::SquashAxis(a, axis) => vec![(*a, squash_backward(val(*a), grad, *axis))],
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                spec,
+                in_h,
+                in_w,
+            } => {
+                let mut out = vec![
+                    (
+                        *input,
+                        conv2d_backward_input(grad, val(*weight), *spec, *in_h, *in_w),
+                    ),
+                    (*weight, conv2d_backward_weight(val(*input), grad, *spec)),
+                ];
+                if let Some(b) = bias {
+                    out.push((*b, conv2d_backward_bias(grad)));
+                }
+                out
+            }
+            Op::CapsVotes { input, weight } => {
+                let (gi, gw) = caps_votes_backward(val(*input), val(*weight), grad);
+                vec![(*input, gi), (*weight, gw)]
+            }
+            Op::SliceAxis { input, axis, start } => {
+                let full = shape_of(*input);
+                vec![(*input, slice_axis_backward(grad, &full, *axis, *start))]
+            }
+            Op::Concat(vars, axis) => {
+                let shapes: Vec<Shape> = vars.iter().map(|&v| shape_of(v)).collect();
+                concat_backward(grad, &shapes, *axis)
+                    .into_iter()
+                    .zip(vars.iter())
+                    .map(|(g, &v)| (v, g))
+                    .collect()
+            }
+        }
+    }
+
+    fn accumulate(&mut self, var: Var, g: Tensor) {
+        let slot = &mut self.nodes[var.0].grad;
+        match slot {
+            Some(existing) => *slot = Some(&*existing + &g),
+            None => *slot = Some(g),
+        }
+    }
+}
+
+/// Forward capsule votes: see [`Graph::caps_votes`].
+pub(crate) fn caps_votes_forward(input: &Tensor, weight: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 3, "caps_votes input must be [b, i, di]");
+    assert_eq!(weight.rank(), 4, "caps_votes weight must be [i, j, di, dj]");
+    let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (wi, nj, wdi, dj) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(ni, wi, "caps_votes capsule-count mismatch");
+    assert_eq!(di, wdi, "caps_votes capsule-dimension mismatch");
+    let mut out = Tensor::zeros([b, ni, nj, dj]);
+    let (inp, w) = (input.data(), weight.data());
+    let o = out.data_mut();
+    for bi in 0..b {
+        for ii in 0..ni {
+            let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
+            for jj in 0..nj {
+                let w_base = ((ii * nj + jj) * di) * dj;
+                let o_base = ((bi * ni + ii) * nj + jj) * dj;
+                for (d, &ud) in u.iter().enumerate() {
+                    if ud == 0.0 {
+                        continue;
+                    }
+                    let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
+                    for k in 0..dj {
+                        o[o_base + k] += ud * w_row[k];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward capsule votes: gradients w.r.t. input and weight.
+pub(crate) fn caps_votes_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad: &Tensor,
+) -> (Tensor, Tensor) {
+    let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (nj, dj) = (weight.dims()[1], weight.dims()[3]);
+    let mut gi = Tensor::zeros([b, ni, di]);
+    let mut gw = Tensor::zeros(weight.shape().clone());
+    let (inp, w, g) = (input.data(), weight.data(), grad.data());
+    {
+        let gid = gi.data_mut();
+        for bi in 0..b {
+            for ii in 0..ni {
+                for jj in 0..nj {
+                    let w_base = ((ii * nj + jj) * di) * dj;
+                    let g_base = ((bi * ni + ii) * nj + jj) * dj;
+                    for d in 0..di {
+                        let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
+                        let mut acc = 0.0;
+                        for k in 0..dj {
+                            acc += g[g_base + k] * w_row[k];
+                        }
+                        gid[(bi * ni + ii) * di + d] += acc;
+                    }
+                }
+            }
+        }
+    }
+    {
+        let gwd = gw.data_mut();
+        for bi in 0..b {
+            for ii in 0..ni {
+                let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
+                for jj in 0..nj {
+                    let w_base = ((ii * nj + jj) * di) * dj;
+                    let g_base = ((bi * ni + ii) * nj + jj) * dj;
+                    for (d, &ud) in u.iter().enumerate() {
+                        if ud == 0.0 {
+                            continue;
+                        }
+                        for k in 0..dj {
+                            gwd[w_base + d * dj + k] += ud * g[g_base + k];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gi, gw)
+}
+
+/// Copies the `[start, start+len)` range of `axis` into a fresh tensor.
+pub(crate) fn slice_axis_forward(t: &Tensor, axis: usize, start: usize, len: usize) -> Tensor {
+    assert!(axis < t.rank(), "slice axis out of range");
+    assert!(
+        start + len <= t.dims()[axis],
+        "slice range {start}..{} exceeds axis extent {}",
+        start + len,
+        t.dims()[axis]
+    );
+    let outer: usize = t.dims()[..axis].iter().product();
+    let inner: usize = t.dims()[axis + 1..].iter().product();
+    let axis_extent = t.dims()[axis];
+    let mut out_dims = t.dims().to_vec();
+    out_dims[axis] = len;
+    let mut out = Tensor::zeros(out_dims);
+    {
+        let od = out.data_mut();
+        for o in 0..outer {
+            let src = (o * axis_extent + start) * inner;
+            od[o * len * inner..(o + 1) * len * inner]
+                .copy_from_slice(&t.data()[src..src + len * inner]);
+        }
+    }
+    out
+}
+
+/// Adjoint of [`slice_axis_forward`]: embeds the gradient into zeros.
+fn slice_axis_backward(grad: &Tensor, full: &Shape, axis: usize, start: usize) -> Tensor {
+    let outer: usize = full.dims()[..axis].iter().product();
+    let inner: usize = full.dims()[axis + 1..].iter().product();
+    let axis_extent = full.dim(axis);
+    let len = grad.dims()[axis];
+    let mut out = Tensor::zeros(full.clone());
+    {
+        let od = out.data_mut();
+        for o in 0..outer {
+            let dst = (o * axis_extent + start) * inner;
+            od[dst..dst + len * inner]
+                .copy_from_slice(&grad.data()[o * len * inner..(o + 1) * len * inner]);
+        }
+    }
+    out
+}
+
+fn concat_forward(tensors: &[&Tensor], axis: usize) -> Tensor {
+    let first = tensors[0];
+    assert!(axis < first.rank(), "concat axis out of range");
+    let mut out_dims = first.dims().to_vec();
+    out_dims[axis] = tensors.iter().map(|t| t.dims()[axis]).sum();
+    for t in tensors {
+        assert_eq!(t.rank(), first.rank(), "concat rank mismatch");
+        for (ax, (&d, &d0)) in t.dims().iter().zip(first.dims()).enumerate() {
+            assert!(
+                ax == axis || d == d0,
+                "concat off-axis extent mismatch at axis {ax}"
+            );
+        }
+    }
+    let outer: usize = first.dims()[..axis].iter().product();
+    let inner: usize = first.dims()[axis + 1..].iter().product();
+    let out_axis = out_dims[axis];
+    let mut out = Tensor::zeros(out_dims.clone());
+    let od = out.data_mut();
+    let mut offset = 0usize;
+    for t in tensors {
+        let t_axis = t.dims()[axis];
+        for o in 0..outer {
+            let src = &t.data()[o * t_axis * inner..(o + 1) * t_axis * inner];
+            let dst_base = (o * out_axis + offset) * inner;
+            od[dst_base..dst_base + t_axis * inner].copy_from_slice(src);
+        }
+        offset += t_axis;
+    }
+    out
+}
+
+fn concat_backward(grad: &Tensor, shapes: &[Shape], axis: usize) -> Vec<Tensor> {
+    let outer: usize = grad.dims()[..axis].iter().product();
+    let inner: usize = grad.dims()[axis + 1..].iter().product();
+    let out_axis = grad.dims()[axis];
+    let mut offset = 0usize;
+    let mut grads = Vec::with_capacity(shapes.len());
+    for shape in shapes {
+        let t_axis = shape.dim(axis);
+        let mut g = Tensor::zeros(shape.clone());
+        {
+            let gd = g.data_mut();
+            for o in 0..outer {
+                let src_base = (o * out_axis + offset) * inner;
+                gd[o * t_axis * inner..(o + 1) * t_axis * inner]
+                    .copy_from_slice(&grad.data()[src_base..src_base + t_axis * inner]);
+            }
+        }
+        grads.push(g);
+        offset += t_axis;
+    }
+    grads
+}

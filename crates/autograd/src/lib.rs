@@ -1,0 +1,36 @@
+//! # qcn-autograd
+//!
+//! A minimal tape-based reverse-mode automatic-differentiation engine over
+//! [`qcn_tensor::Tensor`], purpose-built to train Capsule Networks for the
+//! Q-CapsNets reproduction (Marchisio et al., DAC 2020).
+//!
+//! The op set covers exactly what ShallowCaps and DeepCaps need — conv2d,
+//! capsule votes, softmax, squash, reductions, elementwise arithmetic —
+//! each with an analytic backward pass validated against central finite
+//! differences (see [`gradcheck`]). Differentiating *through the unrolled
+//! dynamic-routing loop* (three iterations of softmax → weighted sum →
+//! squash → agreement) is the distinguishing requirement; the
+//! `grad_through_unrolled_routing_iteration` test exercises it directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcn_autograd::Graph;
+//! use qcn_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![0.6, 0.8], [1, 2])?);
+//! let v = g.squash_axis(x, 1);       // capsule squash
+//! let n = g.norm_axis_keepdim(v, 1); // instantiation probability
+//! let loss = g.sum_all(n);
+//! g.backward(loss);
+//! assert!(g.grad(x).is_some());
+//! # Ok::<(), qcn_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+mod graph;
+
+pub use graph::{Graph, Var};

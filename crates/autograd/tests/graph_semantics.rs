@@ -1,0 +1,119 @@
+//! Semantic tests of the autograd tape: gradient accumulation through
+//! shared subexpressions, repeated backward calls, detach boundaries, and
+//! deep chains.
+
+use qcn_autograd::Graph;
+use qcn_tensor::Tensor;
+
+#[test]
+fn shared_subexpression_accumulates_gradient() {
+    // y = x·x + x·x uses x four times; dy/dx = 4x.
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![2.0, -3.0], [2]).unwrap());
+    let a = g.mul(x, x);
+    let b = g.mul(x, x);
+    let y = g.add(a, b);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    assert_eq!(g.grad(x).unwrap().data(), &[8.0, -12.0]);
+}
+
+#[test]
+fn backward_twice_resets_gradients() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap());
+    let y = g.square(x);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    let first = g.grad(x).unwrap().clone();
+    g.backward(loss);
+    // Gradients must not double-accumulate across backward calls.
+    assert_eq!(g.grad(x).unwrap(), &first);
+}
+
+#[test]
+fn detach_blocks_gradient_flow() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![3.0], [1]).unwrap());
+    let d = g.detach(x);
+    let y = g.mul(x, d); // y = x · stop_grad(x); dy/dx = detached value
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    assert_eq!(g.grad(x).unwrap().data(), &[3.0]);
+    // The detached node itself receives no gradient propagation upstream.
+    assert_eq!(g.value(d).data(), &[3.0]);
+}
+
+#[test]
+fn constant_receives_no_upstream_flow() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![1.0], [1]).unwrap());
+    let c = g.constant(Tensor::from_vec(vec![5.0], [1]).unwrap());
+    let y = g.mul(x, c);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    assert_eq!(g.grad(x).unwrap().data(), &[5.0]);
+}
+
+#[test]
+fn deep_chain_of_ops_backpropagates() {
+    // 60 chained scalar multiplications: gradient = 2^60 scaled down to
+    // stay finite — use 1.01 to avoid overflow and check precision.
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![1.0], [1]).unwrap());
+    let mut y = x;
+    for _ in 0..60 {
+        y = g.scalar_mul(y, 1.01);
+    }
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    let expected = 1.01f32.powi(60);
+    let got = g.grad(x).unwrap().item();
+    assert!((got - expected).abs() < 1e-3, "{got} vs {expected}");
+}
+
+#[test]
+fn diamond_dependency_sums_both_paths() {
+    // y = relu(x) + sigmoid(x): both branches contribute.
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![0.5], [1]).unwrap());
+    let r = g.relu(x);
+    let s = g.sigmoid(x);
+    let y = g.add(r, s);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    let sig = 1.0 / (1.0 + (-0.5f32).exp());
+    let expected = 1.0 + sig * (1.0 - sig);
+    let got = g.grad(x).unwrap().item();
+    assert!((got - expected).abs() < 1e-5, "{got} vs {expected}");
+}
+
+#[test]
+fn unused_inputs_have_no_gradient() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::from_vec(vec![1.0], [1]).unwrap());
+    let unused = g.input(Tensor::from_vec(vec![9.0], [1]).unwrap());
+    let y = g.square(x);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    assert!(g.grad(x).is_some());
+    assert!(g.grad(unused).is_none());
+}
+
+#[test]
+#[should_panic(expected = "scalar root")]
+fn backward_rejects_non_scalar_root() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::zeros([3]));
+    let y = g.square(x);
+    g.backward(y);
+}
+
+#[test]
+fn graph_len_tracks_nodes() {
+    let mut g = Graph::new();
+    assert!(g.is_empty());
+    let x = g.input(Tensor::zeros([2]));
+    let _ = g.relu(x);
+    assert_eq!(g.len(), 2);
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the computational kernels the Q-CapsNets
+//! pipeline spends its time in: convolution, capsule votes, a full dynamic
+//! routing pass, quantization, and the three rounding schemes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qcn_capsnet::layers::{caps_votes_infer, CapsFc};
+use qcn_capsnet::{LayerQuant, QuantCtx};
+use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let input = Tensor::rand_uniform([8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([32, 16, 3, 3], -1.0, 1.0, &mut rng);
+    let bias = Tensor::rand_uniform([32], -1.0, 1.0, &mut rng);
+    let spec = Conv2dSpec::new(3, 3, 1, 1);
+    c.bench_function("conv2d 8x16x16x16 -> 32ch 3x3", |b| {
+        b.iter(|| conv2d(black_box(&input), black_box(&weight), Some(&bias), spec))
+    });
+}
+
+fn bench_caps_votes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::rand_uniform([16, 128, 4], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([128, 10, 4, 8], -1.0, 1.0, &mut rng);
+    c.bench_function("caps_votes 16x128x4 -> 10x8", |b| {
+        b.iter(|| caps_votes_infer(black_box(&input), black_box(&weight)))
+    });
+}
+
+fn bench_dynamic_routing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let layer = CapsFc::new(128, 4, 10, 8, 3, &mut rng);
+    let input = Tensor::rand_uniform([16, 128, 4], -0.5, 0.5, &mut rng).squash_axis(2);
+    let fp = LayerQuant::full_precision();
+    let q = LayerQuant {
+        weight_frac: Some(6),
+        act_frac: Some(6),
+        dr_frac: Some(3),
+    };
+    c.bench_function("caps_fc routing fp32 (3 iters)", |b| {
+        b.iter_batched(
+            || QuantCtx::new(RoundingScheme::Truncation, 0),
+            |mut ctx| layer.infer(black_box(&input), &fp, &mut ctx),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("caps_fc routing quantized DR=3", |b| {
+        b.iter_batched(
+            || QuantCtx::new(RoundingScheme::RoundToNearest, 0),
+            |mut ctx| layer.infer(black_box(&input), &q, &mut ctx),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = Tensor::rand_uniform([65_536], -1.0, 1.0, &mut rng);
+    for scheme in RoundingScheme::ALL {
+        let quantizer = Quantizer::new(QFormat::with_frac(6), scheme);
+        c.bench_function(&format!("quantize 64k elements ({scheme})"), |b| {
+            b.iter_batched(
+                || (t.clone(), StdRng::seed_from_u64(9)),
+                |(mut tensor, mut rng)| {
+                    quantizer.quantize_inplace(&mut tensor, &mut rng);
+                    tensor
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_squash_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let caps = Tensor::rand_uniform([32, 512, 8], -1.0, 1.0, &mut rng);
+    c.bench_function("squash 32x512x8", |b| {
+        b.iter(|| black_box(&caps).squash_axis(2))
+    });
+    let logits = Tensor::rand_uniform([32, 128, 10, 1], -1.0, 1.0, &mut rng);
+    c.bench_function("softmax 32x128x10", |b| {
+        b.iter(|| black_box(&logits).softmax_axis(2))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv2d, bench_caps_votes, bench_dynamic_routing,
+              bench_quantizer, bench_squash_softmax
+}
+criterion_main!(kernels);

@@ -1,0 +1,78 @@
+//! Ablation for §IV-D: with weights and activations fixed at a
+//! step-1-style uniform width, sweep the dynamic-routing wordlength
+//! `Q_DR` from 8 fractional bits down to 1 and report accuracy plus the
+//! estimated per-inference energy (full-size ShallowCaps accounting,
+//! UMC-65nm-calibrated unit models).
+//!
+//! Expected shape (paper): the routing data tolerates 3–4 fractional bits
+//! with negligible accuracy loss — the routing coefficients are updated
+//! dynamically and adapt to quantization — while the squash/softmax energy
+//! falls quadratically with the DR width.
+
+use qcn_bench::zoo::{self, epochs};
+use qcn_capsnet::{accuracy, CapsNet, ModelQuant};
+use qcn_datasets::SynthKind;
+use qcn_fixed::RoundingScheme;
+use qcn_hwmodel::archstats::shallow_caps;
+use qcn_hwmodel::{inference_energy_nj, HwUnit, LayerBits};
+
+fn main() {
+    let pair = zoo::shallow(SynthKind::Mnist, epochs::SHALLOW);
+    let arch = shallow_caps();
+    let base_frac = 6u8; // weights/activations fixed at Q1.6
+    println!("== §IV-D ablation: DR wordlength sweep (Qw = Qa = {base_frac} frac bits) ==\n");
+    println!(
+        "{:>8} {:>10} {:>16} {:>18} {:>10}",
+        "DR bits", "accuracy", "total (nJ/inf)", "sq+sm units (nJ)", "vs DR=8"
+    );
+    let mut config = ModelQuant::uniform(3, base_frac, RoundingScheme::RoundToNearest);
+    let energy_at = |dr: u8| {
+        let bits: Vec<LayerBits> = arch
+            .layers
+            .iter()
+            .map(|_| LayerBits {
+                mac_bits: base_frac + 1,
+                dr_bits: dr,
+            })
+            .collect();
+        inference_energy_nj(&arch, &bits)
+    };
+    let routing_energy_at = |dr: u8| {
+        (arch.total_squash_ops() as f64 * HwUnit::squash().energy_pj(dr)
+            + arch.total_softmax_ops() as f64 * HwUnit::softmax().energy_pj(dr))
+            / 1000.0
+    };
+    let r8 = routing_energy_at(8);
+    let fp_acc = {
+        let fp = ModelQuant::full_precision(3);
+        accuracy(&pair.model, &pair.test_set, &fp, 50)
+    };
+    let mut acc_at = Vec::new();
+    for dr in (1..=8u8).rev() {
+        config.layers[2].dr_frac = Some(dr); // L3 is the routing layer
+        let qmodel = pair.model.with_quantized_weights(&config);
+        let acc = accuracy(&qmodel, &pair.test_set, &config, 50);
+        let energy = energy_at(dr);
+        let routing = routing_energy_at(dr);
+        println!(
+            "{:>8} {:>9.2}% {:>16.1} {:>18.3} {:>9.2}x",
+            dr,
+            acc * 100.0,
+            energy,
+            routing,
+            r8 / routing
+        );
+        acc_at.push((dr, acc));
+    }
+    println!("\nFP32 reference accuracy: {:.2}%", fp_acc * 100.0);
+    // The §IV-D claim: 3–4 DR bits lose almost nothing.
+    let acc4 = acc_at.iter().find(|(d, _)| *d == 4).expect("swept").1;
+    let acc3 = acc_at.iter().find(|(d, _)| *d == 3).expect("swept").1;
+    println!(
+        "claim check: accuracy at DR=4: {:.2}% (Δ {:.2} pts); at DR=3: {:.2}% (Δ {:.2} pts)",
+        acc4 * 100.0,
+        (fp_acc - acc4) * 100.0,
+        acc3 * 100.0,
+        (fp_acc - acc3) * 100.0
+    );
+}

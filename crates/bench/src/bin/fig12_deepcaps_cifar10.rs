@@ -1,0 +1,90 @@
+//! Regenerates paper Fig. 12: Q-CapsNet results of DeepCaps on the
+//! CIFAR10 stand-in — per-layer fractional bits for weights, activations
+//! and dynamic routing at two operating points (Q4/Q5-style), plus the
+//! extreme-budget accuracy collapse.
+//!
+//! Expected shape (paper): the paper's headline — ≈ 6.2× weight-memory
+//! reduction at ≈ 0.15 % accuracy loss — plus a Pareto pair where the
+//! `model_satisfied` has fewer activation/DR bits than the
+//! `model_accuracy` at slightly higher weight memory, and a near-chance
+//! collapse at ≈ 20× compression.
+
+use qcapsnets::{report, run, FrameworkConfig, Outcome};
+use qcn_bench::zoo::{self, epochs};
+use qcn_capsnet::CapsNet;
+use qcn_datasets::SynthKind;
+use qcn_fixed::RoundingScheme;
+
+fn main() {
+    let pair = zoo::deep(SynthKind::Cifar10, epochs::DEEP);
+    let groups = pair.model.groups();
+    let total_w: u64 = groups.iter().map(|g| g.weight_count as u64).sum();
+    let fp32_bits = total_w * 32;
+    println!(
+        "== Fig. 12: DeepCaps on {} (FP32 weight memory {}) ==\n",
+        pair.dataset_name,
+        report::mbit(fp32_bits)
+    );
+    // The paper discusses SR as the best scheme for DeepCaps.
+    let scheme = RoundingScheme::Stochastic;
+
+    // Q4-style: moderate budget, Path A expected.
+    let q4 = run(
+        &pair.model,
+        &pair.test_set,
+        &FrameworkConfig {
+            acc_tol: 0.005,
+            memory_budget_bits: fp32_bits / 6,
+            scheme,
+            ..FrameworkConfig::default()
+        },
+    );
+    println!(
+        "FP32 accuracy {:.2}% (target {:.2}%)\n",
+        q4.acc_fp32 * 100.0,
+        q4.acc_target * 100.0
+    );
+    println!("[Q4-style] budget = fp32/6, tol 0.5%, {scheme}:");
+    for r in q4.outcome.results() {
+        println!("{}", report::layer_table(&groups, r));
+    }
+
+    // Q5-style: looser budget, tighter tolerance.
+    let q5 = run(
+        &pair.model,
+        &pair.test_set,
+        &FrameworkConfig {
+            acc_tol: 0.002,
+            memory_budget_bits: fp32_bits / 3,
+            scheme,
+            ..FrameworkConfig::default()
+        },
+    );
+    println!("[Q5-style] budget = fp32/3, tol 0.2%, {scheme}:");
+    for r in q5.outcome.results() {
+        println!("{}", report::layer_table(&groups, r));
+    }
+
+    // Extreme budget: the paper's 19.76×-reduction row collapses to 10.25%.
+    let extreme = run(
+        &pair.model,
+        &pair.test_set,
+        &FrameworkConfig {
+            acc_tol: 0.002,
+            memory_budget_bits: total_w * 3 / 2, // 1.5 bits/weight average
+            scheme,
+            ..FrameworkConfig::default()
+        },
+    );
+    println!("[extreme] budget = 1.5 bits/weight, tol 0.2%, {scheme}:");
+    match &extreme.outcome {
+        Outcome::Fallback { memory, .. } => {
+            println!("{}", report::layer_table(&groups, memory));
+            println!(
+                "collapse check: model_memory accuracy {:.2}% (chance = 10%)",
+                memory.accuracy * 100.0
+            );
+        }
+        Outcome::Satisfied(r) => println!("{}", report::layer_table(&groups, r)),
+    }
+}

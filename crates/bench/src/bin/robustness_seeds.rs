@@ -1,0 +1,90 @@
+//! Robustness of the framework's results across training seeds (an
+//! analysis the paper does not report): train the same ShallowCaps on the
+//! same data from three different initialisations, run the framework with
+//! identical constraints, and compare the chosen wordlengths and achieved
+//! reductions.
+//!
+//! Expected shape: the *reductions* are stable (within ~1 bit of weight
+//! width) even though the underlying weights differ completely — the
+//! framework adapts to each model's own quantization tolerance.
+
+use qcapsnets::{run, FrameworkConfig, Outcome};
+use qcn_bench::cache::cached_model;
+use qcn_capsnet::{train, CapsNet, ShallowCaps, ShallowCapsConfig, TrainConfig};
+use qcn_datasets::augment::AugmentPolicy;
+use qcn_datasets::SynthKind;
+
+fn main() {
+    let (train_set, test_set) = SynthKind::Mnist.train_test(2000, 500, 42);
+    println!("== framework robustness across training seeds ==\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>10} {:>22}",
+        "seed", "fp32 acc", "quant acc", "W mem×", "A mem×", "per-layer W bits"
+    );
+    let mut reductions = Vec::new();
+    for seed in [42u64, 1042, 2042] {
+        let model = cached_model(
+            &format!("shallowcaps-v2-seed{seed}-e8"),
+            || ShallowCaps::new(ShallowCapsConfig::small(1), seed),
+            |m| {
+                train(
+                    m,
+                    &train_set,
+                    &test_set,
+                    &TrainConfig {
+                        epochs: 8,
+                        lr: 0.002,
+                        augment: AugmentPolicy::mnist(),
+                        verbose: true,
+                        seed,
+                        ..TrainConfig::default()
+                    },
+                );
+            },
+        );
+        let fp32_bits: u64 = model
+            .groups()
+            .iter()
+            .map(|g| g.weight_count as u64 * 32)
+            .sum();
+        let report = run(
+            &model,
+            &test_set,
+            &FrameworkConfig {
+                acc_tol: 0.005,
+                memory_budget_bits: fp32_bits / 5,
+                ..FrameworkConfig::default()
+            },
+        );
+        let result = match &report.outcome {
+            Outcome::Satisfied(r) => r.clone(),
+            Outcome::Fallback { memory, .. } => memory.clone(),
+        };
+        let widths: Vec<String> = result
+            .config
+            .layers
+            .iter()
+            .map(|l| l.weight_frac.map_or("fp".into(), |b| b.to_string()))
+            .collect();
+        println!(
+            "{:>6} {:>9.2}% {:>9.2}% {:>7.2}x {:>9.2}x {:>22}",
+            seed,
+            report.acc_fp32 * 100.0,
+            result.accuracy * 100.0,
+            result.weight_mem_reduction,
+            result.act_mem_reduction,
+            widths.join("/")
+        );
+        reductions.push(result.weight_mem_reduction);
+    }
+    let mean = reductions.iter().sum::<f32>() / reductions.len() as f32;
+    let var = reductions
+        .iter()
+        .map(|r| (r - mean) * (r - mean))
+        .sum::<f32>()
+        / reductions.len() as f32;
+    println!(
+        "\nweight-memory reduction across seeds: {mean:.2}x ± {:.2}",
+        var.sqrt()
+    );
+}

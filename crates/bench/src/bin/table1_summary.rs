@@ -1,0 +1,74 @@
+//! Regenerates paper Table I: accuracy, weight-memory and
+//! activation-memory reduction for ShallowCaps × {MNIST, FashionMNIST}
+//! and DeepCaps × {MNIST, FashionMNIST, CIFAR10}, each at two operating
+//! points (a moderate and an aggressive memory budget), using the
+//! best-of-library rounding scheme.
+//!
+//! Expected shape (paper): 2–7.5× weight-memory and 2.5–6.5× activation-
+//! memory reductions at sub-percent accuracy loss on the easy datasets;
+//! somewhat larger loss tolerated on the harder ones.
+
+use qcapsnets::{report, run_library, FrameworkConfig, Selection};
+use qcn_bench::zoo::{self, epochs};
+use qcn_capsnet::CapsNet;
+use qcn_datasets::SynthKind;
+use qcn_fixed::RoundingScheme;
+
+/// Runs one model × dataset cell at one budget, printing a Table I row per
+/// produced model.
+fn cell<M: CapsNet>(model: &M, test: &qcn_datasets::Dataset, dataset: &str, budget_div: u64) {
+    let groups = model.groups();
+    let fp32_bits: u64 = groups.iter().map(|g| g.weight_count as u64).sum::<u64>() * 32;
+    let config = FrameworkConfig {
+        acc_tol: 0.005,
+        memory_budget_bits: fp32_bits / budget_div,
+        ..FrameworkConfig::default()
+    };
+    let lib = run_library(model, test, &config, &RoundingScheme::ALL);
+    match &lib.selection {
+        Selection::Satisfied { scheme, result } => {
+            println!(
+                "{}   [budget fp32/{budget_div}, {scheme}, {}]",
+                report::table1_row(model.name(), dataset, result),
+                result.kind
+            );
+        }
+        Selection::Fallback { memory, accuracy } => {
+            println!(
+                "{}   [budget fp32/{budget_div}, {}, {}]",
+                report::table1_row(model.name(), dataset, &accuracy.1),
+                accuracy.0,
+                accuracy.1.kind
+            );
+            println!(
+                "{}   [budget fp32/{budget_div}, {}, {}]",
+                report::table1_row(model.name(), dataset, &memory.1),
+                memory.0,
+                memory.1.kind
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("== Table I: Q-CapsNet accuracy and memory reductions ==\n");
+    println!(
+        "{:<12} {:<18} {:>8} {:>9} {:>9}",
+        "model", "dataset", "acc", "W-mem", "A-mem"
+    );
+    // ShallowCaps rows.
+    for kind in [SynthKind::Mnist, SynthKind::FashionMnist] {
+        let pair = zoo::shallow(kind, epochs::SHALLOW);
+        for budget_div in [5u64, 8] {
+            cell(&pair.model, &pair.test_set, &pair.dataset_name, budget_div);
+        }
+    }
+    // DeepCaps rows.
+    for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+        let pair = zoo::deep(kind, epochs::DEEP);
+        for budget_div in [5u64, 8] {
+            cell(&pair.model, &pair.test_set, &pair.dataset_name, budget_div);
+        }
+    }
+    println!("\n(two rows per model/dataset when Path B returns the fallback pair)");
+}

@@ -1,0 +1,172 @@
+//! Disk cache for trained model parameters, so repeated bench invocations
+//! skip the (CPU-bound) training step.
+//!
+//! Format: a little-endian stream of `u64 tensor_count`, then per tensor
+//! `u64 element_count` followed by raw `f32` data. The loader validates
+//! counts against the freshly constructed model, so architecture changes
+//! invalidate stale caches loudly instead of silently corrupting weights.
+
+use qcn_capsnet::CapsNet;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// Directory for cached parameters (under the cargo target dir).
+pub fn cache_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("qcn-model-cache")
+}
+
+/// Serializes a model's parameters to the cache under `name`.
+///
+/// # Panics
+///
+/// Panics on I/O failure (benches treat the cache as infrastructure).
+pub fn save_params<M: CapsNet>(name: &str, model: &M) {
+    let dir = cache_dir();
+    fs::create_dir_all(&dir).expect("create cache dir");
+    let path = dir.join(format!("{name}.params"));
+    let params = model.params();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for p in params {
+        bytes.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        for &v in p.data() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fs::File::create(&path)
+        .and_then(|mut f| f.write_all(&bytes))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Loads cached parameters into `model` if a compatible cache entry
+/// exists. Returns `true` on success; `false` (leaving the model
+/// untouched) when the entry is missing or incompatible.
+pub fn load_params<M: CapsNet>(name: &str, model: &mut M) -> bool {
+    let path = cache_dir().join(format!("{name}.params"));
+    let Ok(mut file) = fs::File::open(&path) else {
+        return false;
+    };
+    let mut bytes = Vec::new();
+    if file.read_to_end(&mut bytes).is_err() {
+        return false;
+    }
+    let mut offset = 0usize;
+    let read_u64 = |bytes: &[u8], offset: &mut usize| -> Option<u64> {
+        let v = bytes.get(*offset..*offset + 8)?;
+        *offset += 8;
+        Some(u64::from_le_bytes(v.try_into().ok()?))
+    };
+    let Some(count) = read_u64(&bytes, &mut offset) else {
+        return false;
+    };
+    let mut params = model.params_mut();
+    if count as usize != params.len() {
+        return false;
+    }
+    let mut values: Vec<Vec<f32>> = Vec::with_capacity(params.len());
+    for p in params.iter() {
+        let Some(len) = read_u64(&bytes, &mut offset) else {
+            return false;
+        };
+        if len as usize != p.len() {
+            return false;
+        }
+        let byte_len = p.len() * 4;
+        let Some(chunk) = bytes.get(offset..offset + byte_len) else {
+            return false;
+        };
+        offset += byte_len;
+        values.push(
+            chunk
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    for (p, v) in params.iter_mut().zip(values) {
+        p.data_mut().copy_from_slice(&v);
+    }
+    true
+}
+
+/// Returns a cached trained model, or trains one with `train_fn` and
+/// caches it. `build` must construct the architecture deterministically.
+pub fn cached_model<M: CapsNet>(
+    name: &str,
+    build: impl Fn() -> M,
+    train_fn: impl FnOnce(&mut M),
+) -> M {
+    let mut model = build();
+    if load_params(name, &mut model) {
+        eprintln!("[cache] loaded trained parameters for {name}");
+        return model;
+    }
+    eprintln!("[cache] training {name} (first run; result will be cached)");
+    train_fn(&mut model);
+    save_params(name, &model);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_capsnet::{ShallowCaps, ShallowCapsConfig};
+
+    fn tiny(seed: u64) -> ShallowCaps {
+        let config = ShallowCapsConfig {
+            conv_channels: 4,
+            primary_types: 2,
+            digit_dim: 4,
+            ..ShallowCapsConfig::small(1)
+        };
+        ShallowCaps::new(config, seed)
+    }
+
+    #[test]
+    fn roundtrip_preserves_parameters() {
+        let model = tiny(1);
+        save_params("test-roundtrip", &model);
+        let mut other = tiny(2); // different init
+        assert_ne!(model.params()[0], other.params()[0]);
+        assert!(load_params("test-roundtrip", &mut other));
+        for (a, b) in model.params().iter().zip(other.params()) {
+            assert_eq!(*a, b);
+        }
+    }
+
+    #[test]
+    fn incompatible_cache_is_rejected() {
+        let model = tiny(1);
+        save_params("test-incompatible", &model);
+        // A differently-shaped model must refuse the cache.
+        let config = ShallowCapsConfig {
+            conv_channels: 6,
+            primary_types: 2,
+            digit_dim: 4,
+            ..ShallowCapsConfig::small(1)
+        };
+        let mut bigger = ShallowCaps::new(config, 0);
+        let before = bigger.params()[0].clone();
+        assert!(!load_params("test-incompatible", &mut bigger));
+        assert_eq!(&before, bigger.params()[0]);
+    }
+
+    #[test]
+    fn missing_cache_returns_false() {
+        let mut model = tiny(1);
+        assert!(!load_params("test-definitely-missing", &mut model));
+    }
+
+    #[test]
+    fn cached_model_trains_once() {
+        let _ = fs::remove_file(cache_dir().join("test-train-once.params"));
+        let mut calls = 0;
+        let m1 = cached_model("test-train-once", || tiny(3), |_| calls += 1);
+        assert_eq!(calls, 1);
+        let m2 = cached_model("test-train-once", || tiny(3), |_| calls += 1);
+        assert_eq!(calls, 1, "second call must hit the cache");
+        assert_eq!(m1.params()[0], m2.params()[0]);
+    }
+}

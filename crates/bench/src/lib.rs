@@ -1,0 +1,28 @@
+//! # qcn-bench
+//!
+//! Benchmark harness for the Q-CapsNets reproduction: shared
+//! infrastructure (a disk cache of trained models, the model zoo for every
+//! Table I row) plus one binary per paper table/figure:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_arch_comparison` | Fig. 1 — memory & MACs/memory of ShallowCaps / AlexNet / LeNet |
+//! | `fig2_mac_cost` | Fig. 2 — MAC energy/area vs wordlength |
+//! | `fig3_squash_softmax_cost` | Fig. 3 — squash & softmax energy/area vs fractional bits |
+//! | `fig11_shallowcaps_mnist` | Fig. 11 — per-layer bits, Path A (Q1) and Path B (Q2/Q3) |
+//! | `table1_summary` | Table I — all five model × dataset rows, two operating points |
+//! | `fig12_deepcaps_cifar10` | Fig. 12 — DeepCaps/CIFAR10 per-layer bits (Q4/Q5 + extremes) |
+//! | `fig13_rounding_comparison` | Fig. 13 / §IV-C — accuracy vs memory per rounding scheme |
+//! | `drquant_ablation` | §IV-D — DR wordlength sweep with energy estimates |
+//! | `baseline_comparison` | statistical (Ristretto/SQNR) baseline vs the framework; STE fine-tune rescue |
+//! | `ablation_search_strategy` | greedy stage ordering vs Algorithm 1's ordering |
+//! | `robustness_seeds` | framework stability across training seeds |
+//! | `sensitivity_analysis` | per-layer weight-quantization sensitivity (Eq. 6 premise) |
+//!
+//! Criterion micro-benchmarks of the computational kernels live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod zoo;

@@ -1,0 +1,112 @@
+//! The trained-model zoo backing the paper-reproduction benches: every
+//! (architecture × dataset) pair of Table I, trained once and cached on
+//! disk.
+
+use crate::cache::cached_model;
+use qcn_capsnet::{
+    train, CapsNet, DeepCaps, DeepCapsConfig, ShallowCaps, ShallowCapsConfig, TrainConfig,
+};
+use qcn_datasets::augment::AugmentPolicy;
+use qcn_datasets::{Dataset, SynthKind};
+
+/// Training-set size used throughout the benches.
+pub const TRAIN_SAMPLES: usize = 2000;
+/// Test/evaluation-set size used throughout the benches.
+pub const TEST_SAMPLES: usize = 500;
+
+fn policy_for(kind: SynthKind) -> AugmentPolicy {
+    match kind {
+        SynthKind::Mnist => AugmentPolicy::mnist(),
+        SynthKind::FashionMnist => AugmentPolicy::fashion_mnist(),
+        SynthKind::Cifar10 => AugmentPolicy::cifar10(),
+    }
+}
+
+fn dataset_tag(kind: SynthKind) -> &'static str {
+    match kind {
+        SynthKind::Mnist => "mnist",
+        SynthKind::FashionMnist => "fmnist",
+        SynthKind::Cifar10 => "cifar10",
+    }
+}
+
+/// A trained model together with its held-out test set.
+pub struct TrainedPair<M: CapsNet> {
+    /// The trained model.
+    pub model: M,
+    /// The held-out evaluation set.
+    pub test_set: Dataset,
+    /// Dataset display name (for report rows).
+    pub dataset_name: String,
+}
+
+/// Trains (or loads) a ShallowCaps on one synthetic dataset.
+pub fn shallow(kind: SynthKind, epochs: usize) -> TrainedPair<ShallowCaps> {
+    let (train_set, test_set) = kind.train_test(TRAIN_SAMPLES, TEST_SAMPLES, 42);
+    let in_channels = kind.channels();
+    let name = format!("shallowcaps-v2-{}-e{epochs}", dataset_tag(kind));
+    let model = cached_model(
+        &name,
+        || ShallowCaps::new(ShallowCapsConfig::small(in_channels), 42),
+        |m| {
+            train(
+                m,
+                &train_set,
+                &test_set,
+                &TrainConfig {
+                    epochs,
+                    batch_size: 32,
+                    lr: 0.002,
+                    augment: policy_for(kind),
+                    verbose: true,
+                    ..TrainConfig::default()
+                },
+            );
+        },
+    );
+    TrainedPair {
+        model,
+        test_set,
+        dataset_name: format!("synth-{}", dataset_tag(kind)),
+    }
+}
+
+/// Trains (or loads) a DeepCaps on one synthetic dataset.
+pub fn deep(kind: SynthKind, epochs: usize) -> TrainedPair<DeepCaps> {
+    let (train_set, test_set) = kind.train_test(TRAIN_SAMPLES, TEST_SAMPLES, 43);
+    let in_channels = kind.channels();
+    let name = format!("deepcaps-v2-{}-e{epochs}", dataset_tag(kind));
+    let model = cached_model(
+        &name,
+        || DeepCaps::new(DeepCapsConfig::small(in_channels), 43),
+        |m| {
+            train(
+                m,
+                &train_set,
+                &test_set,
+                &TrainConfig {
+                    epochs,
+                    batch_size: 32,
+                    lr: 0.002,
+                    augment: policy_for(kind),
+                    verbose: true,
+                    ..TrainConfig::default()
+                },
+            );
+        },
+    );
+    TrainedPair {
+        model,
+        test_set,
+        dataset_name: format!("synth-{}", dataset_tag(kind)),
+    }
+}
+
+/// Default epoch counts tuned so every model converges on the synthetic
+/// data within a CPU-friendly budget.
+pub mod epochs {
+    /// ShallowCaps epochs.
+    pub const SHALLOW: usize = 8;
+    /// DeepCaps epochs.
+    pub const DEEP: usize = 10;
+}

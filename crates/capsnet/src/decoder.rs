@@ -1,0 +1,255 @@
+//! The reconstruction decoder of Sabour et al. — the training-time
+//! regularizer the paper's footnote 3 sets aside for inference, rebuilt
+//! here as an optional training extension.
+//!
+//! During training, the output capsules are *masked* to the true class
+//! (all other capsules zeroed), flattened, and decoded by a three-layer
+//! MLP back to pixels; the scaled sum-of-squares reconstruction error is
+//! added to the margin loss. This encourages capsule vectors to encode
+//! instantiation parameters rather than just class evidence.
+
+use crate::layers::dense::{DenseActivation, DenseLayer};
+use crate::quant::{LayerQuant, QuantCtx};
+use qcn_autograd::{Graph, Var};
+use qcn_datasets::one_hot;
+use qcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three-layer reconstruction MLP (FC–ReLU, FC–ReLU, FC–sigmoid).
+///
+/// Sabour et al. use 512 → 1024 → 784 for 28×28 MNIST; construct with
+/// hidden sizes scaled to your model.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    fc1: DenseLayer,
+    fc2: DenseLayer,
+    fc3: DenseLayer,
+    classes: usize,
+    caps_dim: usize,
+}
+
+impl Decoder {
+    /// Creates a decoder for `classes` capsules of `caps_dim` dimensions,
+    /// reconstructing `output_pixels` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any size is zero.
+    pub fn new(
+        classes: usize,
+        caps_dim: usize,
+        hidden1: usize,
+        hidden2: usize,
+        output_pixels: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            classes > 0 && caps_dim > 0 && hidden1 > 0 && hidden2 > 0 && output_pixels > 0,
+            "decoder sizes must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdec0de);
+        Decoder {
+            fc1: DenseLayer::new(classes * caps_dim, hidden1, DenseActivation::Relu, &mut rng),
+            fc2: DenseLayer::new(hidden1, hidden2, DenseActivation::Relu, &mut rng),
+            fc3: DenseLayer::new(hidden2, output_pixels, DenseActivation::Sigmoid, &mut rng),
+            classes,
+            caps_dim,
+        }
+    }
+
+    /// Number of reconstructed pixels.
+    pub fn output_pixels(&self) -> usize {
+        self.fc3.out_features()
+    }
+
+    /// All parameters in a stable order (fc1 w/b, fc2 w/b, fc3 w/b).
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut p = self.fc1.params();
+        p.extend(self.fc2.params());
+        p.extend(self.fc3.params());
+        p
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = self.fc1.params_mut();
+        p.extend(self.fc2.params_mut());
+        p.extend(self.fc3.params_mut());
+        p
+    }
+
+    /// Training-time forward: masks `caps` (`[batch, classes, dim]`) to the
+    /// labelled class, then decodes to `[batch, pixels]`. `pvars` holds the
+    /// six decoder parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree with the decoder's geometry.
+    pub fn forward(&self, g: &mut Graph, caps: Var, labels: &[usize], pvars: &[Var]) -> Var {
+        let dims = g.value(caps).dims().to_vec();
+        assert_eq!(dims[1], self.classes, "capsule count mismatch");
+        assert_eq!(dims[2], self.caps_dim, "capsule dimension mismatch");
+        let batch = dims[0];
+        // Mask: one-hot [batch, classes, 1] broadcast-multiplied in.
+        let mask = one_hot(labels, self.classes)
+            .reshape([batch, self.classes, 1])
+            .expect("one-hot reshapes");
+        let mask = g.constant(mask);
+        let masked = g.mul(caps, mask);
+        let flat = g.reshape(masked, [batch, self.classes * self.caps_dim]);
+        let h1 = self.fc1.forward(g, flat, &pvars[0..2]);
+        let h2 = self.fc2.forward(g, h1, &pvars[2..4]);
+        self.fc3.forward(g, h2, &pvars[4..6])
+    }
+
+    /// Inference-time reconstruction from capsules, masking to the *longest*
+    /// capsule (the predicted class), without a graph.
+    pub fn reconstruct(&self, caps: &Tensor, ctx: &mut QuantCtx) -> Tensor {
+        let (batch, classes, dim) = (caps.dims()[0], caps.dims()[1], caps.dims()[2]);
+        assert_eq!(classes, self.classes, "capsule count mismatch");
+        assert_eq!(dim, self.caps_dim, "capsule dimension mismatch");
+        let lengths = caps
+            .norm_axis(2)
+            .reshape([batch, classes])
+            .expect("lengths reshape");
+        let preds = lengths.argmax_rows();
+        let mask = one_hot(&preds, classes)
+            .reshape([batch, classes, 1])
+            .expect("one-hot reshapes");
+        let masked = caps * &qcn_tensor::reduce::expand_to(&mask, caps.shape());
+        let flat = masked
+            .reshape([batch, classes * dim])
+            .expect("flatten masked capsules");
+        let fp = LayerQuant::full_precision();
+        let h1 = self.fc1.infer(&flat, &fp, ctx);
+        let h2 = self.fc2.infer(&h1, &fp, ctx);
+        self.fc3.infer(&h2, &fp, ctx)
+    }
+
+    /// Builds the scaled reconstruction loss node:
+    /// `weight · Σ (decoded − target)² / batch`.
+    ///
+    /// Sabour et al. use `weight = 0.0005` per pixel against the raw SSE.
+    pub fn loss(&self, g: &mut Graph, decoded: Var, images: &Tensor, weight: f32) -> Var {
+        let batch = images.dims()[0];
+        let pixels: usize = images.dims()[1..].iter().product();
+        let target = g.constant(
+            images
+                .reshape([batch, pixels])
+                .expect("images flatten to pixels"),
+        );
+        let diff = g.sub(decoded, target);
+        let sq = g.square(diff);
+        let per_sample_sse = g.mean_all(sq);
+        // mean_all divides by batch·pixels; restore the per-pixel SSE scale.
+        g.scalar_mul(per_sample_sse, weight * pixels as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_fixed::RoundingScheme;
+    use rand::Rng;
+
+    fn decoder() -> Decoder {
+        Decoder::new(10, 8, 32, 48, 16 * 16, 7)
+    }
+
+    fn caps(batch: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(1);
+        Tensor::rand_uniform([batch, 10, 8], -0.5, 0.5, &mut rng).squash_axis(2)
+    }
+
+    #[test]
+    fn forward_shape_and_range() {
+        let d = decoder();
+        let c = caps(3);
+        let labels = [1usize, 4, 9];
+        let mut g = Graph::new();
+        let cv = g.input(c);
+        let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
+        let out = d.forward(&mut g, cv, &labels, &pvars);
+        assert_eq!(g.value(out).dims(), &[3, 256]);
+        assert!(g.value(out).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn masking_zeroes_other_capsules() {
+        // Decoding must depend only on the labelled capsule: changing an
+        // unlabelled capsule leaves the reconstruction unchanged.
+        let d = decoder();
+        let c1 = caps(1);
+        let mut c2 = c1.clone();
+        // Perturb capsule 3 while the label is 7.
+        for dim in 0..8 {
+            c2.set(&[0, 3, dim], 0.33);
+        }
+        let run = |c: Tensor| {
+            let mut g = Graph::new();
+            let cv = g.input(c);
+            let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
+            let out = d.forward(&mut g, cv, &[7], &pvars);
+            g.value(out).clone()
+        };
+        assert_eq!(run(c1), run(c2));
+    }
+
+    #[test]
+    fn reconstruction_loss_is_zero_on_perfect_output() {
+        let d = decoder();
+        let c = caps(2);
+        let mut g = Graph::new();
+        let cv = g.input(c);
+        let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
+        let decoded = d.forward(&mut g, cv, &[0, 1], &pvars);
+        let images = g
+            .value(decoded)
+            .reshape([2, 1, 16, 16])
+            .expect("reshape to image");
+        let loss = d.loss(&mut g, decoded, &images, 0.0005);
+        assert!(g.value(loss).item() < 1e-10);
+    }
+
+    #[test]
+    fn loss_gradient_reaches_decoder_and_capsules() {
+        let d = decoder();
+        let c = caps(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let images = Tensor::rand_uniform([2, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let mut g = Graph::new();
+        let cv = g.input(c);
+        let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
+        let decoded = d.forward(&mut g, cv, &[2, 5], &pvars);
+        let loss = d.loss(&mut g, decoded, &images, 0.0005);
+        g.backward(loss);
+        assert!(g.grad(cv).unwrap().max_abs() > 0.0, "capsule grad");
+        for (i, &pv) in pvars.iter().enumerate() {
+            assert!(g.grad(pv).is_some(), "decoder param {i} grad");
+        }
+        // Gradient reaches only the labelled capsules.
+        let gc = g.grad(cv).unwrap();
+        assert!(gc.get(&[0, 2, 0]).abs() + gc.get(&[0, 2, 1]).abs() > 0.0);
+        assert_eq!(gc.get(&[0, 3, 0]), 0.0, "unlabelled capsule must have zero grad");
+    }
+
+    #[test]
+    fn inference_reconstruction_uses_predicted_class() {
+        let d = decoder();
+        let mut c = Tensor::zeros([1, 10, 8]);
+        // Make capsule 6 clearly the longest.
+        for dim in 0..8 {
+            c.set(&[0, 6, dim], 0.3);
+        }
+        let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
+        let recon = d.reconstruct(&c, &mut ctx);
+        assert_eq!(recon.dims(), &[1, 256]);
+        // Must equal the graph forward with label 6.
+        let mut g = Graph::new();
+        let cv = g.input(c);
+        let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
+        let expected = d.forward(&mut g, cv, &[6], &pvars);
+        assert!((g.value(expected) - &recon).max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,159 @@
+//! The CapsNet layer zoo: conv stem, PrimaryCaps, fully-connected capsules
+//! with dynamic routing, and the DeepCaps convolutional capsule layers.
+//!
+//! Every layer provides three entry points:
+//!
+//! * `forward(graph, x, pvars)` — training-time pass building autograd
+//!   nodes (full backprop through unrolled routing);
+//! * `infer(x, layer_quant, ctx)` — inference with the quantization hooks
+//!   of paper Fig. 9 (activations at `Qa`, routing data at `Q_DR`);
+//! * `quantize_weights(frac, ctx)` — one-shot weight rounding (`Qw`).
+
+mod capsfc;
+mod conv;
+mod convcaps;
+pub mod dense;
+mod primary;
+
+pub use capsfc::CapsFc;
+pub use conv::{Activation, Conv2dLayer};
+pub use convcaps::{ConvCaps, ConvCapsRouting};
+pub(crate) use convcaps::squash_packed;
+pub use primary::PrimaryCaps;
+
+use qcn_tensor::Tensor;
+
+/// Inference-path capsule vote computation:
+/// `û[b,i,j,·] = u[b,i,·] · W[i,j,·,·]` (paper Fig. 6, step 1).
+///
+/// Mirrors the autograd `caps_votes` op for graph-free quantized inference.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn caps_votes_infer(input: &Tensor, weight: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 3, "caps votes input must be [b, i, di]");
+    assert_eq!(weight.rank(), 4, "caps votes weight must be [i, j, di, dj]");
+    let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (wi, nj, wdi, dj) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(ni, wi, "caps votes capsule-count mismatch");
+    assert_eq!(di, wdi, "caps votes capsule-dimension mismatch");
+    let mut out = Tensor::zeros([b, ni, nj, dj]);
+    let (inp, w) = (input.data(), weight.data());
+    let o = out.data_mut();
+    for bi in 0..b {
+        for ii in 0..ni {
+            let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
+            for jj in 0..nj {
+                let w_base = (ii * nj + jj) * di * dj;
+                let o_base = ((bi * ni + ii) * nj + jj) * dj;
+                for (d, &ud) in u.iter().enumerate() {
+                    if ud == 0.0 {
+                        continue;
+                    }
+                    let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
+                    for k in 0..dj {
+                        o[o_base + k] += ud * w_row[k];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flattens a packed conv-caps tensor `[b, types·dim, h, w]` into a capsule
+/// list `[b, types·h·w, dim]` for a following [`CapsFc`] layer.
+///
+/// # Panics
+///
+/// Panics when the channel count is not divisible by `dim`.
+pub fn flatten_caps(x: &Tensor, dim: usize) -> Tensor {
+    let (b, ch, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert_eq!(ch % dim, 0, "channels {ch} not divisible by capsule dim {dim}");
+    let types = ch / dim;
+    x.reshape([b, types, dim, h * w])
+        .expect("packed layout splits into capsules")
+        .permute(&[0, 1, 3, 2])
+        .reshape([b, types * h * w, dim])
+        .expect("capsule list repacks")
+}
+
+/// Graph version of [`flatten_caps`] for the training path.
+pub fn flatten_caps_graph(
+    g: &mut qcn_autograd::Graph,
+    x: qcn_autograd::Var,
+    dim: usize,
+) -> qcn_autograd::Var {
+    let dims = g.value(x).dims().to_vec();
+    let (b, ch, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(ch % dim, 0, "channels {ch} not divisible by capsule dim {dim}");
+    let types = ch / dim;
+    let grouped = g.reshape(x, [b, types, dim, h * w]);
+    let moved = g.permute(grouped, &[0, 1, 3, 2]);
+    g.reshape(moved, [b, types * h * w, dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_autograd::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn caps_votes_matches_manual_computation() {
+        let input = Tensor::from_fn([1, 2, 2], |i| (i[1] * 2 + i[2] + 1) as f32);
+        let weight = Tensor::from_fn([2, 2, 2, 3], |i| {
+            (i[0] * 12 + i[1] * 6 + i[2] * 3 + i[3]) as f32 * 0.1
+        });
+        let votes = caps_votes_infer(&input, &weight);
+        assert_eq!(votes.dims(), &[1, 2, 2, 3]);
+        // û[0,1,0,2] = Σ_d u[0,1,d]·W[1,0,d,2]
+        let expected = 3.0 * weight.get(&[1, 0, 0, 2]) + 4.0 * weight.get(&[1, 0, 1, 2]);
+        assert!((votes.get(&[0, 1, 0, 2]) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn caps_votes_matches_autograd_op() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let input = Tensor::rand_uniform([2, 3, 4], -1.0, 1.0, &mut rng);
+        let weight = Tensor::rand_uniform([3, 5, 4, 2], -1.0, 1.0, &mut rng);
+        let direct = caps_votes_infer(&input, &weight);
+        let mut g = Graph::new();
+        let iv = g.input(input);
+        let wv = g.input(weight);
+        let votes = g.caps_votes(iv, wv);
+        assert_eq!(g.value(votes), &direct);
+    }
+
+    #[test]
+    fn flatten_caps_layout() {
+        // Two types of 2-D capsules on a 2×1 grid.
+        let x = Tensor::from_fn([1, 4, 2, 1], |i| (i[1] * 10 + i[2]) as f32);
+        let caps = flatten_caps(&x, 2);
+        assert_eq!(caps.dims(), &[1, 4, 2]);
+        // Capsule (type 0, pos 0) = channels {0, 1} at position 0.
+        assert_eq!(caps.get(&[0, 0, 0]), x.get(&[0, 0, 0, 0]));
+        assert_eq!(caps.get(&[0, 0, 1]), x.get(&[0, 1, 0, 0]));
+        // Capsule (type 1, pos 1) = channels {2, 3} at position 1.
+        assert_eq!(caps.get(&[0, 3, 0]), x.get(&[0, 2, 1, 0]));
+        assert_eq!(caps.get(&[0, 3, 1]), x.get(&[0, 3, 1, 0]));
+    }
+
+    #[test]
+    fn flatten_caps_graph_matches_tensor_version() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform([2, 6, 3, 3], -1.0, 1.0, &mut rng);
+        let direct = flatten_caps(&x, 3);
+        let mut g = Graph::new();
+        let xv = g.input(x);
+        let flat = flatten_caps_graph(&mut g, xv, 3);
+        assert_eq!(g.value(flat), &direct);
+    }
+}

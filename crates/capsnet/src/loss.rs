@@ -1,0 +1,182 @@
+//! The CapsNet margin loss (Sabour et al., NIPS 2017), differentiable via
+//! the autograd graph.
+
+use qcn_autograd::{Graph, Var};
+use qcn_datasets::one_hot;
+use qcn_tensor::Tensor;
+
+/// Margin-loss hyperparameters.
+///
+/// `L_k = T_k · max(0, m⁺ − ‖v_k‖)² + λ (1 − T_k) · max(0, ‖v_k‖ − m⁻)²`,
+/// summed over classes and averaged over the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginLoss {
+    /// Positive margin `m⁺` (present classes should exceed this length).
+    pub m_plus: f32,
+    /// Negative margin `m⁻` (absent classes should stay below this).
+    pub m_minus: f32,
+    /// Down-weighting `λ` of the absent-class term.
+    pub lambda: f32,
+}
+
+impl Default for MarginLoss {
+    /// The canonical values from Sabour et al.: `m⁺ = 0.9`, `m⁻ = 0.1`,
+    /// `λ = 0.5`.
+    fn default() -> Self {
+        MarginLoss {
+            m_plus: 0.9,
+            m_minus: 0.1,
+            lambda: 0.5,
+        }
+    }
+}
+
+impl MarginLoss {
+    /// Builds the loss node for output capsules `caps` of shape
+    /// `[batch, classes, dim]` against integer labels.
+    ///
+    /// Returns a scalar [`Var`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `caps` is not rank 3 or a label is out of range.
+    pub fn build(&self, g: &mut Graph, caps: Var, labels: &[usize]) -> Var {
+        let dims = g.value(caps).dims().to_vec();
+        assert_eq!(dims.len(), 3, "margin loss expects [batch, classes, dim]");
+        let (batch, classes) = (dims[0], dims[1]);
+        assert_eq!(batch, labels.len(), "batch/label count mismatch");
+        // Capsule lengths ‖v_k‖ as [batch, classes].
+        let norms = g.norm_axis_keepdim(caps, 2);
+        let lengths = g.reshape(norms, [batch, classes]);
+        let targets = g.constant(one_hot(labels, classes));
+        // Present-class term: max(0, m⁺ − ‖v‖)².
+        let neg_len = g.neg(lengths);
+        let present_margin = g.scalar_add(neg_len, self.m_plus);
+        let present_relu = g.relu(present_margin);
+        let present_sq = g.square(present_relu);
+        let present = g.mul(targets, present_sq);
+        // Absent-class term: λ·max(0, ‖v‖ − m⁻)².
+        let absent_margin = g.scalar_add(lengths, -self.m_minus);
+        let absent_relu = g.relu(absent_margin);
+        let absent_sq = g.square(absent_relu);
+        let ones = g.constant(Tensor::ones([batch, classes]));
+        let not_target = g.sub(ones, targets);
+        let absent_w = g.scalar_mul(not_target, self.lambda);
+        let absent = g.mul(absent_w, absent_sq);
+        // Sum over classes, mean over batch: mean_all × classes.
+        let total = g.add(present, absent);
+        let mean = g.mean_all(total);
+        g.scalar_mul(mean, classes as f32)
+    }
+
+    /// Evaluates the loss on concrete capsule lengths (no graph), for
+    /// quantized-inference monitoring.
+    ///
+    /// `lengths` is `[batch, classes]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    pub fn evaluate(&self, lengths: &Tensor, labels: &[usize]) -> f32 {
+        assert_eq!(lengths.rank(), 2, "lengths must be [batch, classes]");
+        let (batch, classes) = (lengths.dims()[0], lengths.dims()[1]);
+        assert_eq!(batch, labels.len(), "batch/label count mismatch");
+        let mut total = 0.0;
+        for (b, &label) in labels.iter().enumerate() {
+            for k in 0..classes {
+                let len = lengths.get(&[b, k]);
+                if label == k {
+                    total += (self.m_plus - len).max(0.0).powi(2);
+                } else {
+                    total += self.lambda * (len - self.m_minus).max(0.0).powi(2);
+                }
+            }
+        }
+        total / batch as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds capsules whose class-k capsule has length `len_target` and
+    /// all others length `len_other`.
+    fn caps_with_lengths(labels: &[usize], classes: usize, target: f32, other: f32) -> Tensor {
+        Tensor::from_fn([labels.len(), classes, 2], |i| {
+            let len = if i[1] == labels[i[0]] { target } else { other };
+            if i[2] == 0 {
+                len
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_loss() {
+        let labels = [1usize, 0];
+        let caps = caps_with_lengths(&labels, 3, 0.95, 0.05);
+        let mut g = Graph::new();
+        let v = g.input(caps);
+        let loss = MarginLoss::default().build(&mut g, v, &labels);
+        assert!(g.value(loss).item() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_prediction_has_positive_loss() {
+        let labels = [2usize];
+        let caps = caps_with_lengths(&labels, 3, 0.0, 0.95);
+        let mut g = Graph::new();
+        let v = g.input(caps);
+        let loss = MarginLoss::default().build(&mut g, v, &labels);
+        // Present term: 0.9², absent: 2 × 0.5 × 0.85².
+        let expected = 0.81 + 2.0 * 0.5 * 0.85f32.powi(2);
+        assert!((g.value(loss).item() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn graph_loss_matches_direct_evaluation() {
+        let labels = [0usize, 2, 1];
+        let caps = Tensor::from_fn([3, 4, 3], |i| {
+            ((i[0] * 13 + i[1] * 7 + i[2] * 3) % 10) as f32 / 15.0
+        });
+        let lengths = caps.norm_axis(2);
+        let mut g = Graph::new();
+        let v = g.input(caps);
+        let loss_var = MarginLoss::default().build(&mut g, v, &labels);
+        let direct = MarginLoss::default().evaluate(&lengths, &labels);
+        assert!((g.value(loss_var).item() - direct).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_gradient_pushes_target_length_up() {
+        let labels = [0usize];
+        // Target capsule at length 0.5 (below m⁺): gradient on its
+        // components should point toward longer vectors (negative gradient
+        // of loss w.r.t. the nonzero component).
+        let caps = caps_with_lengths(&labels, 2, 0.5, 0.5);
+        let mut g = Graph::new();
+        let v = g.input(caps);
+        let loss = MarginLoss::default().build(&mut g, v, &labels);
+        g.backward(loss);
+        let grad = g.grad(v).unwrap();
+        assert!(grad.get(&[0, 0, 0]) < 0.0, "target capsule should grow");
+        assert!(grad.get(&[0, 1, 0]) > 0.0, "non-target capsule should shrink");
+    }
+
+    #[test]
+    fn loss_is_finite_on_zero_caps() {
+        let labels = [0usize, 1];
+        let caps = Tensor::zeros([2, 3, 4]);
+        let mut g = Graph::new();
+        let v = g.input(caps);
+        let loss = MarginLoss::default().build(&mut g, v, &labels);
+        let val = g.value(loss).item();
+        assert!(val.is_finite());
+        // All-zero lengths: loss = m⁺² per sample.
+        assert!((val - 0.81).abs() < 1e-5);
+        g.backward(loss);
+        assert!(g.grad(v).unwrap().data().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,211 @@
+//! Classification metrics beyond plain accuracy: confusion matrices and
+//! per-class accuracy, used by the examples and the experiment reports.
+
+use crate::model::CapsNet;
+use crate::quant::{ModelQuant, QuantCtx};
+use qcn_datasets::Dataset;
+use std::fmt;
+
+/// A confusion matrix: `counts[true][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::ConfusionMatrix;
+///
+/// let mut m = ConfusionMatrix::new(3);
+/// m.record(0, 0);
+/// m.record(0, 2);
+/// m.record(1, 1);
+/// assert_eq!(m.accuracy(), 2.0 / 3.0);
+/// assert_eq!(m.class_accuracy(0), Some(0.5));
+/// assert_eq!(m.class_accuracy(2), None); // no class-2 samples seen
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        ConfusionMatrix {
+            counts: vec![vec![0; classes]; classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one (true, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes(), "true label out of range");
+        assert!(predicted < self.classes(), "predicted label out of range");
+        self.counts[truth][predicted] += 1;
+    }
+
+    /// Count at `[truth][predicted]`.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy; 0.0 when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes()).map(|c| self.counts[c][c]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Recall of one class, or `None` when the class has no samples.
+    pub fn class_accuracy(&self, class: usize) -> Option<f32> {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f32 / row as f32)
+        }
+    }
+
+    /// The most confused off-diagonal pair `(truth, predicted, count)`, or
+    /// `None` when there are no errors.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for t in 0..self.classes() {
+            for p in 0..self.classes() {
+                if t != p
+                    && self.counts[t][p] > 0
+                    && best.is_none_or(|(_, _, c)| self.counts[t][p] > c)
+                {
+                    best = Some((t, p, self.counts[t][p]));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t\\p ")?;
+        for p in 0..self.classes() {
+            write!(f, "{p:>5}")?;
+        }
+        writeln!(f)?;
+        for t in 0..self.classes() {
+            write!(f, "{t:>3} ")?;
+            for p in 0..self.classes() {
+                write!(f, "{:>5}", self.counts[t][p])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates `model` on a dataset under `config`, returning the full
+/// confusion matrix.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or `batch_size == 0`.
+pub fn confusion_matrix<M: CapsNet>(
+    model: &M,
+    dataset: &Dataset,
+    config: &ModelQuant,
+    batch_size: usize,
+) -> ConfusionMatrix {
+    assert!(!dataset.is_empty(), "empty dataset");
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut ctx = QuantCtx::from_config(config);
+    let mut matrix = ConfusionMatrix::new(model.num_classes());
+    let indices: Vec<usize> = (0..dataset.len()).collect();
+    for chunk in indices.chunks(batch_size) {
+        let (images, labels) = dataset.batch(chunk);
+        let preds = model.predict(&images, config, &mut ctx);
+        for (&truth, &pred) in labels.iter().zip(&preds) {
+            matrix.record(truth, pred);
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ShallowCaps, ShallowCapsConfig};
+    use qcn_datasets::SynthKind;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.class_accuracy(0), Some(2.0 / 3.0));
+        assert_eq!(m.class_accuracy(1), Some(1.0));
+        assert_eq!(m.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn empty_matrix_behaviour() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert_eq!(m.class_accuracy(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_labels() {
+        ConfusionMatrix::new(2).record(0, 5);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(1, 0);
+        let s = m.to_string();
+        assert!(s.contains("t\\p"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn model_confusion_matrix_totals_match_dataset() {
+        let config = ShallowCapsConfig {
+            conv_channels: 4,
+            primary_types: 2,
+            digit_dim: 4,
+            ..ShallowCapsConfig::small(1)
+        };
+        let model = ShallowCaps::new(config, 0);
+        let ds = SynthKind::Mnist.generate(30, 0);
+        let fp = ModelQuant::full_precision(3);
+        let m = confusion_matrix(&model, &ds, &fp, 10);
+        assert_eq!(m.total(), 30);
+        // Accuracy from the matrix must match the plain accuracy helper.
+        let plain = crate::model::accuracy(&model, &ds, &fp, 10);
+        assert!((m.accuracy() - plain).abs() < 1e-6);
+    }
+}

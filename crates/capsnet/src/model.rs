@@ -1,0 +1,112 @@
+//! The [`CapsNet`] trait: the contract between concrete architectures
+//! (ShallowCaps, DeepCaps) and the Q-CapsNets quantization framework.
+
+use crate::quant::{ModelQuant, QuantCtx};
+use qcn_autograd::{Graph, Var};
+use qcn_tensor::Tensor;
+
+/// Metadata about one quantization group of a model (a layer, or a DeepCaps
+/// block). The Q-CapsNets framework assigns one `Qw`/`Qa`/`Q_DR` triple per
+/// group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupInfo {
+    /// Human-readable name (e.g. `"L1"`, `"B3"`).
+    pub name: String,
+    /// Number of stored weights in the group (the `P_l` of paper Eq. 6).
+    pub weight_count: usize,
+    /// Activation values the group emits for one input sample (for
+    /// activation-memory accounting).
+    pub activation_count: usize,
+    /// Whether the group contains a dynamic-routing computation (framework
+    /// step 4A applies).
+    pub has_routing: bool,
+}
+
+/// A trainable, quantizable Capsule Network.
+///
+/// The framework treats models generically through this trait: it reads
+/// [`groups`](CapsNet::groups) for memory accounting, runs
+/// [`infer`](CapsNet::infer) under candidate [`ModelQuant`] configurations,
+/// and materialises weight-quantized copies with
+/// [`with_quantized_weights`](CapsNet::with_quantized_weights).
+pub trait CapsNet: Clone {
+    /// Architecture name (for reports).
+    fn name(&self) -> &str;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// The quantization groups, in order from input to output.
+    fn groups(&self) -> Vec<GroupInfo>;
+
+    /// All parameters in a stable registration order.
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// All parameters, mutably, in the same order as
+    /// [`params`](CapsNet::params).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Training-time forward pass. `pvars` must hold graph inputs for every
+    /// parameter, in [`params`](CapsNet::params) order. Returns output
+    /// capsules `[batch, classes, dim]`.
+    fn forward(&self, g: &mut Graph, x: Var, pvars: &[Var]) -> Var;
+
+    /// Inference under a quantization configuration. Weights are used as
+    /// stored (quantize them first with
+    /// [`with_quantized_weights`](CapsNet::with_quantized_weights));
+    /// activations and routing data are rounded per `config`. Returns
+    /// output capsules `[batch, classes, dim]`.
+    fn infer(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Tensor;
+
+    /// Returns a copy whose stored weights are rounded group-by-group to
+    /// `config.layers[g].weight_frac` bits with `config.scheme`.
+    fn with_quantized_weights(&self, config: &ModelQuant) -> Self;
+
+    /// Total stored weights (sum over groups).
+    fn total_weights(&self) -> usize {
+        self.groups().iter().map(|g| g.weight_count).sum()
+    }
+
+    /// Classifies a batch: runs [`infer`](CapsNet::infer) and takes the
+    /// argmax of output-capsule lengths.
+    fn predict(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Vec<usize> {
+        let caps = self.infer(x, config, ctx);
+        let dims = caps.dims().to_vec();
+        caps.norm_axis(2)
+            .reshape([dims[0], dims[1]])
+            .expect("lengths reshape to [batch, classes]")
+            .argmax_rows()
+    }
+}
+
+/// Classification accuracy (fraction in `[0, 1]`) of `model` on a labelled
+/// dataset under `config`, evaluated in mini-batches.
+///
+/// A single [`QuantCtx`] spans the whole evaluation so stochastic rounding
+/// consumes one deterministic random stream.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or `batch_size == 0`.
+pub fn accuracy<M: CapsNet>(
+    model: &M,
+    dataset: &qcn_datasets::Dataset,
+    config: &ModelQuant,
+    batch_size: usize,
+) -> f32 {
+    assert!(!dataset.is_empty(), "accuracy on empty dataset");
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut ctx = QuantCtx::from_config(config);
+    let mut correct = 0usize;
+    let indices: Vec<usize> = (0..dataset.len()).collect();
+    for chunk in indices.chunks(batch_size) {
+        let (images, labels) = dataset.batch(chunk);
+        let preds = model.predict(&images, config, &mut ctx);
+        correct += preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+    }
+    correct as f32 / dataset.len() as f32
+}

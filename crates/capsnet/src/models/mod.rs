@@ -1,0 +1,8 @@
+//! Concrete CapsNet architectures: ShallowCaps and DeepCaps, each with a
+//! full-size paper descriptor and a CPU-trainable scaled variant.
+
+mod deepcaps;
+mod shallow;
+
+pub use deepcaps::{BlockConfig, DeepCaps, DeepCapsConfig};
+pub use shallow::{ShallowCaps, ShallowCapsConfig};

@@ -1,0 +1,185 @@
+//! The Adam optimizer with exponential learning-rate decay, matching the
+//! paper's training setup (§IV-B: initial LR 0.001 with exponential decay).
+
+use qcn_tensor::Tensor;
+
+/// Adam (Kingma & Ba) with optional exponential learning-rate decay.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::Adam;
+/// use qcn_tensor::Tensor;
+///
+/// let mut opt = Adam::new(0.01);
+/// let mut w = Tensor::from_vec(vec![1.0, -1.0], [2])?;
+/// // Gradient of f(w) = ½‖w‖² is w itself; steps shrink the weights.
+/// for _ in 0..100 {
+///     let grad = w.clone();
+///     opt.step(&mut [&mut w], &[grad]);
+/// }
+/// assert!(w.max_abs() < 1.0);
+/// # Ok::<(), qcn_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    decay_rate: f32,
+    decay_steps: usize,
+    t: usize,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default moments
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`), no decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            decay_rate: 1.0,
+            decay_steps: 1,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds exponential decay: the LR is multiplied by
+    /// `decay_rate^(t / decay_steps)` (the paper uses rate 0.96 every 2000
+    /// steps at full scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `decay_rate` is not in `(0, 1]` or `decay_steps == 0`.
+    pub fn with_decay(mut self, decay_rate: f32, decay_steps: usize) -> Self {
+        assert!(
+            decay_rate > 0.0 && decay_rate <= 1.0,
+            "decay rate must be in (0, 1]"
+        );
+        assert!(decay_steps > 0, "decay steps must be positive");
+        self.decay_rate = decay_rate;
+        self.decay_steps = decay_steps;
+        self
+    }
+
+    /// The learning rate that the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.lr * self.decay_rate.powf(self.t as f32 / self.decay_steps as f32)
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// Applies one update. `params` and `grads` must be index-aligned and
+    /// keep the same shapes across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the counts or shapes disagree with previous calls.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().clone()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed");
+        let lr = self.current_lr();
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((param, grad), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+            let pd = param.data_mut();
+            let (md, vd) = (m.data_mut(), v.data_mut());
+            for i in 0..pd.len() {
+                let g = grad.data()[i];
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g;
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = md[i] / bc1;
+                let v_hat = vd[i] / bc2;
+                pd[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let mut w = Tensor::from_vec(vec![3.0, -2.0, 1.0], [3]).unwrap();
+        for _ in 0..500 {
+            let grad = w.clone(); // ∇½‖w‖² = w
+            opt.step(&mut [&mut w], &[grad]);
+        }
+        assert!(w.max_abs() < 1e-2, "{w:?}");
+    }
+
+    #[test]
+    fn handles_multiple_parameter_tensors() {
+        let mut opt = Adam::new(0.05);
+        let mut a = Tensor::from_vec(vec![5.0], [1]).unwrap();
+        let mut b = Tensor::from_vec(vec![-5.0, 5.0], [2]).unwrap();
+        for _ in 0..500 {
+            let (ga, gb) = (a.clone(), b.clone());
+            opt.step(&mut [&mut a, &mut b], &[ga, gb]);
+        }
+        assert!(a.max_abs() < 1e-2);
+        assert!(b.max_abs() < 1e-2);
+    }
+
+    #[test]
+    fn decay_reduces_learning_rate() {
+        let mut opt = Adam::new(0.1).with_decay(0.5, 10);
+        assert_eq!(opt.current_lr(), 0.1);
+        let mut w = Tensor::zeros([1]);
+        for _ in 0..10 {
+            let g = Tensor::ones([1]);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        assert!((opt.current_lr() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_bounded_by_lr() {
+        // Adam's bias correction makes the very first step ≈ lr·sign(g).
+        let mut opt = Adam::new(0.01);
+        let mut w = Tensor::zeros([2]);
+        let g = Tensor::from_vec(vec![100.0, -0.001], [2]).unwrap();
+        opt.step(&mut [&mut w], &[g]);
+        assert!((w.data()[0] + 0.01).abs() < 1e-3);
+        assert!((w.data()[1] - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad count mismatch")]
+    fn rejects_mismatched_counts() {
+        let mut opt = Adam::new(0.01);
+        let mut w = Tensor::zeros([1]);
+        opt.step(&mut [&mut w], &[]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-layer quantization hooks consumed by the inference paths.
+//!
+//! The Q-CapsNets framework (in the `qcapsnets` crate) searches over these
+//! structures; the layers here only *apply* them, at the points marked in
+//! paper Fig. 9: weights at `Qw`, layer outputs at `Qa`, and dynamic-routing
+//! intermediates (û, b, c, s, a) at the more aggressive `Q_DR`.
+
+use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Fractional-bit widths for one quantization group (layer or block).
+///
+/// `None` means "leave in full precision". All formats use the paper's
+/// 1-bit integer part for activations/routing data; weights also use 1
+/// integer bit (the framework's step 1 normalises weights into [−1, 1)).
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::LayerQuant;
+///
+/// let q = LayerQuant::uniform(8);
+/// assert_eq!(q.weight_frac, Some(8));
+/// assert_eq!(q.act_frac, Some(8));
+/// assert_eq!(q.dr_frac, None); // DR bits only set by framework step 4A
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LayerQuant {
+    /// Fractional bits for the layer's weights (`Qw`).
+    pub weight_frac: Option<u8>,
+    /// Fractional bits for the layer's output activations (`Qa`).
+    pub act_frac: Option<u8>,
+    /// Fractional bits for dynamic-routing intermediates (`Q_DR`).
+    pub dr_frac: Option<u8>,
+}
+
+impl LayerQuant {
+    /// Full precision (no quantization anywhere).
+    pub fn full_precision() -> Self {
+        LayerQuant::default()
+    }
+
+    /// Same fractional width for weights and activations (framework step 1).
+    pub fn uniform(frac: u8) -> Self {
+        LayerQuant {
+            weight_frac: Some(frac),
+            act_frac: Some(frac),
+            dr_frac: None,
+        }
+    }
+
+    /// The routing width to use: explicit `dr_frac` when set, otherwise the
+    /// activation width (before step 4A the paper treats routing data as
+    /// ordinary activations).
+    pub fn effective_dr_frac(&self) -> Option<u8> {
+        self.dr_frac.or(self.act_frac)
+    }
+}
+
+/// A complete quantization configuration for a model: one [`LayerQuant`]
+/// per quantization group plus the rounding scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelQuant {
+    /// Per-group widths, in model group order.
+    pub layers: Vec<LayerQuant>,
+    /// Rounding scheme used for every rounding operation.
+    pub scheme: RoundingScheme,
+    /// Seed for stochastic rounding (ignored by TRN/RTN). A fixed seed
+    /// makes SR inference deterministic and reproducible.
+    pub seed: u64,
+}
+
+impl ModelQuant {
+    /// Full-precision configuration for `n` groups.
+    pub fn full_precision(n: usize) -> Self {
+        ModelQuant {
+            layers: vec![LayerQuant::full_precision(); n],
+            scheme: RoundingScheme::RoundToNearest,
+            seed: 0,
+        }
+    }
+
+    /// Uniform `frac` bits for weights and activations in all `n` groups
+    /// (the framework's step-1 configuration).
+    pub fn uniform(n: usize, frac: u8, scheme: RoundingScheme) -> Self {
+        ModelQuant {
+            layers: vec![LayerQuant::uniform(frac); n],
+            scheme,
+            seed: 0,
+        }
+    }
+
+    /// Returns `true` when no group quantizes anything.
+    pub fn is_full_precision(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.weight_frac.is_none() && l.act_frac.is_none() && l.dr_frac.is_none()
+        })
+    }
+}
+
+impl fmt::Display for ModelQuant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.scheme)?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let show = |b: Option<u8>| b.map_or("fp".to_string(), |v| v.to_string());
+            write!(
+                f,
+                "w:{} a:{} dr:{}",
+                show(l.weight_frac),
+                show(l.act_frac),
+                show(l.dr_frac)
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Runtime quantization context threaded through a quantized inference
+/// pass: the rounding scheme plus the RNG that drives stochastic rounding.
+#[derive(Debug)]
+pub struct QuantCtx {
+    scheme: RoundingScheme,
+    rng: StdRng,
+}
+
+impl QuantCtx {
+    /// Creates a context for one inference pass.
+    pub fn new(scheme: RoundingScheme, seed: u64) -> Self {
+        QuantCtx {
+            scheme,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Context from a [`ModelQuant`].
+    pub fn from_config(config: &ModelQuant) -> Self {
+        QuantCtx::new(config.scheme, config.seed)
+    }
+
+    /// The rounding scheme in effect.
+    pub fn scheme(&self) -> RoundingScheme {
+        self.scheme
+    }
+
+    /// Quantizes `t` to `frac` fractional bits (1 integer bit) when `frac`
+    /// is set; returns `t` unchanged otherwise.
+    pub fn apply(&mut self, t: Tensor, frac: Option<u8>) -> Tensor {
+        match frac {
+            None => t,
+            Some(frac) => {
+                let mut out = t;
+                Quantizer::new(QFormat::with_frac(frac), self.scheme)
+                    .quantize_inplace(&mut out, &mut self.rng);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sets_weights_and_acts() {
+        let q = LayerQuant::uniform(6);
+        assert_eq!(q.weight_frac, Some(6));
+        assert_eq!(q.act_frac, Some(6));
+        assert_eq!(q.effective_dr_frac(), Some(6));
+    }
+
+    #[test]
+    fn dr_frac_overrides_act_for_routing() {
+        let q = LayerQuant {
+            weight_frac: Some(8),
+            act_frac: Some(6),
+            dr_frac: Some(3),
+        };
+        assert_eq!(q.effective_dr_frac(), Some(3));
+    }
+
+    #[test]
+    fn full_precision_detection() {
+        assert!(ModelQuant::full_precision(3).is_full_precision());
+        assert!(!ModelQuant::uniform(3, 8, RoundingScheme::Truncation).is_full_precision());
+    }
+
+    #[test]
+    fn ctx_apply_none_is_identity() {
+        let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
+        let t = Tensor::from_vec(vec![0.123, -0.456], [2]).unwrap();
+        assert_eq!(ctx.apply(t.clone(), None), t);
+    }
+
+    #[test]
+    fn ctx_apply_quantizes_onto_grid() {
+        let mut ctx = QuantCtx::new(RoundingScheme::RoundToNearest, 0);
+        let t = Tensor::from_vec(vec![0.123, -0.456], [2]).unwrap();
+        let q = ctx.apply(t, Some(2));
+        assert_eq!(q.data(), &[0.0, -0.5]);
+    }
+
+    #[test]
+    fn stochastic_ctx_is_seed_deterministic() {
+        let t = Tensor::from_fn([64], |i| (i[0] as f32 / 64.0) - 0.5);
+        let mut a = QuantCtx::new(RoundingScheme::Stochastic, 9);
+        let mut b = QuantCtx::new(RoundingScheme::Stochastic, 9);
+        assert_eq!(a.apply(t.clone(), Some(3)), b.apply(t, Some(3)));
+    }
+
+    #[test]
+    fn display_shows_fp_and_bits() {
+        let mut q = ModelQuant::uniform(2, 5, RoundingScheme::Stochastic);
+        q.layers[1].dr_frac = Some(3);
+        let s = q.to_string();
+        assert!(s.contains("SR"), "{s}");
+        assert!(s.contains("dr:3"), "{s}");
+        assert!(s.contains("dr:fp"), "{s}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Traditional DNN-quantization baselines the paper positions itself
+//! against (§II-C): statistics-driven per-layer format selection in the
+//! style of Ristretto (Gysel et al. \[5\]) and the SQNR-based method of Lin
+//! et al. \[16\]. Unlike Q-CapsNets these never run accuracy evaluations
+//! during format selection — they look only at the parameter statistics —
+//! which is exactly the trade-off the comparison bench quantifies.
+
+use qcn_capsnet::{CapsNet, LayerQuant, ModelQuant};
+use qcn_fixed::{QFormat, QuantizationStats, Quantizer, RoundingScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Selects, per quantization group, the smallest fractional width whose
+/// weight-quantization SQNR meets `sqnr_target_db` — a Ristretto/Lin-style
+/// statistical rule that needs *zero* accuracy evaluations.
+///
+/// Activations are left at the same width as the group's weights (the
+/// uniform convention of \[23\]/\[10\]); dynamic-routing data gets no special
+/// treatment — that is precisely the specialisation Q-CapsNets adds.
+///
+/// # Panics
+///
+/// Panics when `max_frac == 0`.
+pub fn statistical_quantization<M: CapsNet>(
+    model: &M,
+    sqnr_target_db: f32,
+    max_frac: u8,
+    scheme: RoundingScheme,
+) -> ModelQuant {
+    assert!(max_frac > 0, "need at least one fractional bit to search");
+    let groups = model.groups();
+    let params = model.params();
+    // Map params to groups by weight counts (params are registered in
+    // group order; a group may own several tensors).
+    let mut layers = Vec::with_capacity(groups.len());
+    let mut param_iter = params.into_iter().peekable();
+    let mut rng = StdRng::seed_from_u64(0);
+    for group in &groups {
+        // Collect this group's parameter values.
+        let mut remaining = group.weight_count;
+        let mut values = Vec::with_capacity(group.weight_count);
+        while remaining > 0 {
+            let p = param_iter.next().expect("params cover all groups");
+            assert!(
+                p.len() <= remaining,
+                "parameter tensor straddles group boundary"
+            );
+            remaining -= p.len();
+            values.extend_from_slice(p.data());
+        }
+        let tensor = qcn_tensor::Tensor::from_vec(values, [group.weight_count])
+            .expect("collected group weights");
+        // Smallest width meeting the SQNR target.
+        let mut chosen = max_frac;
+        for frac in 1..=max_frac {
+            let q = Quantizer::new(QFormat::with_frac(frac), scheme)
+                .quantize(&tensor, &mut rng);
+            let stats = QuantizationStats::measure(&tensor, &q);
+            if stats.sqnr_db >= sqnr_target_db {
+                chosen = frac;
+                break;
+            }
+        }
+        layers.push(LayerQuant {
+            weight_frac: Some(chosen),
+            act_frac: Some(chosen),
+            dr_frac: None,
+        });
+    }
+    ModelQuant {
+        layers,
+        scheme,
+        seed: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_capsnet::{ShallowCaps, ShallowCapsConfig};
+
+    fn model() -> ShallowCaps {
+        ShallowCaps::new(ShallowCapsConfig::small(1), 4)
+    }
+
+    #[test]
+    fn selects_one_width_per_group() {
+        let m = model();
+        let config = statistical_quantization(&m, 25.0, 16, RoundingScheme::RoundToNearest);
+        assert_eq!(config.layers.len(), 3);
+        for l in &config.layers {
+            assert!(l.weight_frac.is_some());
+            assert_eq!(l.weight_frac, l.act_frac);
+            assert_eq!(l.dr_frac, None, "baseline must not specialise routing");
+        }
+    }
+
+    #[test]
+    fn higher_sqnr_target_needs_more_bits() {
+        let m = model();
+        let low = statistical_quantization(&m, 15.0, 20, RoundingScheme::RoundToNearest);
+        let high = statistical_quantization(&m, 40.0, 20, RoundingScheme::RoundToNearest);
+        for (a, b) in low.layers.iter().zip(&high.layers) {
+            assert!(a.weight_frac.unwrap() <= b.weight_frac.unwrap());
+        }
+        // And strictly more somewhere.
+        assert!(low
+            .layers
+            .iter()
+            .zip(&high.layers)
+            .any(|(a, b)| a.weight_frac.unwrap() < b.weight_frac.unwrap()));
+    }
+
+    #[test]
+    fn selection_meets_the_sqnr_target() {
+        let m = model();
+        let target = 30.0;
+        let config = statistical_quantization(&m, target, 20, RoundingScheme::RoundToNearest);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut offset = 0usize;
+        let params = m.params();
+        for (group, lq) in m.groups().iter().zip(&config.layers) {
+            let mut values = Vec::new();
+            let mut remaining = group.weight_count;
+            while remaining > 0 {
+                let p = params[offset];
+                values.extend_from_slice(p.data());
+                remaining -= p.len();
+                offset += 1;
+            }
+            let t = qcn_tensor::Tensor::from_vec(values, [group.weight_count]).unwrap();
+            let q = Quantizer::new(
+                QFormat::with_frac(lq.weight_frac.unwrap()),
+                RoundingScheme::RoundToNearest,
+            )
+            .quantize(&t, &mut rng);
+            let stats = QuantizationStats::measure(&t, &q);
+            // Either the target is met or the width hit the cap.
+            assert!(
+                stats.sqnr_db >= target || lq.weight_frac == Some(20),
+                "{}: {} dB at {} bits",
+                group.name,
+                stats.sqnr_db,
+                lq.weight_frac.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn needs_zero_accuracy_evaluations() {
+        // The defining property vs Q-CapsNets: pure statistics. (Compile-
+        // level check: the function signature takes no dataset.)
+        let m = model();
+        let _ = statistical_quantization(&m, 20.0, 16, RoundingScheme::Truncation);
+    }
+}

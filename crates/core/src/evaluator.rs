@@ -1,0 +1,137 @@
+//! Cached accuracy evaluation of quantization configurations.
+//!
+//! The framework's search algorithms re-test neighbouring configurations;
+//! the [`Evaluator`] memoizes `(config → accuracy)` so each distinct
+//! configuration is evaluated exactly once.
+
+use qcn_capsnet::{accuracy, CapsNet, GroupInfo, ModelQuant};
+use qcn_datasets::Dataset;
+use std::collections::HashMap;
+
+/// Anything that can score a quantization configuration.
+///
+/// The search algorithms ([`crate::algorithms`]) are generic over this
+/// trait: production code uses [`Evaluator`] (real model + dataset), while
+/// the property tests drive the algorithms with synthetic oracles whose
+/// accuracy surface is known in closed form.
+pub trait ConfigScorer {
+    /// Accuracy (fraction in `[0, 1]`) of the model under `config`.
+    fn score(&mut self, config: &ModelQuant) -> f32;
+
+    /// The model's quantization groups.
+    fn groups(&self) -> Vec<GroupInfo>;
+}
+
+/// Evaluates quantized accuracy of one trained model on one dataset, with
+/// memoization.
+///
+/// # Examples
+///
+/// ```
+/// use qcapsnets::Evaluator;
+/// use qcn_capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+/// use qcn_datasets::SynthKind;
+///
+/// let model = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+/// let test = SynthKind::Mnist.generate(20, 0);
+/// let mut eval = Evaluator::new(&model, &test, 10);
+/// let fp = ModelQuant::full_precision(3);
+/// let a1 = eval.accuracy(&fp);
+/// let a2 = eval.accuracy(&fp); // served from cache
+/// assert_eq!(a1, a2);
+/// assert_eq!(eval.evaluations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a, M: CapsNet> {
+    model: &'a M,
+    dataset: &'a Dataset,
+    batch_size: usize,
+    cache: HashMap<ModelQuant, f32>,
+    evaluations: usize,
+}
+
+impl<'a, M: CapsNet> Evaluator<'a, M> {
+    /// Creates an evaluator over `model` and a labelled evaluation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is empty or `batch_size == 0`.
+    pub fn new(model: &'a M, dataset: &'a Dataset, batch_size: usize) -> Self {
+        assert!(!dataset.is_empty(), "empty evaluation set");
+        assert!(batch_size > 0, "batch size must be positive");
+        Evaluator {
+            model,
+            dataset,
+            batch_size,
+            cache: HashMap::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The model under evaluation.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
+    /// Accuracy (fraction in `[0, 1]`) of the model under `config`: weights
+    /// are quantized per-group from the trained FP32 parameters, then the
+    /// dataset is classified with activation/routing quantization applied.
+    pub fn accuracy(&mut self, config: &ModelQuant) -> f32 {
+        if let Some(&cached) = self.cache.get(config) {
+            return cached;
+        }
+        let qmodel = self.model.with_quantized_weights(config);
+        let acc = accuracy(&qmodel, self.dataset, config, self.batch_size);
+        self.cache.insert(config.clone(), acc);
+        self.evaluations += 1;
+        acc
+    }
+
+    /// Number of *distinct* configurations actually evaluated (cache
+    /// misses).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+impl<M: CapsNet> ConfigScorer for Evaluator<'_, M> {
+    fn score(&mut self, config: &ModelQuant) -> f32 {
+        self.accuracy(config)
+    }
+
+    fn groups(&self) -> Vec<GroupInfo> {
+        self.model.groups()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_capsnet::{ShallowCaps, ShallowCapsConfig};
+    use qcn_datasets::SynthKind;
+    use qcn_fixed::RoundingScheme;
+
+    #[test]
+    fn cache_prevents_reevaluation() {
+        let model = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+        let ds = SynthKind::Mnist.generate(20, 0);
+        let mut eval = Evaluator::new(&model, &ds, 10);
+        let a = ModelQuant::uniform(3, 8, RoundingScheme::Truncation);
+        let b = ModelQuant::uniform(3, 8, RoundingScheme::RoundToNearest);
+        eval.accuracy(&a);
+        eval.accuracy(&a);
+        eval.accuracy(&b);
+        assert_eq!(eval.evaluations(), 2);
+    }
+
+    #[test]
+    fn accuracy_is_in_unit_interval() {
+        let model = ShallowCaps::new(ShallowCapsConfig::small(1), 1);
+        let ds = SynthKind::Mnist.generate(30, 1);
+        let mut eval = Evaluator::new(&model, &ds, 15);
+        for frac in [2u8, 6, 12] {
+            let acc = eval.accuracy(&ModelQuant::uniform(3, frac, RoundingScheme::Stochastic));
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+}

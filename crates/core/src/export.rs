@@ -1,0 +1,235 @@
+//! Deployment export: packs a quantized model's weights into the *actual*
+//! bit-exact storage layout the memory accounting claims — each group's
+//! weights as contiguous two's-complement words of its chosen wordlength.
+//!
+//! This closes the loop on the paper's memory numbers: the byte length of
+//! the packed blob equals `weight_memory_bits / 8` (rounded up per group),
+//! and unpacking reproduces the quantized weights exactly.
+
+use crate::memory::FP32_BITS;
+use qcn_capsnet::{CapsNet, ModelQuant};
+use qcn_fixed::QFormat;
+
+/// One group's packed weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedGroup {
+    /// Group name (from [`qcn_capsnet::GroupInfo`]).
+    pub name: String,
+    /// Wordlength in bits (1 + fractional bits), or 32 for FP32 groups.
+    pub wordlength: u8,
+    /// Number of weights.
+    pub count: usize,
+    /// Bit-packed two's-complement words, LSB-first within each byte.
+    pub data: Vec<u8>,
+}
+
+/// A fully packed model: per-group blobs plus the recipe to decode them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedModel {
+    /// Packed weight groups, in model group order.
+    pub groups: Vec<PackedGroup>,
+    /// The quantization recipe the weights were packed under.
+    pub config: ModelQuant,
+}
+
+impl PackedModel {
+    /// Total storage in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.groups.iter().map(|g| g.data.len()).sum()
+    }
+}
+
+/// Appends `bits` low-order bits of `value` to a LSB-first bit stream.
+fn push_bits(stream: &mut Vec<u8>, bit_len: &mut usize, value: u64, bits: u8) {
+    for i in 0..bits {
+        let bit = (value >> i) & 1;
+        let byte_index = *bit_len / 8;
+        if byte_index == stream.len() {
+            stream.push(0);
+        }
+        stream[byte_index] |= (bit as u8) << (*bit_len % 8);
+        *bit_len += 1;
+    }
+}
+
+/// Reads `bits` bits from a LSB-first stream at `*cursor`, sign-extending.
+fn read_bits(stream: &[u8], cursor: &mut usize, bits: u8) -> i64 {
+    let mut value = 0u64;
+    for i in 0..bits {
+        let bit = (stream[*cursor / 8] >> (*cursor % 8)) & 1;
+        value |= (bit as u64) << i;
+        *cursor += 1;
+    }
+    // Sign extension from the top packed bit.
+    let shift = 64 - bits as u32;
+    ((value << shift) as i64) >> shift
+}
+
+/// Packs a model's (already FP32) weights under `config` into bit-exact
+/// fixed-point storage. Weights are rounded by
+/// [`CapsNet::with_quantized_weights`] first, so the packed words are the
+/// values inference actually uses.
+///
+/// FP32 groups (no `weight_frac`) are stored as raw 32-bit IEEE words.
+///
+/// # Panics
+///
+/// Panics when `config` has the wrong group count, or a quantized weight
+/// falls outside its format's range (cannot happen for weights produced by
+/// the framework's rounding).
+pub fn pack_model<M: CapsNet>(model: &M, config: &ModelQuant) -> PackedModel {
+    let qmodel = model.with_quantized_weights(config);
+    let groups = qmodel.groups();
+    assert_eq!(groups.len(), config.layers.len(), "group count mismatch");
+    let params = qmodel.params();
+    let mut param_iter = params.into_iter();
+    let mut packed_groups = Vec::with_capacity(groups.len());
+    for (group, lq) in groups.iter().zip(&config.layers) {
+        let mut stream = Vec::new();
+        let mut bit_len = 0usize;
+        let mut remaining = group.weight_count;
+        let wordlength = lq.weight_frac.map_or(FP32_BITS as u8, |f| 1 + f);
+        while remaining > 0 {
+            let p = param_iter.next().expect("params cover all groups");
+            remaining -= p.len();
+            for &w in p.data() {
+                match lq.weight_frac {
+                    None => push_bits(&mut stream, &mut bit_len, w.to_bits() as u64, 32),
+                    Some(frac) => {
+                        let format = QFormat::with_frac(frac);
+                        let raw = (w / format.precision()).round() as i64;
+                        assert!(
+                            (format.min_raw()..=format.max_raw()).contains(&raw),
+                            "weight {w} not representable in {format}"
+                        );
+                        push_bits(&mut stream, &mut bit_len, raw as u64, wordlength);
+                    }
+                }
+            }
+        }
+        packed_groups.push(PackedGroup {
+            name: group.name.clone(),
+            wordlength,
+            count: group.weight_count,
+            data: stream,
+        });
+    }
+    PackedModel {
+        groups: packed_groups,
+        config: config.clone(),
+    }
+}
+
+/// Unpacks a [`PackedModel`] back into per-group `f32` weight vectors.
+pub fn unpack_weights(packed: &PackedModel) -> Vec<Vec<f32>> {
+    packed
+        .groups
+        .iter()
+        .zip(&packed.config.layers)
+        .map(|(group, lq)| {
+            let mut cursor = 0usize;
+            (0..group.count)
+                .map(|_| match lq.weight_frac {
+                    None => {
+                        let raw = read_bits(&group.data, &mut cursor, 32) as u32;
+                        f32::from_bits(raw)
+                    }
+                    Some(frac) => {
+                        let raw = read_bits(&group.data, &mut cursor, group.wordlength);
+                        raw as f32 * QFormat::with_frac(frac).precision()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::weight_memory_bits;
+    use qcn_capsnet::{ShallowCaps, ShallowCapsConfig};
+    use qcn_fixed::RoundingScheme;
+
+    fn model() -> ShallowCaps {
+        let config = ShallowCapsConfig {
+            conv_channels: 6,
+            primary_types: 3,
+            digit_dim: 4,
+            ..ShallowCapsConfig::small(1)
+        };
+        ShallowCaps::new(config, 2)
+    }
+
+    #[test]
+    fn packed_size_matches_memory_accounting() {
+        let m = model();
+        let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+        config.layers[2].weight_frac = Some(2);
+        let packed = pack_model(&m, &config);
+        let accounted_bits = weight_memory_bits(&m.groups(), &config);
+        // Per-group byte rounding only.
+        let packed_bits = packed.total_bytes() as u64 * 8;
+        assert!(packed_bits >= accounted_bits);
+        assert!(packed_bits < accounted_bits + 8 * packed.groups.len() as u64);
+    }
+
+    #[test]
+    fn roundtrip_reproduces_quantized_weights_exactly() {
+        let m = model();
+        let config = ModelQuant::uniform(3, 6, RoundingScheme::Truncation);
+        let packed = pack_model(&m, &config);
+        let unpacked = unpack_weights(&packed);
+        let qmodel = m.with_quantized_weights(&config);
+        let mut offset = 0usize;
+        let params = qmodel.params();
+        for (gi, group) in qmodel.groups().iter().enumerate() {
+            let mut expected = Vec::with_capacity(group.weight_count);
+            let mut remaining = group.weight_count;
+            while remaining > 0 {
+                let p = params[offset];
+                expected.extend_from_slice(p.data());
+                remaining -= p.len();
+                offset += 1;
+            }
+            assert_eq!(unpacked[gi], expected, "group {}", group.name);
+        }
+    }
+
+    #[test]
+    fn fp32_groups_roundtrip_bit_exactly() {
+        let m = model();
+        let config = ModelQuant::full_precision(3);
+        let packed = pack_model(&m, &config);
+        let unpacked = unpack_weights(&packed);
+        let total: usize = unpacked.iter().map(Vec::len).sum();
+        assert_eq!(total, m.total_weights());
+        assert_eq!(packed.groups[0].wordlength, 32);
+        // Spot-check exact bit patterns.
+        assert_eq!(unpacked[0][0], m.params()[0].data()[0]);
+    }
+
+    #[test]
+    fn negative_weights_pack_in_twos_complement() {
+        // Directly exercise the bit codec with known values.
+        let mut stream = Vec::new();
+        let mut len = 0usize;
+        // -3 in 4 bits = 0b1101.
+        push_bits(&mut stream, &mut len, (-3i64) as u64, 4);
+        push_bits(&mut stream, &mut len, 5, 4);
+        let mut cursor = 0usize;
+        assert_eq!(read_bits(&stream, &mut cursor, 4), -3);
+        assert_eq!(read_bits(&stream, &mut cursor, 4), 5);
+        assert_eq!(stream.len(), 1, "two 4-bit words fit one byte");
+    }
+
+    #[test]
+    fn extreme_compression_packs_tiny() {
+        let m = model();
+        // 1-bit words: total bytes ≈ weights/8.
+        let config = ModelQuant::uniform(3, 0, RoundingScheme::Truncation);
+        let packed = pack_model(&m, &config);
+        let weights = m.total_weights();
+        assert!(packed.total_bytes() <= weights / 8 + packed.groups.len());
+    }
+}

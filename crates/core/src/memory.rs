@@ -1,0 +1,209 @@
+//! Memory accounting and the paper's Eq. 6 budget-fulfillment rule.
+//!
+//! Weight memory is `Σ_l P_l · N_l` bits where `P_l` is the parameter count
+//! of layer `l` and `N_l` its wordlength (1 integer bit + fractional bits);
+//! activation memory is analogous with per-layer activation counts.
+
+use qcn_capsnet::{GroupInfo, ModelQuant};
+
+/// Bits per value in the unquantized (IEEE f32) baseline.
+pub const FP32_BITS: u64 = 32;
+
+/// Weight memory in bits of a model under `config`.
+///
+/// Unquantized groups (`weight_frac == None`) count as 32-bit floats.
+///
+/// # Panics
+///
+/// Panics when `config` has a different group count than `groups`.
+pub fn weight_memory_bits(groups: &[GroupInfo], config: &ModelQuant) -> u64 {
+    assert_eq!(groups.len(), config.layers.len(), "group count mismatch");
+    groups
+        .iter()
+        .zip(&config.layers)
+        .map(|(g, lq)| {
+            let bits = lq.weight_frac.map_or(FP32_BITS, |f| 1 + f as u64);
+            g.weight_count as u64 * bits
+        })
+        .sum()
+}
+
+/// Activation memory in bits (per input sample) under `config`.
+///
+/// # Panics
+///
+/// Panics when `config` has a different group count than `groups`.
+pub fn activation_memory_bits(groups: &[GroupInfo], config: &ModelQuant) -> u64 {
+    assert_eq!(groups.len(), config.layers.len(), "group count mismatch");
+    groups
+        .iter()
+        .zip(&config.layers)
+        .map(|(g, lq)| {
+            let bits = lq.act_frac.map_or(FP32_BITS, |f| 1 + f as u64);
+            g.activation_count as u64 * bits
+        })
+        .sum()
+}
+
+/// Weight-memory reduction factor of `config` relative to FP32.
+pub fn weight_memory_reduction(groups: &[GroupInfo], config: &ModelQuant) -> f32 {
+    let total: u64 = groups.iter().map(|g| g.weight_count as u64).sum();
+    (total * FP32_BITS) as f32 / weight_memory_bits(groups, config) as f32
+}
+
+/// Activation-memory reduction factor of `config` relative to FP32.
+pub fn activation_memory_reduction(groups: &[GroupInfo], config: &ModelQuant) -> f32 {
+    let total: u64 = groups.iter().map(|g| g.activation_count as u64).sum();
+    (total * FP32_BITS) as f32 / activation_memory_bits(groups, config) as f32
+}
+
+/// Solves the paper's Eq. 6: finds the largest first-layer wordlength
+/// `N₀` such that, with each subsequent layer one bit narrower
+/// (`N_l = N₀ − l`, floored at 1 bit), the total weight memory
+/// `Σ_l P_l · N_l` fits in `budget_bits`.
+///
+/// Returns the per-layer *wordlengths* (integer + fractional bits), capped
+/// at `max_wordlength`. Returns `None` when even 1-bit weights everywhere
+/// exceed the budget.
+///
+/// # Panics
+///
+/// Panics when `groups` is empty or `max_wordlength == 0`.
+pub fn solve_eq6(groups: &[GroupInfo], budget_bits: u64, max_wordlength: u8) -> Option<Vec<u8>> {
+    assert!(!groups.is_empty(), "no groups to budget");
+    assert!(max_wordlength > 0, "max wordlength must be positive");
+    let cost = |n0: u8| -> u64 {
+        groups
+            .iter()
+            .enumerate()
+            .map(|(l, g)| {
+                let n_l = n0.saturating_sub(l as u8).max(1).min(max_wordlength);
+                g.weight_count as u64 * n_l as u64
+            })
+            .sum()
+    };
+    // N₀ is at most max_wordlength; search down for the largest feasible.
+    (1..=max_wordlength).rev().find(|&n0| cost(n0) <= budget_bits).map(|n0| {
+        groups
+            .iter()
+            .enumerate()
+            .map(|(l, _)| n0.saturating_sub(l as u8).max(1).min(max_wordlength))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcn_capsnet::LayerQuant;
+    use qcn_fixed::RoundingScheme;
+
+    fn groups() -> Vec<GroupInfo> {
+        vec![
+            GroupInfo {
+                name: "L1".into(),
+                weight_count: 100,
+                activation_count: 1000,
+                has_routing: false,
+            },
+            GroupInfo {
+                name: "L2".into(),
+                weight_count: 400,
+                activation_count: 500,
+                has_routing: false,
+            },
+            GroupInfo {
+                name: "L3".into(),
+                weight_count: 500,
+                activation_count: 80,
+                has_routing: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn fp32_memory_is_baseline() {
+        let g = groups();
+        let config = ModelQuant::full_precision(3);
+        assert_eq!(weight_memory_bits(&g, &config), 1000 * 32);
+        assert_eq!(activation_memory_bits(&g, &config), 1580 * 32);
+        assert_eq!(weight_memory_reduction(&g, &config), 1.0);
+        assert_eq!(activation_memory_reduction(&g, &config), 1.0);
+    }
+
+    #[test]
+    fn uniform_8bit_reduces_4x() {
+        let g = groups();
+        // 7 fractional bits + 1 integer bit = 8-bit words.
+        let config = ModelQuant::uniform(3, 7, RoundingScheme::Truncation);
+        assert_eq!(weight_memory_bits(&g, &config), 1000 * 8);
+        assert!((weight_memory_reduction(&g, &config) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_precision_memory() {
+        let g = groups();
+        let mut config = ModelQuant::full_precision(3);
+        config.layers[0] = LayerQuant::uniform(7); // 8-bit
+        config.layers[1] = LayerQuant::uniform(3); // 4-bit
+        // layer 2 stays fp32
+        assert_eq!(
+            weight_memory_bits(&g, &config),
+            100 * 8 + 400 * 4 + 500 * 32
+        );
+    }
+
+    #[test]
+    fn eq6_exact_fit() {
+        let g = groups();
+        // N₀=8: cost = 100·8 + 400·7 + 500·6 = 6600.
+        assert_eq!(solve_eq6(&g, 6600, 32), Some(vec![8, 7, 6]));
+        // One bit less of budget forces N₀=7.
+        assert_eq!(solve_eq6(&g, 6599, 32), Some(vec![7, 6, 5]));
+    }
+
+    #[test]
+    fn eq6_floors_at_one_bit() {
+        let g = groups();
+        // N₀=2 → lengths [2,1,1]: cost = 200+400+500 = 1100.
+        assert_eq!(solve_eq6(&g, 1100, 32), Some(vec![2, 1, 1]));
+        // Minimum possible cost is N₀=1 → [1,1,1] = 1000 bits.
+        assert_eq!(solve_eq6(&g, 1000, 32), Some(vec![1, 1, 1]));
+        assert_eq!(solve_eq6(&g, 999, 32), None);
+    }
+
+    #[test]
+    fn eq6_caps_at_max_wordlength() {
+        let g = groups();
+        let lengths = solve_eq6(&g, u64::MAX, 16).unwrap();
+        assert_eq!(lengths, vec![16, 15, 14]);
+    }
+
+    #[test]
+    fn eq6_satisfies_budget_invariant() {
+        let g = groups();
+        for budget in [1200u64, 3000, 9000, 20000] {
+            if let Some(lengths) = solve_eq6(&g, budget, 32) {
+                let cost: u64 = g
+                    .iter()
+                    .zip(&lengths)
+                    .map(|(gr, &n)| gr.weight_count as u64 * n as u64)
+                    .sum();
+                assert!(cost <= budget, "budget {budget}: cost {cost}");
+                // Maximality: one more bit everywhere must exceed budget
+                // (unless already at the cap).
+                if lengths[0] < 32 {
+                    let cost_next: u64 = g
+                        .iter()
+                        .enumerate()
+                        .map(|(l, gr)| {
+                            let n = (lengths[0] + 1).saturating_sub(l as u8).max(1);
+                            gr.weight_count as u64 * n as u64
+                        })
+                        .sum();
+                    assert!(cost_next > budget, "budget {budget} not maximal");
+                }
+            }
+        }
+    }
+}

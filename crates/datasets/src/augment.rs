@@ -1,0 +1,275 @@
+//! Training-time data augmentation, matching the paper's recipes (§IV-A):
+//! random shifts, small rotations and horizontal flips.
+
+use qcn_tensor::Tensor;
+use rand::Rng;
+
+/// Shifts a `[c, h, w]` image by whole pixels with zero padding.
+///
+/// Positive `dx` moves content right; positive `dy` moves it down.
+///
+/// # Panics
+///
+/// Panics when `image` is not rank 3.
+pub fn shift(image: &Tensor, dx: i32, dy: i32) -> Tensor {
+    assert_eq!(image.rank(), 3, "shift expects [c, h, w]");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    Tensor::from_fn([c, h, w], |idx| {
+        let (ch, y, x) = (idx[0], idx[1] as i32, idx[2] as i32);
+        let (sy, sx) = (y - dy, x - dx);
+        if sy < 0 || sx < 0 || sy >= h as i32 || sx >= w as i32 {
+            0.0
+        } else {
+            image.get(&[ch, sy as usize, sx as usize])
+        }
+    })
+}
+
+/// Rotates a `[c, h, w]` image around its centre by `degrees`
+/// (nearest-neighbour resampling, zero padding).
+///
+/// # Panics
+///
+/// Panics when `image` is not rank 3.
+pub fn rotate(image: &Tensor, degrees: f32) -> Tensor {
+    assert_eq!(image.rank(), 3, "rotate expects [c, h, w]");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let (sin_a, cos_a) = degrees.to_radians().sin_cos();
+    let (cy, cx) = ((h as f32 - 1.0) / 2.0, (w as f32 - 1.0) / 2.0);
+    Tensor::from_fn([c, h, w], |idx| {
+        let (ch, y, x) = (idx[0], idx[1] as f32, idx[2] as f32);
+        // Inverse rotation: sample source location.
+        let sy = cos_a * (y - cy) + sin_a * (x - cx) + cy;
+        let sx = -sin_a * (y - cy) + cos_a * (x - cx) + cx;
+        let (sy, sx) = (sy.round() as i32, sx.round() as i32);
+        if sy < 0 || sx < 0 || sy >= h as i32 || sx >= w as i32 {
+            0.0
+        } else {
+            image.get(&[ch, sy as usize, sx as usize])
+        }
+    })
+}
+
+/// Mirrors a `[c, h, w]` image left–right.
+///
+/// # Panics
+///
+/// Panics when `image` is not rank 3.
+pub fn hflip(image: &Tensor) -> Tensor {
+    assert_eq!(image.rank(), 3, "hflip expects [c, h, w]");
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    Tensor::from_fn([c, h, w], |idx| image.get(&[idx[0], idx[1], w - 1 - idx[2]]))
+}
+
+/// A stochastic augmentation recipe applied independently per image.
+///
+/// The constructors mirror the paper's per-dataset policies.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_datasets::augment::AugmentPolicy;
+///
+/// let p = AugmentPolicy::mnist();
+/// assert_eq!(p.max_shift, 2);
+/// assert_eq!(p.hflip_prob, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentPolicy {
+    /// Maximum absolute shift in pixels (uniform in `[-max, max]`).
+    pub max_shift: i32,
+    /// Maximum absolute rotation in degrees.
+    pub max_rotate_deg: f32,
+    /// Probability of a horizontal flip.
+    pub hflip_prob: f32,
+}
+
+impl AugmentPolicy {
+    /// MNIST recipe: shift ≤ 2 px, rotate ≤ 2°, no flips.
+    pub fn mnist() -> Self {
+        AugmentPolicy {
+            max_shift: 2,
+            max_rotate_deg: 2.0,
+            hflip_prob: 0.0,
+        }
+    }
+
+    /// Fashion-MNIST recipe: shift ≤ 2 px, flip with probability 0.2.
+    pub fn fashion_mnist() -> Self {
+        AugmentPolicy {
+            max_shift: 2,
+            max_rotate_deg: 0.0,
+            hflip_prob: 0.2,
+        }
+    }
+
+    /// CIFAR10 recipe: shift, rotate ≤ 2°, flip with probability 0.5.
+    ///
+    /// The paper shifts by 5 px after resizing to 64×64; at our 16×16 scale
+    /// the proportional shift is ~1 px, kept at 2 px for comparable
+    /// variation.
+    pub fn cifar10() -> Self {
+        AugmentPolicy {
+            max_shift: 2,
+            max_rotate_deg: 2.0,
+            hflip_prob: 0.5,
+        }
+    }
+
+    /// No augmentation (identity).
+    pub fn none() -> Self {
+        AugmentPolicy {
+            max_shift: 0,
+            max_rotate_deg: 0.0,
+            hflip_prob: 0.0,
+        }
+    }
+
+    /// Applies the policy to one `[c, h, w]` image.
+    pub fn apply(&self, image: &Tensor, rng: &mut impl Rng) -> Tensor {
+        let mut out = image.clone();
+        if self.max_shift > 0 {
+            let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+            let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+            if dx != 0 || dy != 0 {
+                out = shift(&out, dx, dy);
+            }
+        }
+        if self.max_rotate_deg > 0.0 {
+            let deg = rng.gen_range(-self.max_rotate_deg..=self.max_rotate_deg);
+            if deg.abs() > 0.01 {
+                out = rotate(&out, deg);
+            }
+        }
+        if self.hflip_prob > 0.0 && rng.gen_range(0.0..1.0) < self.hflip_prob {
+            out = hflip(&out);
+        }
+        out
+    }
+
+    /// Applies the policy independently to every image of an `[n, c, h, w]`
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is not rank 4.
+    pub fn apply_batch(&self, batch: &Tensor, rng: &mut impl Rng) -> Tensor {
+        assert_eq!(batch.rank(), 4, "apply_batch expects [n, c, h, w]");
+        if *self == AugmentPolicy::none() {
+            return batch.clone();
+        }
+        let (n, c, h, w) = (
+            batch.dims()[0],
+            batch.dims()[1],
+            batch.dims()[2],
+            batch.dims()[3],
+        );
+        let stride = c * h * w;
+        let mut data = Vec::with_capacity(n * stride);
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                batch.data()[i * stride..(i + 1) * stride].to_vec(),
+                [c, h, w],
+            )
+            .expect("batch slice matches dims");
+            data.extend_from_slice(self.apply(&img, rng).data());
+        }
+        Tensor::from_vec(data, [n, c, h, w]).expect("augmented size matches dims")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Tensor {
+        Tensor::from_fn([1, 4, 4], |i| (i[1] * 4 + i[2]) as f32)
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let img = sample();
+        let s = shift(&img, 1, 0);
+        assert_eq!(s.get(&[0, 0, 1]), img.get(&[0, 0, 0]));
+        assert_eq!(s.get(&[0, 0, 0]), 0.0); // zero padded
+        let s = shift(&img, 0, -1);
+        assert_eq!(s.get(&[0, 0, 0]), img.get(&[0, 1, 0]));
+        assert_eq!(s.get(&[0, 3, 0]), 0.0);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let img = sample();
+        assert_eq!(shift(&img, 0, 0), img);
+    }
+
+    #[test]
+    fn hflip_is_involution() {
+        let img = sample();
+        assert_eq!(hflip(&hflip(&img)), img);
+        assert_eq!(hflip(&img).get(&[0, 0, 0]), img.get(&[0, 0, 3]));
+    }
+
+    #[test]
+    fn rotate_zero_is_identity() {
+        let img = sample();
+        assert_eq!(rotate(&img, 0.0), img);
+    }
+
+    #[test]
+    fn rotate_90_moves_corners() {
+        // A single bright pixel rotates to a predictable place.
+        let mut img = Tensor::zeros([1, 5, 5]);
+        img.set(&[0, 0, 2], 1.0); // top centre
+        let r = rotate(&img, 90.0);
+        // 90° (counter-clockwise in image coordinates here) moves top-centre
+        // to a side-centre; content must be preserved somewhere.
+        assert_eq!(r.sum(), 1.0);
+        assert_eq!(r.get(&[0, 0, 2]), 0.0);
+    }
+
+    #[test]
+    fn policy_none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = sample();
+        assert_eq!(AugmentPolicy::none().apply(&img, &mut rng), img);
+    }
+
+    #[test]
+    fn policy_apply_batch_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = Tensor::from_fn([3, 1, 4, 4], |i| i[0] as f32);
+        let out = AugmentPolicy::cifar10().apply_batch(&batch, &mut rng);
+        assert_eq!(out.dims(), batch.dims());
+    }
+
+    #[test]
+    fn policy_is_stochastic_but_seeded() {
+        let batch = Tensor::from_fn([2, 1, 8, 8], |i| ((i[2] + i[3]) % 2) as f32);
+        let a = AugmentPolicy::mnist().apply_batch(&batch, &mut StdRng::seed_from_u64(5));
+        let b = AugmentPolicy::mnist().apply_batch(&batch, &mut StdRng::seed_from_u64(5));
+        let c = AugmentPolicy::mnist().apply_batch(&batch, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mnist_policy_never_flips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(AugmentPolicy::mnist().hflip_prob, 0.0);
+        // Asymmetric image: flipping would be detectable; run many times.
+        let mut img = Tensor::zeros([1, 4, 4]);
+        img.set(&[0, 0, 0], 1.0);
+        for _ in 0..20 {
+            let out = AugmentPolicy {
+                max_shift: 0,
+                max_rotate_deg: 0.0,
+                hflip_prob: 0.0,
+            }
+            .apply(&img, &mut rng);
+            assert_eq!(out, img);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The in-memory labelled image dataset used for training and evaluation.
+
+use qcn_tensor::{Tensor, TensorError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled image classification dataset held fully in memory.
+///
+/// Images are stored as one `[n, c, h, w]` tensor; labels are class indices
+/// `0..num_classes`.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_datasets::{Dataset, SynthKind};
+///
+/// let ds = SynthKind::Mnist.generate(32, 7);
+/// assert_eq!(ds.len(), 32);
+/// assert_eq!(ds.num_classes(), 10);
+/// let (images, labels) = ds.batch(&[0, 5, 9]);
+/// assert_eq!(images.dims()[0], 3);
+/// assert_eq!(labels.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an `[n, c, h, w]` image tensor and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError::LengthMismatch`] when the label count does
+    /// not match the image count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` is not rank 4, `num_classes` is zero, or a
+    /// label is out of range.
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Dataset, TensorError> {
+        assert_eq!(images.rank(), 4, "images must be [n, c, h, w]");
+        assert!(num_classes > 0, "num_classes must be positive");
+        if images.dims()[0] != labels.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: images.dims()[0],
+                actual: labels.len(),
+            });
+        }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image dimensions `(c, h, w)`.
+    pub fn image_dims(&self) -> (usize, usize, usize) {
+        (
+            self.images.dims()[1],
+            self.images.dims()[2],
+            self.images.dims()[3],
+        )
+    }
+
+    /// The full image tensor `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies one image as a `[c, h, w]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn image(&self, index: usize) -> Tensor {
+        let (c, h, w) = self.image_dims();
+        let stride = c * h * w;
+        Tensor::from_vec(
+            self.images.data()[index * stride..(index + 1) * stride].to_vec(),
+            [c, h, w],
+        )
+        .expect("image slice matches dims")
+    }
+
+    /// Gathers the images and labels at `indices` into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let (c, h, w) = self.image_dims();
+        let stride = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images.data()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(data, [indices.len(), c, h, w]).expect("batch slice matches dims"),
+            labels,
+        )
+    }
+
+    /// Keeps only the first `n` samples (useful for fast search loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > self.len()`.
+    pub fn truncate(&self, n: usize) -> Dataset {
+        assert!(n <= self.len(), "cannot truncate {} to {n}", self.len());
+        let (images, labels) = self.batch(&(0..n).collect::<Vec<_>>());
+        Dataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// Encodes labels as a one-hot `[batch, num_classes]` tensor, as the margin
+/// loss expects.
+///
+/// # Panics
+///
+/// Panics when any label is `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Tensor {
+    let mut t = Tensor::zeros([labels.len(), num_classes]);
+    for (row, &label) in labels.iter().enumerate() {
+        assert!(label < num_classes, "label {label} out of range");
+        t.set(&[row, label], 1.0);
+    }
+    t
+}
+
+/// Produces shuffled mini-batch index lists covering `0..len` once.
+///
+/// The final batch may be smaller than `batch_size`.
+///
+/// # Panics
+///
+/// Panics when `batch_size == 0`.
+pub fn shuffled_batches(len: usize, batch_size: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut indices: Vec<usize> = (0..len).collect();
+    indices.shuffle(rng);
+    indices
+        .chunks(batch_size)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn([4, 1, 2, 2], |i| i[0] as f32);
+        Dataset::new(images, vec![0, 1, 2, 1], 3).unwrap()
+    }
+
+    #[test]
+    fn new_validates_label_count() {
+        let images = Tensor::zeros([4, 1, 2, 2]);
+        assert!(Dataset::new(images, vec![0; 3], 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn new_rejects_out_of_range_labels() {
+        let images = Tensor::zeros([2, 1, 2, 2]);
+        let _ = Dataset::new(images, vec![0, 5], 3);
+    }
+
+    #[test]
+    fn image_extracts_correct_sample() {
+        let ds = tiny();
+        assert!(ds.image(2).data().iter().all(|&x| x == 2.0));
+        assert_eq!(ds.image(2).dims(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let ds = tiny();
+        let (images, labels) = ds.batch(&[3, 0]);
+        assert_eq!(images.dims(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![1, 0]);
+        assert!(images.data()[..4].iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let ds = tiny();
+        let t = ds.truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.labels(), &[0, 1]);
+        assert_eq!(t.num_classes(), 3);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let t = one_hot(&[2, 0], 4);
+        assert_eq!(t.dims(), &[2, 4]);
+        assert_eq!(t.get(&[0, 2]), 1.0);
+        assert_eq!(t.get(&[1, 0]), 1.0);
+        assert_eq!(t.sum(), 2.0);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_everything_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = shuffled_batches(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3].len(), 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_batches_are_shuffled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let flat: Vec<usize> = shuffled_batches(100, 100, &mut rng).remove(0);
+        assert_ne!(flat, (0..100).collect::<Vec<_>>());
+    }
+}

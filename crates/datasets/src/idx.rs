@@ -1,0 +1,241 @@
+//! Loader for the IDX binary format used by the real MNIST and
+//! Fashion-MNIST distributions.
+//!
+//! The synthetic generators in [`crate::SynthKind`] are the default data
+//! source (see DESIGN.md §3), but when the real `*-images-idx3-ubyte` /
+//! `*-labels-idx1-ubyte` files are available this module loads them into
+//! the same [`Dataset`] type, so every experiment can be re-run on real
+//! data unchanged.
+
+use crate::Dataset;
+use qcn_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Error raised while parsing IDX files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IdxError {
+    /// Underlying file I/O failure.
+    Io(io::Error),
+    /// The file's magic number or dimensions are malformed.
+    Malformed(String),
+    /// Image and label files disagree on the sample count.
+    CountMismatch {
+        /// Samples in the image file.
+        images: usize,
+        /// Samples in the label file.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "idx file i/o failed: {e}"),
+            IdxError::Malformed(msg) => write!(f, "malformed idx file: {msg}"),
+            IdxError::CountMismatch { images, labels } => write!(
+                f,
+                "image count {images} does not match label count {labels}"
+            ),
+        }
+    }
+}
+
+impl Error for IdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn read_u32(bytes: &[u8], offset: usize) -> Result<u32, IdxError> {
+    bytes
+        .get(offset..offset + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| IdxError::Malformed("truncated header".into()))
+}
+
+/// Parses an `idx3-ubyte` image buffer into `(images [n,1,h,w], n, h, w)`.
+/// Pixels are scaled to `[0, 1]`.
+pub fn parse_idx3_images(bytes: &[u8]) -> Result<Tensor, IdxError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != 0x0000_0803 {
+        return Err(IdxError::Malformed(format!(
+            "bad image magic 0x{magic:08x}, expected 0x00000803"
+        )));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    let h = read_u32(bytes, 8)? as usize;
+    let w = read_u32(bytes, 12)? as usize;
+    let expected = 16 + n * h * w;
+    if bytes.len() < expected {
+        return Err(IdxError::Malformed(format!(
+            "image payload too short: {} < {expected}",
+            bytes.len()
+        )));
+    }
+    let data: Vec<f32> = bytes[16..expected].iter().map(|&b| b as f32 / 255.0).collect();
+    Tensor::from_vec(data, [n, 1, h, w])
+        .map_err(|e| IdxError::Malformed(format!("tensor construction failed: {e}")))
+}
+
+/// Parses an `idx1-ubyte` label buffer into class indices.
+pub fn parse_idx1_labels(bytes: &[u8]) -> Result<Vec<usize>, IdxError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != 0x0000_0801 {
+        return Err(IdxError::Malformed(format!(
+            "bad label magic 0x{magic:08x}, expected 0x00000801"
+        )));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    let expected = 8 + n;
+    if bytes.len() < expected {
+        return Err(IdxError::Malformed(format!(
+            "label payload too short: {} < {expected}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes[8..expected].iter().map(|&b| b as usize).collect())
+}
+
+/// Loads a dataset from a pair of IDX files on disk.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] on I/O failures, malformed headers, or mismatched
+/// image/label counts.
+pub fn load_idx(
+    images_path: impl AsRef<Path>,
+    labels_path: impl AsRef<Path>,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    let images = parse_idx3_images(&fs::read(images_path)?)?;
+    let labels = parse_idx1_labels(&fs::read(labels_path)?)?;
+    if images.dims()[0] != labels.len() {
+        return Err(IdxError::CountMismatch {
+            images: images.dims()[0],
+            labels: labels.len(),
+        });
+    }
+    Dataset::new(images, labels, num_classes)
+        .map_err(|e| IdxError::Malformed(format!("dataset construction failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_idx3(n: usize, h: usize, w: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        bytes.extend_from_slice(&(n as u32).to_be_bytes());
+        bytes.extend_from_slice(&(h as u32).to_be_bytes());
+        bytes.extend_from_slice(&(w as u32).to_be_bytes());
+        for i in 0..n * h * w {
+            bytes.push((i % 256) as u8);
+        }
+        bytes
+    }
+
+    fn fake_idx1(labels: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        bytes.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(labels);
+        bytes
+    }
+
+    #[test]
+    fn parse_images_scales_to_unit_range() {
+        let t = parse_idx3_images(&fake_idx3(2, 3, 3)).unwrap();
+        assert_eq!(t.dims(), &[2, 1, 3, 3]);
+        assert_eq!(t.get(&[0, 0, 0, 0]), 0.0);
+        assert!((t.get(&[0, 0, 0, 1]) - 1.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_labels_roundtrip() {
+        let labels = parse_idx1_labels(&fake_idx1(&[3, 1, 4, 1, 5])).unwrap();
+        assert_eq!(labels, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut bytes = fake_idx3(1, 2, 2);
+        bytes[3] = 0x99;
+        assert!(matches!(
+            parse_idx3_images(&bytes),
+            Err(IdxError::Malformed(_))
+        ));
+        let mut bytes = fake_idx1(&[0]);
+        bytes[3] = 0x55;
+        assert!(matches!(
+            parse_idx1_labels(&bytes),
+            Err(IdxError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut bytes = fake_idx3(4, 5, 5);
+        bytes.truncate(bytes.len() - 10);
+        assert!(matches!(
+            parse_idx3_images(&bytes),
+            Err(IdxError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn load_idx_detects_count_mismatch() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join("qcn_idx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("images");
+        let lbl_path = dir.join("labels");
+        std::fs::File::create(&img_path)
+            .unwrap()
+            .write_all(&fake_idx3(3, 2, 2))
+            .unwrap();
+        std::fs::File::create(&lbl_path)
+            .unwrap()
+            .write_all(&fake_idx1(&[0, 1]))
+            .unwrap();
+        assert!(matches!(
+            load_idx(&img_path, &lbl_path, 10),
+            Err(IdxError::CountMismatch { images: 3, labels: 2 })
+        ));
+    }
+
+    #[test]
+    fn load_idx_happy_path() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join("qcn_idx_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img_path = dir.join("images");
+        let lbl_path = dir.join("labels");
+        std::fs::File::create(&img_path)
+            .unwrap()
+            .write_all(&fake_idx3(2, 4, 4))
+            .unwrap();
+        std::fs::File::create(&lbl_path)
+            .unwrap()
+            .write_all(&fake_idx1(&[7, 2]))
+            .unwrap();
+        let ds = load_idx(&img_path, &lbl_path, 10).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels(), &[7, 2]);
+        assert_eq!(ds.image_dims(), (1, 4, 4));
+    }
+}

@@ -1,0 +1,38 @@
+//! # qcn-datasets
+//!
+//! Dataset substrate for the Q-CapsNets reproduction (Marchisio et al.,
+//! DAC 2020): deterministic procedural stand-ins for MNIST, Fashion-MNIST
+//! and CIFAR10 ([`SynthKind`]), the paper's data-augmentation recipes
+//! ([`augment::AugmentPolicy`]), batching utilities, and an IDX loader
+//! ([`idx::load_idx`]) for running the same experiments on the real
+//! datasets when available.
+//!
+//! See DESIGN.md §3 for why procedural data preserves the behaviour the
+//! quantization framework depends on.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcn_datasets::{shuffled_batches, SynthKind};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let (train, test) = SynthKind::Mnist.train_test(100, 40, 42);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! for batch in shuffled_batches(train.len(), 16, &mut rng) {
+//!     let (images, labels) = train.batch(&batch);
+//!     assert_eq!(images.dims()[0], labels.len());
+//! }
+//! assert_eq!(test.num_classes(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+mod dataset;
+pub mod idx;
+pub mod stats;
+mod synth;
+
+pub use dataset::{one_hot, shuffled_batches, Dataset};
+pub use synth::SynthKind;

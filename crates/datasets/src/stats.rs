@@ -1,0 +1,124 @@
+//! Dataset statistics: class balance, pixel moments, and per-class mean
+//! images. Used by tests to validate the synthetic generators and by the
+//! examples for reporting.
+
+use crate::Dataset;
+use qcn_tensor::Tensor;
+
+/// Summary statistics of a labelled image dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Samples per class.
+    pub class_counts: Vec<usize>,
+    /// Mean pixel value over the whole dataset.
+    pub pixel_mean: f32,
+    /// Pixel standard deviation over the whole dataset.
+    pub pixel_std: f32,
+    /// Minimum pixel value.
+    pub pixel_min: f32,
+    /// Maximum pixel value.
+    pub pixel_max: f32,
+}
+
+impl DatasetStats {
+    /// Computes statistics over `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is empty.
+    pub fn measure(dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "statistics of an empty dataset");
+        let mut class_counts = vec![0usize; dataset.num_classes()];
+        for &label in dataset.labels() {
+            class_counts[label] += 1;
+        }
+        let data = dataset.images().data();
+        let n = data.len() as f32;
+        let mean = data.iter().sum::<f32>() / n;
+        let var = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        DatasetStats {
+            class_counts,
+            pixel_mean: mean,
+            pixel_std: var.sqrt(),
+            pixel_min: data.iter().cloned().fold(f32::INFINITY, f32::min),
+            pixel_max: data.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        }
+    }
+
+    /// Largest relative class imbalance: `max_count / min_count`.
+    /// 1.0 means perfectly balanced; `f32::INFINITY` when a class is empty.
+    pub fn imbalance(&self) -> f32 {
+        let max = *self.class_counts.iter().max().expect("non-empty") as f32;
+        let min = *self.class_counts.iter().min().expect("non-empty") as f32;
+        if min == 0.0 {
+            f32::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Mean image of one class, `[c, h, w]`.
+///
+/// # Panics
+///
+/// Panics when `class` is out of range or has no samples.
+pub fn class_mean_image(dataset: &Dataset, class: usize) -> Tensor {
+    assert!(class < dataset.num_classes(), "class out of range");
+    let indices: Vec<usize> = dataset
+        .labels()
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l == class)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!indices.is_empty(), "class {class} has no samples");
+    let (c, h, w) = dataset.image_dims();
+    let mut acc = Tensor::zeros([c, h, w]);
+    for &i in &indices {
+        acc = &acc + &dataset.image(i);
+    }
+    &acc * (1.0 / indices.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SynthKind;
+
+    #[test]
+    fn synthetic_datasets_are_balanced_and_in_range() {
+        for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+            let ds = kind.generate(100, 3);
+            let stats = DatasetStats::measure(&ds);
+            assert_eq!(stats.imbalance(), 1.0, "{kind}");
+            assert!(stats.pixel_min >= 0.0, "{kind}");
+            assert!(stats.pixel_max <= 1.0, "{kind}");
+            assert!(stats.pixel_std > 0.05, "{kind} has no content");
+        }
+    }
+
+    #[test]
+    fn class_mean_images_differ_between_classes() {
+        let ds = SynthKind::Mnist.generate(200, 1);
+        let m0 = class_mean_image(&ds, 0);
+        let m1 = class_mean_image(&ds, 1);
+        assert!((&m0 - &m1).norm() > 0.5, "class means should be distinct");
+    }
+
+    #[test]
+    fn mean_image_is_average_of_members() {
+        let ds = SynthKind::Mnist.generate(20, 2);
+        let m = class_mean_image(&ds, 3);
+        // Class 3 appears at indices 3 and 13.
+        let manual = &(&ds.image(3) + &ds.image(13)) * 0.5;
+        assert!((&m - &manual).max_abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn mean_image_rejects_bad_class() {
+        let ds = SynthKind::Mnist.generate(10, 0);
+        class_mean_image(&ds, 10);
+    }
+}

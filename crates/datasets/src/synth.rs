@@ -1,0 +1,350 @@
+//! Procedural synthetic datasets standing in for MNIST, Fashion-MNIST and
+//! CIFAR10 (see DESIGN.md §3, substitution 1).
+//!
+//! Each class is a parametric glyph rendered from a signed-distance
+//! function with per-sample jitter (translation, rotation, stroke width,
+//! scale, pixel noise), so the task has genuine intra-class variation and
+//! is learnable — but not trivially — by a small CapsNet:
+//!
+//! * [`SynthKind::Mnist`] — thin stroke glyphs on a black background
+//!   (easiest, like handwritten digits).
+//! * [`SynthKind::FashionMnist`] — *filled, textured* versions of the same
+//!   ten silhouettes (harder, like clothing photos).
+//! * [`SynthKind::Cifar10`] — three-channel renderings with class-dependent
+//!   colour, coloured backgrounds and stronger noise (hardest).
+
+use crate::Dataset;
+use qcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Which synthetic dataset family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthKind {
+    /// Stroke glyphs, 1×16×16 — stands in for MNIST.
+    Mnist,
+    /// Filled textured silhouettes, 1×16×16 — stands in for Fashion-MNIST.
+    FashionMnist,
+    /// Coloured glyphs on coloured noise, 3×16×16 — stands in for CIFAR10.
+    Cifar10,
+}
+
+impl SynthKind {
+    /// Image side length (square images).
+    pub const SIDE: usize = 16;
+    /// Number of classes in every family.
+    pub const CLASSES: usize = 10;
+
+    /// Number of colour channels.
+    pub fn channels(&self) -> usize {
+        match self {
+            SynthKind::Mnist | SynthKind::FashionMnist => 1,
+            SynthKind::Cifar10 => 3,
+        }
+    }
+
+    /// Generates `n` labelled samples with balanced classes, deterministic
+    /// in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "cannot generate an empty dataset");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51c0_ffee);
+        let c = self.channels();
+        let side = Self::SIDE;
+        let mut data = Vec::with_capacity(n * c * side * side);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % Self::CLASSES;
+            let img = render_sample(*self, class, &mut rng);
+            data.extend_from_slice(img.data());
+            labels.push(class);
+        }
+        let images =
+            Tensor::from_vec(data, [n, c, side, side]).expect("rendered size matches dims");
+        Dataset::new(images, labels, Self::CLASSES).expect("labels match images")
+    }
+
+    /// Convenience: disjoint train/test split (`n_train`, `n_test`) using
+    /// derived seeds.
+    pub fn train_test(&self, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+        (
+            self.generate(n_train, seed.wrapping_mul(2).wrapping_add(1)),
+            self.generate(n_test, seed.wrapping_mul(2).wrapping_add(2)),
+        )
+    }
+}
+
+impl fmt::Display for SynthKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SynthKind::Mnist => "synth-MNIST",
+            SynthKind::FashionMnist => "synth-FashionMNIST",
+            SynthKind::Cifar10 => "synth-CIFAR10",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-sample render jitter, drawn once per image.
+struct Jitter {
+    dx: f32,
+    dy: f32,
+    angle: f32,
+    scale: f32,
+    thickness: f32,
+}
+
+impl Jitter {
+    fn draw(rng: &mut impl Rng, hard: bool) -> Self {
+        let wobble = if hard { 1.4 } else { 1.0 };
+        Jitter {
+            dx: rng.gen_range(-0.18..0.18) * wobble,
+            dy: rng.gen_range(-0.18..0.18) * wobble,
+            angle: rng.gen_range(-0.3..0.3) * wobble,
+            scale: rng.gen_range(0.75..1.1),
+            thickness: rng.gen_range(0.08..0.16),
+        }
+    }
+}
+
+/// Distance from point `(px, py)` to the segment `(ax, ay)–(bx, by)`.
+fn segment_dist(px: f32, py: f32, ax: f32, ay: f32, bx: f32, by: f32) -> f32 {
+    let (vx, vy) = (bx - ax, by - ay);
+    let (wx, wy) = (px - ax, py - ay);
+    let t = ((wx * vx + wy * vy) / (vx * vx + vy * vy + 1e-9)).clamp(0.0, 1.0);
+    let (cx, cy) = (ax + t * vx, ay + t * vy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+/// Signed distance of the class glyph at centred coordinates `(u, v)` ∈
+/// roughly [−1, 1]². Negative inside the stroke/fill.
+fn glyph_sdf(class: usize, u: f32, v: f32, t: f32, filled: bool) -> f32 {
+    let seg = |a: (f32, f32), b: (f32, f32)| segment_dist(u, v, a.0, a.1, b.0, b.1) - t;
+    let r = (u * u + v * v).sqrt();
+    let d = match class {
+        // 0: circle (ring or disc)
+        0 => {
+            if filled {
+                r - 0.6
+            } else {
+                (r - 0.55).abs() - t
+            }
+        }
+        // 1: vertical bar
+        1 => {
+            if filled {
+                u.abs().max(v.abs() - 0.65) - 0.22
+            } else {
+                seg((0.0, -0.65), (0.0, 0.65))
+            }
+        }
+        // 2: horizontal bar
+        2 => {
+            if filled {
+                v.abs().max(u.abs() - 0.65) - 0.22
+            } else {
+                seg((-0.65, 0.0), (0.65, 0.0))
+            }
+        }
+        // 3: rising diagonal /
+        3 => seg((-0.55, 0.55), (0.55, -0.55)),
+        // 4: falling diagonal \
+        4 => seg((-0.55, -0.55), (0.55, 0.55)),
+        // 5: plus +
+        5 => seg((0.0, -0.6), (0.0, 0.6)).min(seg((-0.6, 0.0), (0.6, 0.0))),
+        // 6: X
+        6 => seg((-0.5, -0.5), (0.5, 0.5)).min(seg((-0.5, 0.5), (0.5, -0.5))),
+        // 7: square (outline or solid)
+        7 => {
+            let box_d = u.abs().max(v.abs()) - 0.5;
+            if filled {
+                box_d
+            } else {
+                box_d.abs() - t
+            }
+        }
+        // 8: two horizontal bars
+        8 => seg((-0.55, -0.35), (0.55, -0.35)).min(seg((-0.55, 0.35), (0.55, 0.35))),
+        // 9: T shape
+        9 => seg((-0.55, -0.5), (0.55, -0.5)).min(seg((0.0, -0.5), (0.0, 0.6))),
+        _ => panic!("class {class} out of range"),
+    };
+    // Filled variants of pure-stroke glyphs get a thicker body.
+    if filled && ((3..=6).contains(&class) || (8..=9).contains(&class)) {
+        d - 0.12
+    } else {
+        d
+    }
+}
+
+/// Renders one sample of `kind`/`class` as a `[c, h, w]` tensor in [0, 1].
+fn render_sample(kind: SynthKind, class: usize, rng: &mut impl Rng) -> Tensor {
+    let side = SynthKind::SIDE;
+    let hard = kind == SynthKind::Cifar10;
+    let jit = Jitter::draw(rng, hard);
+    let filled = kind != SynthKind::Mnist;
+    let (sin_a, cos_a) = jit.angle.sin_cos();
+    // Texture parameters (FashionMNIST / CIFAR10 only).
+    let tex_freq = rng.gen_range(6.0..12.0f32);
+    let tex_phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    // CIFAR colour: class-dependent hue with jitter.
+    let hue = (class as f32 / 10.0 + rng.gen_range(-0.04..0.04)).rem_euclid(1.0);
+    let fg = hue_to_rgb(hue);
+    let bg = hue_to_rgb((hue + rng.gen_range(0.3..0.7)).rem_euclid(1.0));
+    let bg_level = if hard { rng.gen_range(0.1..0.35) } else { 0.0 };
+    let noise_amp = match kind {
+        SynthKind::Mnist => 0.02,
+        SynthKind::FashionMnist => 0.05,
+        SynthKind::Cifar10 => 0.10,
+    };
+
+    let channels = kind.channels();
+    let mut img = Tensor::zeros([channels, side, side]);
+    for py in 0..side {
+        for px in 0..side {
+            // Centred, jittered, rotated, scaled coordinates.
+            let x = (px as f32 + 0.5) / side as f32 * 2.0 - 1.0 - jit.dx;
+            let y = (py as f32 + 0.5) / side as f32 * 2.0 - 1.0 - jit.dy;
+            let u = (cos_a * x + sin_a * y) / jit.scale;
+            let v = (-sin_a * x + cos_a * y) / jit.scale;
+            let d = glyph_sdf(class, u, v, jit.thickness, filled);
+            // Soft edge: intensity 1 inside, 0 outside, ~1.5px transition.
+            let edge = 1.5 / side as f32 * 2.0;
+            let mut intensity = (0.5 - d / edge).clamp(0.0, 1.0);
+            if filled && intensity > 0.0 {
+                // Stripe texture modulation.
+                let stripe = 0.7 + 0.3 * (tex_freq * (u + 0.6 * v) + tex_phase).sin();
+                intensity *= stripe;
+            }
+            for c in 0..channels {
+                let fgc = if channels == 3 { fg[c] } else { 1.0 };
+                let bgc = if channels == 3 { bg[c] * bg_level } else { 0.0 };
+                let value = bgc * (1.0 - intensity) + fgc * intensity
+                    + rng.gen_range(-noise_amp..noise_amp);
+                img.set(&[c, py, px], value.clamp(0.0, 1.0));
+            }
+        }
+    }
+    img
+}
+
+/// Simple hue → RGB (full saturation/value), for the CIFAR10 stand-in.
+fn hue_to_rgb(h: f32) -> [f32; 3] {
+    let h6 = h * 6.0;
+    let x = 1.0 - (h6.rem_euclid(2.0) - 1.0).abs();
+    match h6 as usize % 6 {
+        0 => [1.0, x, 0.0],
+        1 => [x, 1.0, 0.0],
+        2 => [0.0, 1.0, x],
+        3 => [0.0, x, 1.0],
+        4 => [x, 0.0, 1.0],
+        _ => [1.0, 0.0, x],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthKind::Mnist.generate(20, 3);
+        let b = SynthKind::Mnist.generate(20, 3);
+        assert_eq!(a.images(), b.images());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthKind::Mnist.generate(20, 3);
+        let b = SynthKind::Mnist.generate(20, 4);
+        assert_ne!(a.images(), b.images());
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = SynthKind::FashionMnist.generate(100, 0);
+        for class in 0..10 {
+            assert_eq!(
+                ds.labels().iter().filter(|&&l| l == class).count(),
+                10,
+                "class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn pixel_values_in_unit_range() {
+        for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+            let ds = kind.generate(30, 1);
+            assert!(
+                ds.images().data().iter().all(|&x| (0.0..=1.0).contains(&x)),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn cifar_has_three_channels() {
+        let ds = SynthKind::Cifar10.generate(10, 2);
+        assert_eq!(ds.image_dims(), (3, 16, 16));
+        assert_eq!(SynthKind::Mnist.generate(10, 2).image_dims(), (1, 16, 16));
+    }
+
+    #[test]
+    fn glyphs_have_nontrivial_content() {
+        // Every rendered image must have some bright and some dark pixels.
+        let ds = SynthKind::Mnist.generate(40, 5);
+        for i in 0..ds.len() {
+            let img = ds.image(i);
+            assert!(img.max_abs() > 0.4, "sample {i} too dark");
+            assert!(img.mean() < 0.6, "sample {i} too bright");
+        }
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean intra-class pixel distance must be below mean inter-class
+        // distance — otherwise the task would be unlearnable.
+        let ds = SynthKind::Mnist.generate(200, 8);
+        let dist = |a: &Tensor, b: &Tensor| -> f32 { (a - b).norm() };
+        let (mut intra, mut inter) = (0.0f32, 0.0f32);
+        let (mut n_intra, mut n_inter) = (0, 0);
+        for i in 0..60 {
+            for j in (i + 1)..60 {
+                let d = dist(&ds.image(i), &ds.image(j));
+                if ds.labels()[i] == ds.labels()[j] {
+                    intra += d;
+                    n_intra += 1;
+                } else {
+                    inter += d;
+                    n_inter += 1;
+                }
+            }
+        }
+        let (intra, inter) = (intra / n_intra as f32, inter / n_inter as f32);
+        assert!(
+            intra < inter,
+            "intra-class distance {intra} ≥ inter-class {inter}"
+        );
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint() {
+        let (train, test) = SynthKind::Mnist.train_test(30, 30, 9);
+        assert_ne!(train.images(), test.images());
+    }
+
+    #[test]
+    fn hue_to_rgb_is_saturated() {
+        for i in 0..12 {
+            let rgb = hue_to_rgb(i as f32 / 12.0);
+            let max = rgb.iter().cloned().fold(0.0f32, f32::max);
+            assert!((max - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The Q⟨QI.QF⟩ fixed-point format of the paper (§II-B).
+//!
+//! A fixed-point number has `NI` integer bits (including the sign bit, two's
+//! complement) and `NF` fractional bits. The wordlength is `N = NI + NF`,
+//! the precision is `ε = 2⁻ᴺᶠ`, and the representable range is
+//! `[−2^(NI−1), 2^(NI−1) − 2⁻ᴺᶠ]`.
+
+use std::fmt;
+
+/// A fixed-point number format `Q⟨NI.NF⟩` (two's complement).
+///
+/// The Q-CapsNets framework always keeps `NI = 1` (a single sign/integer
+/// bit, range `[−1, 1 − ε]`) and searches over `NF`; see paper §III step 1.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::QFormat;
+///
+/// let q = QFormat::new(1, 7); // 8-bit word: 1 integer + 7 fractional bits
+/// assert_eq!(q.wordlength(), 8);
+/// assert_eq!(q.precision(), 1.0 / 128.0);
+/// assert_eq!(q.min_value(), -1.0);
+/// assert_eq!(q.max_value(), 1.0 - 1.0 / 128.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QFormat {
+    integer_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// Maximum total wordlength supported (raw values are held in `i64`).
+    pub const MAX_WORDLENGTH: u8 = 62;
+
+    /// Creates a format with `integer_bits` (≥ 1, includes the sign bit) and
+    /// `frac_bits` fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `integer_bits == 0` or the total wordlength exceeds
+    /// [`QFormat::MAX_WORDLENGTH`].
+    pub fn new(integer_bits: u8, frac_bits: u8) -> Self {
+        assert!(integer_bits >= 1, "at least one integer (sign) bit required");
+        assert!(
+            integer_bits + frac_bits <= Self::MAX_WORDLENGTH,
+            "wordlength {} exceeds maximum {}",
+            integer_bits + frac_bits,
+            Self::MAX_WORDLENGTH
+        );
+        QFormat {
+            integer_bits,
+            frac_bits,
+        }
+    }
+
+    /// The paper's default layout: one integer bit, `frac_bits` fractional.
+    pub fn with_frac(frac_bits: u8) -> Self {
+        QFormat::new(1, frac_bits)
+    }
+
+    /// Integer bits `NI` (including sign).
+    pub fn integer_bits(&self) -> u8 {
+        self.integer_bits
+    }
+
+    /// Fractional bits `NF`.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Total wordlength `N = NI + NF`.
+    pub fn wordlength(&self) -> u8 {
+        self.integer_bits + self.frac_bits
+    }
+
+    /// Precision `ε = 2⁻ᴺᶠ`: the value of one least-significant bit.
+    pub fn precision(&self) -> f32 {
+        (0.5f32).powi(self.frac_bits as i32)
+    }
+
+    /// Smallest representable value, `−2^(NI−1)`.
+    pub fn min_value(&self) -> f32 {
+        -(2.0f32).powi(self.integer_bits as i32 - 1)
+    }
+
+    /// Largest representable value, `2^(NI−1) − ε`.
+    pub fn max_value(&self) -> f32 {
+        (2.0f32).powi(self.integer_bits as i32 - 1) - self.precision()
+    }
+
+    /// Smallest raw (integer) representation.
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.wordlength() - 1))
+    }
+
+    /// Largest raw (integer) representation.
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.wordlength() - 1)) - 1
+    }
+
+    /// Clamps a real value into the representable range.
+    pub fn clamp_value(&self, x: f32) -> f32 {
+        x.clamp(self.min_value(), self.max_value())
+    }
+
+    /// Returns `true` when `x` is exactly representable in this format.
+    pub fn is_representable(&self, x: f32) -> bool {
+        if x < self.min_value() || x > self.max_value() {
+            return false;
+        }
+        let scaled = x / self.precision();
+        scaled == scaled.trunc()
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.integer_bits, self.frac_bits)
+    }
+}
+
+impl Default for QFormat {
+    /// `Q1.15`: a 16-bit word with one sign bit, a common fixed-point layout.
+    fn default() -> Self {
+        QFormat::new(1, 15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_7_layout() {
+        let q = QFormat::new(1, 7);
+        assert_eq!(q.wordlength(), 8);
+        assert_eq!(q.precision(), 0.0078125);
+        assert_eq!(q.min_value(), -1.0);
+        assert_eq!(q.max_value(), 0.9921875);
+        assert_eq!(q.min_raw(), -128);
+        assert_eq!(q.max_raw(), 127);
+    }
+
+    #[test]
+    fn wider_integer_part_extends_range() {
+        let q = QFormat::new(4, 4);
+        assert_eq!(q.min_value(), -8.0);
+        assert_eq!(q.max_value(), 8.0 - 0.0625);
+    }
+
+    #[test]
+    fn zero_frac_bits_is_integer_format() {
+        let q = QFormat::new(8, 0);
+        assert_eq!(q.precision(), 1.0);
+        assert!(q.is_representable(5.0));
+        assert!(!q.is_representable(5.5));
+    }
+
+    #[test]
+    fn clamp_saturates() {
+        let q = QFormat::with_frac(7);
+        assert_eq!(q.clamp_value(2.0), q.max_value());
+        assert_eq!(q.clamp_value(-2.0), -1.0);
+        assert_eq!(q.clamp_value(0.5), 0.5);
+    }
+
+    #[test]
+    fn representability() {
+        let q = QFormat::with_frac(2); // ε = 0.25
+        assert!(q.is_representable(0.25));
+        assert!(q.is_representable(-1.0));
+        assert!(q.is_representable(0.75));
+        assert!(!q.is_representable(0.3));
+        assert!(!q.is_representable(1.0)); // max is 0.75
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one integer")]
+    fn rejects_zero_integer_bits() {
+        QFormat::new(0, 8);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(QFormat::new(1, 7).to_string(), "Q1.7");
+    }
+
+    #[test]
+    fn ordering_by_bits() {
+        assert!(QFormat::new(1, 3) < QFormat::new(1, 4));
+    }
+}

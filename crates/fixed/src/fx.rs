@@ -1,0 +1,283 @@
+//! A true integer fixed-point scalar, used to validate that the framework's
+//! f32 "fake quantization" path is bit-exact with real fixed-point hardware
+//! arithmetic.
+
+use crate::QFormat;
+use std::fmt;
+
+/// A fixed-point number stored as a raw two's-complement integer plus its
+/// [`QFormat`].
+///
+/// Arithmetic saturates at the format's range limits (as a hardware MAC
+/// with saturation logic would) and truncates extra fractional bits after
+/// multiplication, matching the paper's MAC-unit model.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::{Fx, QFormat};
+///
+/// let q = QFormat::new(4, 4);
+/// let a = Fx::from_f32(1.5, q);
+/// let b = Fx::from_f32(2.25, q);
+/// assert_eq!((a + b).to_f32(), 3.75);
+/// assert_eq!((a * b).to_f32(), 3.375);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fx {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fx {
+    /// Quantizes an `f32` by truncation into `format`.
+    ///
+    /// Values outside the representable range saturate.
+    pub fn from_f32(x: f32, format: QFormat) -> Self {
+        let scaled = (x as f64 / format.precision() as f64).floor() as i64;
+        Fx {
+            raw: scaled.clamp(format.min_raw(), format.max_raw()),
+            format,
+        }
+    }
+
+    /// Builds a value from a raw two's-complement integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `raw` is outside the format's raw range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        assert!(
+            (format.min_raw()..=format.max_raw()).contains(&raw),
+            "raw value {raw} outside {format} range [{}, {}]",
+            format.min_raw(),
+            format.max_raw()
+        );
+        Fx { raw, format }
+    }
+
+    /// The zero value in `format`.
+    pub fn zero(format: QFormat) -> Self {
+        Fx { raw: 0, format }
+    }
+
+    /// The raw two's-complement integer representation.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The number's format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to `f32` (exact: every representable value fits).
+    pub fn to_f32(&self) -> f32 {
+        self.raw as f32 * self.format.precision()
+    }
+
+    /// Saturating multiply-accumulate: `self + a·b`, the fundamental MAC
+    /// operation of a fixed-point CapsNet accelerator.
+    ///
+    /// The product's extra fractional bits are truncated before the add,
+    /// mirroring a hardware multiplier that keeps the accumulator width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three operands do not share a format.
+    pub fn mac(self, a: Fx, b: Fx) -> Fx {
+        assert_eq!(self.format, a.format, "mac operand format mismatch");
+        assert_eq!(a.format, b.format, "mac operand format mismatch");
+        let prod = (a.raw as i128 * b.raw as i128) >> a.format.frac_bits();
+        let sum = self.raw as i128 + prod;
+        Fx {
+            raw: sum.clamp(self.format.min_raw() as i128, self.format.max_raw() as i128) as i64,
+            format: self.format,
+        }
+    }
+
+    /// Re-quantizes into a (usually narrower) format by truncation, with
+    /// saturation — the hardware "wordlength reduction" step the framework
+    /// inserts before squash/softmax units (paper Fig. 9).
+    pub fn requantize(self, format: QFormat) -> Fx {
+        let shift = self.format.frac_bits() as i32 - format.frac_bits() as i32;
+        let raw = if shift >= 0 {
+            self.raw >> shift
+        } else {
+            self.raw << -shift
+        };
+        Fx {
+            raw: raw.clamp(format.min_raw(), format.max_raw()),
+            format,
+        }
+    }
+}
+
+impl std::ops::Add for Fx {
+    type Output = Fx;
+
+    /// Saturating addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands' formats differ.
+    fn add(self, rhs: Fx) -> Fx {
+        assert_eq!(self.format, rhs.format, "add operand format mismatch");
+        Fx {
+            raw: (self.raw + rhs.raw).clamp(self.format.min_raw(), self.format.max_raw()),
+            format: self.format,
+        }
+    }
+}
+
+impl std::ops::Sub for Fx {
+    type Output = Fx;
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands' formats differ.
+    fn sub(self, rhs: Fx) -> Fx {
+        assert_eq!(self.format, rhs.format, "sub operand format mismatch");
+        Fx {
+            raw: (self.raw - rhs.raw).clamp(self.format.min_raw(), self.format.max_raw()),
+            format: self.format,
+        }
+    }
+}
+
+impl std::ops::Mul for Fx {
+    type Output = Fx;
+
+    /// Saturating multiplication with truncation of extra fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the operands' formats differ.
+    fn mul(self, rhs: Fx) -> Fx {
+        Fx::zero(self.format).mac(self, rhs)
+    }
+}
+
+impl fmt::Display for Fx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f32(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representable_values() {
+        let q = QFormat::new(2, 6);
+        for raw in q.min_raw()..=q.max_raw() {
+            let fx = Fx::from_raw(raw, q);
+            assert_eq!(Fx::from_f32(fx.to_f32(), q), fx);
+        }
+    }
+
+    #[test]
+    fn from_f32_truncates() {
+        let q = QFormat::with_frac(2);
+        assert_eq!(Fx::from_f32(0.3, q).to_f32(), 0.25);
+        assert_eq!(Fx::from_f32(-0.3, q).to_f32(), -0.5);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let q = QFormat::with_frac(3); // range [-1, 0.875]
+        let a = Fx::from_f32(0.75, q);
+        assert_eq!((a + a).to_f32(), q.max_value());
+        let b = Fx::from_f32(-1.0, q);
+        assert_eq!((b + b).to_f32(), -1.0);
+    }
+
+    #[test]
+    fn mul_truncates_extra_bits() {
+        let q = QFormat::new(2, 2); // ε = 0.25
+        let a = Fx::from_f32(0.75, q);
+        let b = Fx::from_f32(0.75, q);
+        // 0.5625 truncates to 0.5 on the 0.25 grid.
+        assert_eq!((a * b).to_f32(), 0.5);
+    }
+
+    #[test]
+    fn mul_negative_values() {
+        let q = QFormat::new(3, 4);
+        let a = Fx::from_f32(-1.5, q);
+        let b = Fx::from_f32(2.0, q);
+        assert_eq!((a * b).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn mac_equals_add_of_mul_when_no_saturation() {
+        let q = QFormat::new(4, 8);
+        let acc = Fx::from_f32(1.0, q);
+        let a = Fx::from_f32(0.5, q);
+        let b = Fx::from_f32(0.25, q);
+        assert_eq!(acc.mac(a, b), acc + (a * b));
+    }
+
+    #[test]
+    fn requantize_narrower_truncates() {
+        let wide = QFormat::new(2, 8);
+        let narrow = QFormat::new(2, 3);
+        let x = Fx::from_f32(0.699, wide); // 0.69921875 on the wide grid
+        let y = x.requantize(narrow);
+        assert_eq!(y.to_f32(), 0.625); // truncated to the 1/8 grid
+    }
+
+    #[test]
+    fn requantize_wider_is_exact() {
+        let narrow = QFormat::new(2, 3);
+        let wide = QFormat::new(2, 8);
+        let x = Fx::from_f32(0.625, narrow);
+        assert_eq!(x.requantize(wide).to_f32(), 0.625);
+    }
+
+    #[test]
+    fn requantize_saturates_on_smaller_integer_part() {
+        let big = QFormat::new(4, 4);
+        let small = QFormat::new(1, 4);
+        let x = Fx::from_f32(3.0, big);
+        assert_eq!(x.requantize(small).to_f32(), small.max_value());
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn mixed_format_arithmetic_rejected() {
+        let a = Fx::from_f32(0.5, QFormat::new(1, 4));
+        let b = Fx::from_f32(0.5, QFormat::new(1, 5));
+        let _ = a + b;
+    }
+
+    #[test]
+    fn fake_quantization_matches_integer_path() {
+        // The f32 round-then-clamp path (Truncation) must agree with Fx for
+        // a dot product, provided no intermediate saturates.
+        use crate::RoundingScheme;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let q = QFormat::new(8, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = [0.37f32, -0.82, 0.15, 0.64];
+        let ws = [0.5f32, 0.25, -0.75, 0.125];
+        // Integer path.
+        let mut acc = Fx::zero(q);
+        for (&x, &w) in xs.iter().zip(&ws) {
+            acc = acc.mac(Fx::from_f32(x, q), Fx::from_f32(w, q));
+        }
+        // Fake-quantized f32 path (weights exactly representable, so the
+        // products land on the grid and truncation is exact).
+        let mut facc = 0.0f32;
+        for (&x, &w) in xs.iter().zip(&ws) {
+            let xq = RoundingScheme::Truncation.round(x, q, &mut rng);
+            facc += xq * w;
+            facc = RoundingScheme::Truncation.round(facc, q, &mut rng);
+        }
+        assert!((acc.to_f32() - facc).abs() < q.precision() * 2.0);
+    }
+}

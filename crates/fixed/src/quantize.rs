@@ -1,0 +1,217 @@
+//! Tensor-level fake quantization: round every element of a [`Tensor`] onto
+//! a [`QFormat`] grid with a chosen [`RoundingScheme`], staying in `f32`.
+//!
+//! This mirrors how the paper's PyTorch framework quantizes: values are
+//! rounded and clamped but kept in floating point, which is bit-exact with
+//! integer fixed-point as long as `f32`'s 24-bit mantissa covers the
+//! wordlength (guaranteed here for N ≤ 24 — the framework searches N ≤ 32
+//! for weights but accuracy-relevant formats are far below 24 bits).
+
+use crate::{QFormat, RoundingScheme};
+use qcn_tensor::Tensor;
+use rand::Rng;
+
+/// A complete quantization recipe: a grid plus a rounding rule.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+/// use qcn_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let quant = Quantizer::new(QFormat::with_frac(3), RoundingScheme::RoundToNearest);
+/// let t = Tensor::from_vec(vec![0.3, -0.7, 1.4], [3])?;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let q = quant.quantize(&t, &mut rng);
+/// assert_eq!(q.data(), &[0.25, -0.75, 0.875]); // 1.4 saturates to max
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Quantizer {
+    format: QFormat,
+    scheme: RoundingScheme,
+}
+
+impl Quantizer {
+    /// Creates a quantizer from a format and a rounding scheme.
+    pub fn new(format: QFormat, scheme: RoundingScheme) -> Self {
+        Quantizer { format, scheme }
+    }
+
+    /// The target grid.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The rounding rule.
+    pub fn scheme(&self) -> RoundingScheme {
+        self.scheme
+    }
+
+    /// Quantizes a tensor, returning a new tensor on the grid.
+    pub fn quantize(&self, t: &Tensor, rng: &mut impl Rng) -> Tensor {
+        let mut out = t.clone();
+        self.scheme
+            .round_slice(out.data_mut(), self.format, rng);
+        out
+    }
+
+    /// Quantizes a tensor in place.
+    pub fn quantize_inplace(&self, t: &mut Tensor, rng: &mut impl Rng) {
+        self.scheme.round_slice(t.data_mut(), self.format, rng);
+    }
+}
+
+/// Summary statistics of the error introduced by quantizing `original` to
+/// `quantized` (same shapes).
+///
+/// Used by tests and by the rounding-scheme analysis bench (§IV-C) to show
+/// truncation's negative bias and stochastic rounding's unbiasedness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationStats {
+    /// Mean error `E[xq − x]` (the *bias* of §II-B).
+    pub bias: f32,
+    /// Mean squared error.
+    pub mse: f32,
+    /// Largest absolute error.
+    pub max_abs_error: f32,
+    /// Signal-to-quantization-noise ratio in dB (`10·log10(E[x²]/MSE)`).
+    /// `f32::INFINITY` when the error is exactly zero.
+    pub sqnr_db: f32,
+}
+
+impl QuantizationStats {
+    /// Computes error statistics between an original and its quantized copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two tensors' shapes differ or are empty.
+    pub fn measure(original: &Tensor, quantized: &Tensor) -> Self {
+        assert_eq!(
+            original.shape(),
+            quantized.shape(),
+            "stats require matching shapes"
+        );
+        assert!(!original.is_empty(), "stats of empty tensors");
+        let n = original.len() as f32;
+        let mut bias = 0.0f32;
+        let mut mse = 0.0f32;
+        let mut max_abs = 0.0f32;
+        let mut signal = 0.0f32;
+        for (&x, &xq) in original.data().iter().zip(quantized.data()) {
+            let e = xq - x;
+            bias += e;
+            mse += e * e;
+            max_abs = max_abs.max(e.abs());
+            signal += x * x;
+        }
+        bias /= n;
+        mse /= n;
+        signal /= n;
+        let sqnr_db = if mse == 0.0 {
+            f32::INFINITY
+        } else {
+            10.0 * (signal / mse).log10()
+        };
+        QuantizationStats {
+            bias,
+            mse,
+            max_abs_error: max_abs,
+            sqnr_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let quant = Quantizer::new(QFormat::with_frac(4), RoundingScheme::RoundToNearest);
+        let t = Tensor::rand_uniform([64], -1.0, 1.0, &mut rng());
+        let q1 = quant.quantize(&t, &mut rng());
+        let q2 = quant.quantize(&q1, &mut rng());
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn quantized_values_are_representable() {
+        let format = QFormat::with_frac(3);
+        for scheme in RoundingScheme::ALL {
+            let quant = Quantizer::new(format, scheme);
+            let t = Tensor::rand_uniform([128], -2.0, 2.0, &mut rng());
+            let q = quant.quantize(&t, &mut rng());
+            for &v in q.data() {
+                assert!(format.is_representable(v), "{v} not representable ({scheme})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_inplace_matches_copy() {
+        let quant = Quantizer::new(QFormat::with_frac(5), RoundingScheme::Truncation);
+        let t = Tensor::rand_uniform([32], -1.0, 1.0, &mut rng());
+        let copied = quant.quantize(&t, &mut rng());
+        let mut inplace = t.clone();
+        quant.quantize_inplace(&mut inplace, &mut rng());
+        assert_eq!(copied, inplace);
+    }
+
+    #[test]
+    fn error_bounded_by_precision() {
+        let format = QFormat::with_frac(6);
+        let t = Tensor::rand_uniform([256], -0.9, 0.9, &mut rng());
+        for scheme in RoundingScheme::ALL {
+            let q = Quantizer::new(format, scheme).quantize(&t, &mut rng());
+            let stats = QuantizationStats::measure(&t, &q);
+            assert!(
+                stats.max_abs_error <= format.precision() + 1e-6,
+                "{scheme}: {}",
+                stats.max_abs_error
+            );
+        }
+    }
+
+    #[test]
+    fn sr_bias_smaller_than_trn_bias() {
+        let format = QFormat::with_frac(4);
+        let t = Tensor::rand_uniform([8192], -0.9, 0.9, &mut rng());
+        let trn = Quantizer::new(format, RoundingScheme::Truncation).quantize(&t, &mut rng());
+        let sr = Quantizer::new(format, RoundingScheme::Stochastic).quantize(&t, &mut rng());
+        let trn_stats = QuantizationStats::measure(&t, &trn);
+        let sr_stats = QuantizationStats::measure(&t, &sr);
+        assert!(sr_stats.bias.abs() < trn_stats.bias.abs() / 4.0);
+    }
+
+    #[test]
+    fn sqnr_improves_with_more_bits() {
+        let t = Tensor::rand_uniform([4096], -0.9, 0.9, &mut rng());
+        let mut last = f32::NEG_INFINITY;
+        for frac in [2u8, 4, 6, 8] {
+            let q = Quantizer::new(QFormat::with_frac(frac), RoundingScheme::RoundToNearest)
+                .quantize(&t, &mut rng());
+            let s = QuantizationStats::measure(&t, &q);
+            assert!(s.sqnr_db > last, "frac {frac}: {} ≤ {last}", s.sqnr_db);
+            last = s.sqnr_db;
+        }
+        // Each extra bit is worth ~6 dB; 4 bits apart ⇒ > 20 dB apart.
+        assert!(last > 40.0);
+    }
+
+    #[test]
+    fn zero_error_gives_infinite_sqnr() {
+        let t = Tensor::from_vec(vec![0.5, -0.25], [2]).unwrap();
+        let s = QuantizationStats::measure(&t, &t);
+        assert_eq!(s.sqnr_db, f32::INFINITY);
+        assert_eq!(s.bias, 0.0);
+    }
+}

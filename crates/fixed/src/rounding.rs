@@ -1,0 +1,297 @@
+//! The paper's three rounding schemes (§II-B): truncation, round-to-nearest,
+//! and stochastic rounding.
+
+use crate::QFormat;
+use rand::Rng;
+use std::fmt;
+
+/// A rule for converting a real value to the nearest grid point of a
+/// [`QFormat`].
+///
+/// The Q-CapsNets framework treats the set of schemes as a *library* and
+/// searches over all of them (§III-B). Scheme *simplicity* (hardware cost)
+/// orders them `Truncation < RoundToNearest < Stochastic`; the selection
+/// rules break ties in favour of the simplest scheme.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::{QFormat, RoundingScheme};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let q = QFormat::with_frac(2); // grid step 0.25
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(RoundingScheme::Truncation.round(0.3, q, &mut rng), 0.25);
+/// assert_eq!(RoundingScheme::RoundToNearest.round(0.3, q, &mut rng), 0.25);
+/// assert_eq!(RoundingScheme::RoundToNearest.round(0.4, q, &mut rng), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RoundingScheme {
+    /// Drop the extra fractional bits: `xq = ⌊x⌋` (negative average bias).
+    Truncation,
+    /// Round half-way cases up: `xq = ⌊x + ε/2⌋` (small negative bias).
+    RoundToNearest,
+    /// Round half-way cases to the even grid point (banker's rounding,
+    /// the "round-to-nearest-even" of the paper's §III-B library):
+    /// unbiased on half-way values at slightly higher comparator cost.
+    RoundToNearestEven,
+    /// Round up with probability proportional to the remainder (unbiased,
+    /// but requires a random number generator in hardware).
+    Stochastic,
+}
+
+impl RoundingScheme {
+    /// The paper's three-scheme library (§III-B), ordered from simplest to
+    /// most complex hardware.
+    pub const ALL: [RoundingScheme; 3] = [
+        RoundingScheme::Truncation,
+        RoundingScheme::RoundToNearest,
+        RoundingScheme::Stochastic,
+    ];
+
+    /// The extended library including round-to-nearest-even.
+    pub const EXTENDED: [RoundingScheme; 4] = [
+        RoundingScheme::Truncation,
+        RoundingScheme::RoundToNearest,
+        RoundingScheme::RoundToNearestEven,
+        RoundingScheme::Stochastic,
+    ];
+
+    /// Hardware-complexity rank (0 = simplest). Used by the framework's
+    /// tie-breaking rules (§III-B, criterion A4/B3).
+    pub fn complexity(&self) -> u8 {
+        match self {
+            RoundingScheme::Truncation => 0,
+            RoundingScheme::RoundToNearest => 1,
+            RoundingScheme::RoundToNearestEven => 2,
+            RoundingScheme::Stochastic => 3,
+        }
+    }
+
+    /// Rounds `x` onto the grid of `format` and clamps into its range.
+    ///
+    /// For [`RoundingScheme::Stochastic`] the provided `rng` decides the
+    /// rounding direction; the other schemes ignore it.
+    pub fn round(&self, x: f32, format: QFormat, rng: &mut impl Rng) -> f32 {
+        let eps = format.precision();
+        let scaled = (x / eps) as f64;
+        let raw = match self {
+            RoundingScheme::Truncation => scaled.floor() as i64,
+            RoundingScheme::RoundToNearest => (scaled + 0.5).floor() as i64,
+            RoundingScheme::RoundToNearestEven => {
+                let floor = scaled.floor();
+                let frac = scaled - floor;
+                let floor = floor as i64;
+                match frac.partial_cmp(&0.5).expect("frac is finite") {
+                    std::cmp::Ordering::Greater => floor + 1,
+                    std::cmp::Ordering::Less => floor,
+                    // Exactly half-way: round to the even neighbour.
+                    std::cmp::Ordering::Equal => floor + (floor % 2 != 0) as i64,
+                }
+            }
+            RoundingScheme::Stochastic => {
+                let floor = scaled.floor();
+                let frac = scaled - floor;
+                let p: f64 = rng.gen_range(0.0..1.0);
+                floor as i64 + i64::from(p < frac)
+            }
+        };
+        let raw = raw.clamp(format.min_raw(), format.max_raw());
+        raw as f32 * eps
+    }
+
+    /// Rounds a whole slice in place. Equivalent to calling [`round`] on
+    /// every element; stochastic rounding consumes one random draw per
+    /// element in order.
+    ///
+    /// [`round`]: RoundingScheme::round
+    pub fn round_slice(&self, values: &mut [f32], format: QFormat, rng: &mut impl Rng) {
+        for v in values {
+            *v = self.round(*v, format, rng);
+        }
+    }
+}
+
+impl fmt::Display for RoundingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RoundingScheme::Truncation => "TRN",
+            RoundingScheme::RoundToNearest => "RTN",
+            RoundingScheme::RoundToNearestEven => "RTNE",
+            RoundingScheme::Stochastic => "SR",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn truncation_floors_toward_negative_infinity() {
+        let q = QFormat::with_frac(2); // ε = 0.25
+        let mut r = rng();
+        let t = RoundingScheme::Truncation;
+        assert_eq!(t.round(0.30, q, &mut r), 0.25);
+        assert_eq!(t.round(-0.30, q, &mut r), -0.50);
+        assert_eq!(t.round(0.25, q, &mut r), 0.25);
+        assert_eq!(t.round(0.0, q, &mut r), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_half_up() {
+        let q = QFormat::with_frac(2);
+        let mut r = rng();
+        let n = RoundingScheme::RoundToNearest;
+        assert_eq!(n.round(0.37, q, &mut r), 0.25);
+        assert_eq!(n.round(0.38, q, &mut r), 0.50);
+        // Exact half-way rounds up (paper Eq. 3).
+        assert_eq!(n.round(0.125, q, &mut r), 0.25);
+        assert_eq!(n.round(-0.125, q, &mut r), 0.0);
+    }
+
+    #[test]
+    fn all_schemes_clamp_to_range() {
+        let q = QFormat::with_frac(3);
+        let mut r = rng();
+        for scheme in RoundingScheme::ALL {
+            assert_eq!(scheme.round(5.0, q, &mut r), q.max_value());
+            assert_eq!(scheme.round(-5.0, q, &mut r), q.min_value());
+        }
+    }
+
+    #[test]
+    fn all_schemes_are_exact_on_grid_points() {
+        let q = QFormat::with_frac(4);
+        let mut r = rng();
+        for scheme in [RoundingScheme::Truncation, RoundingScheme::RoundToNearest] {
+            for i in -16..16 {
+                let x = i as f32 / 16.0;
+                assert_eq!(scheme.round(x, q, &mut r), x, "{scheme} at {x}");
+            }
+        }
+        // SR is also exact on grid points (frac = 0 → never rounds up).
+        for i in -16..16 {
+            let x = i as f32 / 16.0;
+            assert_eq!(RoundingScheme::Stochastic.round(x, q, &mut r), x);
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        // Mean of many SR roundings of 0.1 (between 0 and 0.25) must
+        // approach 0.1 — the defining property vs truncation.
+        let q = QFormat::with_frac(2);
+        let mut r = rng();
+        let n = 20_000;
+        let sum: f32 = (0..n)
+            .map(|_| RoundingScheme::Stochastic.round(0.1, q, &mut r))
+            .sum();
+        let mean = sum / n as f32;
+        assert!((mean - 0.1).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn truncation_bias_is_negative() {
+        // Over uniformly distributed inputs, truncation has mean error −ε/2.
+        let q = QFormat::with_frac(3);
+        let mut r = rng();
+        let eps = q.precision();
+        let n = 4096;
+        let mut err = 0.0;
+        for i in 0..n {
+            let x = -0.9 + 1.8 * (i as f32 / n as f32);
+            err += RoundingScheme::Truncation.round(x, q, &mut r) - x;
+        }
+        let bias = err / n as f32;
+        assert!(bias < 0.0, "bias {bias}");
+        assert!((bias + eps / 2.0).abs() < eps / 8.0, "bias {bias}");
+    }
+
+    #[test]
+    fn rtn_bias_smaller_than_trn_bias() {
+        let q = QFormat::with_frac(3);
+        let mut r = rng();
+        let n = 4096;
+        let (mut err_t, mut err_n) = (0.0f32, 0.0f32);
+        for i in 0..n {
+            let x = -0.9 + 1.8 * (i as f32 / n as f32);
+            err_t += RoundingScheme::Truncation.round(x, q, &mut r) - x;
+            err_n += RoundingScheme::RoundToNearest.round(x, q, &mut r) - x;
+        }
+        assert!(err_n.abs() < err_t.abs());
+    }
+
+    #[test]
+    fn round_slice_matches_scalar_rounds() {
+        let q = QFormat::with_frac(2);
+        let mut vals = vec![0.3, -0.6, 0.9];
+        RoundingScheme::Truncation.round_slice(&mut vals, q, &mut rng());
+        assert_eq!(vals, vec![0.25, -0.75, 0.75]);
+    }
+
+    #[test]
+    fn rtne_rounds_half_to_even() {
+        let q = QFormat::with_frac(2); // grid 0.25
+        let mut r = rng();
+        let e = RoundingScheme::RoundToNearestEven;
+        // 0.125 is half-way between 0 (even multiple: 0·ε) and 0.25 (odd).
+        assert_eq!(e.round(0.125, q, &mut r), 0.0);
+        // 0.375 is half-way between 0.25 (raw 1, odd) and 0.5 (raw 2, even).
+        assert_eq!(e.round(0.375, q, &mut r), 0.5);
+        // Non-half-way values behave like RTN.
+        assert_eq!(e.round(0.3, q, &mut r), 0.25);
+        assert_eq!(e.round(0.4, q, &mut r), 0.5);
+        // Negative half-way: −0.125 between −0.25 (raw −1) and 0 (raw 0).
+        assert_eq!(e.round(-0.125, q, &mut r), 0.0);
+    }
+
+    #[test]
+    fn rtne_is_unbiased_on_halfway_values() {
+        let q = QFormat::with_frac(3);
+        let mut r = rng();
+        let eps = q.precision();
+        // Sum of errors over consecutive half-way points cancels.
+        let mut err = 0.0f32;
+        for i in -6..6 {
+            let x = (i as f32 + 0.5) * eps;
+            err += RoundingScheme::RoundToNearestEven.round(x, q, &mut r) - x;
+        }
+        assert!(err.abs() < 1e-6, "{err}");
+    }
+
+    #[test]
+    fn extended_library_contains_all() {
+        assert_eq!(RoundingScheme::EXTENDED.len(), 4);
+        for s in RoundingScheme::ALL {
+            assert!(RoundingScheme::EXTENDED.contains(&s));
+        }
+    }
+
+    #[test]
+    fn complexity_ordering() {
+        assert!(
+            RoundingScheme::Truncation.complexity()
+                < RoundingScheme::RoundToNearest.complexity()
+        );
+        assert!(
+            RoundingScheme::RoundToNearest.complexity()
+                < RoundingScheme::Stochastic.complexity()
+        );
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(RoundingScheme::Truncation.to_string(), "TRN");
+        assert_eq!(RoundingScheme::RoundToNearest.to_string(), "RTN");
+        assert_eq!(RoundingScheme::Stochastic.to_string(), "SR");
+    }
+}

@@ -1,0 +1,306 @@
+//! Integer-arithmetic implementations of the squash and softmax hardware
+//! units the paper synthesises (Fig. 3).
+//!
+//! These compute entirely on raw fixed-point integers — integer square
+//! root, shift-and-add exponential — the way a UMC-65nm datapath would,
+//! and are validated against the `f32` reference implementations in
+//! `qcn-tensor`. They demonstrate that the framework's fake-quantized
+//! accuracy numbers are achievable with real fixed-point hardware, and
+//! they ground the energy/area models of `qcn-hwmodel`.
+
+use crate::Fx;
+
+/// Integer square root of a `u128` (largest `r` with `r² ≤ x`), by
+/// Newton's method with a monotone correction step.
+fn isqrt_u128(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = 1u128 << (128 - x.leading_zeros()).div_ceil(2);
+    loop {
+        let next = (r + x / r) / 2;
+        if next >= r {
+            break;
+        }
+        r = next;
+    }
+    while r * r > x {
+        r -= 1;
+    }
+    r
+}
+
+/// Fixed-point squash unit (paper Eq. 2), operating on one capsule vector.
+///
+/// All arithmetic is on raw two's-complement integers in the vector's
+/// [`QFormat`](crate::QFormat); intermediates use widened integer precision exactly as a
+/// hardware implementation would (the squared norm needs `2·NF`
+/// fractional bits, the square root halves them back).
+///
+/// # Panics
+///
+/// Panics when `caps` is empty or its elements disagree on format.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::{fx_squash, Fx, QFormat};
+///
+/// let q = QFormat::new(2, 8);
+/// let v = [Fx::from_f32(0.6, q), Fx::from_f32(0.8, q)];
+/// let squashed = fx_squash(&v);
+/// // ‖v‖ = 1 → output length = 1/(1+1) = 0.5, direction preserved.
+/// assert!((squashed[0].to_f32() - 0.3).abs() < 0.02);
+/// assert!((squashed[1].to_f32() - 0.4).abs() < 0.02);
+/// ```
+pub fn fx_squash(caps: &[Fx]) -> Vec<Fx> {
+    assert!(!caps.is_empty(), "squash of empty capsule");
+    let format = caps[0].format();
+    assert!(
+        caps.iter().all(|c| c.format() == format),
+        "mixed formats in capsule"
+    );
+    let nf = format.frac_bits() as u32;
+    // n² in 2·NF fractional bits (exact).
+    let sq_norm: u128 = caps
+        .iter()
+        .map(|c| (c.raw() as i128 * c.raw() as i128) as u128)
+        .sum();
+    if sq_norm == 0 {
+        return vec![Fx::zero(format); caps.len()];
+    }
+    // n in NF fractional bits: isqrt halves the fractional exponent.
+    let norm = isqrt_u128(sq_norm); // NF fractional bits
+    // scale = n / (1 + n²), all in NF fractional bits:
+    //   numerator n has NF bits; denominator (1 + n²) has 2·NF bits.
+    //   scale_raw = (n << (2·NF)) / (ONE_2NF + n²)  → NF fractional bits.
+    let one_2nf = 1u128 << (2 * nf);
+    let scale = ((norm << (2 * nf)) / (one_2nf + sq_norm)) as i128; // NF frac bits
+    caps.iter()
+        .map(|c| {
+            let prod = c.raw() as i128 * scale; // 2·NF fractional bits
+            let raw = (prod >> nf)
+                .clamp(format.min_raw() as i128, format.max_raw() as i128)
+                as i64;
+            Fx::from_raw(raw, format)
+        })
+        .collect()
+}
+
+/// Fixed-point exponential `e^x` for `x ≤ 0`, returning `frac_bits`
+/// fractional bits, via the identity `e^x = 2^(x·log₂e)` with a
+/// second-order polynomial for the fractional part of the exponent.
+fn fx_exp_neg(x: Fx, out_frac: u32) -> u128 {
+    debug_assert!(x.raw() <= 0, "fx_exp_neg requires x ≤ 0");
+    let nf = x.format().frac_bits() as u32;
+    // t = −x·log₂e in 32 fractional bits.
+    const LOG2E_Q32: i128 = 6196328019; // round(log2(e) · 2³²)
+    let t = (-(x.raw() as i128) * LOG2E_Q32) >> nf; // 32 frac bits, t ≥ 0
+    let int_part = (t >> 32) as u32;
+    if int_part >= 63 {
+        return 0; // underflow to zero
+    }
+    let frac = (t & 0xFFFF_FFFF) as u128; // fractional part, 32 bits
+    // 2^(−f) ≈ 1 − c₁f + c₂f² − c₃f³ + c₄f⁴ (4th-order Taylor in ln2;
+    // max error ≈ 0.1 % on [0, 1), far below the quantization noise it
+    // feeds).
+    const C1_Q32: u128 = 2977044472; // round(ln2 · 2³²)
+    const C2_Q32: u128 = 1031764991; // round(ln²2/2 · 2³²)
+    const C3_Q32: u128 = 238388332; // round(ln³2/6 · 2³²)
+    const C4_Q32: u128 = 41309550; // round(ln⁴2/24 · 2³²)
+    let f2 = (frac * frac) >> 32;
+    let f3 = (f2 * frac) >> 32;
+    let f4 = (f3 * frac) >> 32;
+    let poly = (1u128 << 32) + ((C2_Q32 * f2) >> 32) + ((C4_Q32 * f4) >> 32)
+        - ((C1_Q32 * frac) >> 32)
+        - ((C3_Q32 * f3) >> 32);
+    // Shift to the output precision and apply the integer part of the
+    // exponent.
+    let shifted = if out_frac >= 32 {
+        poly << (out_frac - 32)
+    } else {
+        poly >> (32 - out_frac)
+    };
+    shifted >> int_part
+}
+
+/// Fixed-point softmax unit (paper Eq. 1), operating on one logit vector.
+///
+/// Subtracts the maximum (so every exponent is ≤ 0, as hardware
+/// implementations do), evaluates a shift-and-add exponential, and
+/// normalises with one integer division per element. The result is in the
+/// input's format.
+///
+/// # Panics
+///
+/// Panics when `logits` is empty or formats disagree.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_fixed::{fx_softmax, Fx, QFormat};
+///
+/// let q = QFormat::new(4, 8);
+/// let logits = [Fx::from_f32(1.0, q), Fx::from_f32(1.0, q)];
+/// let probs = fx_softmax(&logits);
+/// assert!((probs[0].to_f32() - 0.5).abs() < 0.01);
+/// ```
+pub fn fx_softmax(logits: &[Fx]) -> Vec<Fx> {
+    assert!(!logits.is_empty(), "softmax of empty vector");
+    let format = logits[0].format();
+    assert!(
+        logits.iter().all(|c| c.format() == format),
+        "mixed formats in logits"
+    );
+    let max_raw = logits.iter().map(Fx::raw).max().expect("non-empty");
+    const EXP_FRAC: u32 = 30;
+    let exps: Vec<u128> = logits
+        .iter()
+        .map(|l| {
+            let shifted = Fx::from_raw(l.raw() - max_raw, format);
+            fx_exp_neg(shifted, EXP_FRAC)
+        })
+        .collect();
+    let sum: u128 = exps.iter().sum();
+    let nf = format.frac_bits() as u32;
+    exps.iter()
+        .map(|&e| {
+            // p = e / sum, in NF fractional bits.
+            let raw = ((e << nf) / sum.max(1)) as i64;
+            Fx::from_raw(raw.min(format.max_raw()), format)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QFormat;
+    use qcn_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn isqrt_exact_on_squares() {
+        for r in [0u128, 1, 2, 100, 65_535, 1 << 40] {
+            assert_eq!(isqrt_u128(r * r), r);
+            if r > 1 {
+                assert_eq!(isqrt_u128(r * r + 1), r);
+                assert_eq!(isqrt_u128(r * r - 1), r - 1);
+            }
+        }
+        assert_eq!(isqrt_u128(2), 1);
+        assert_eq!(isqrt_u128(3), 1);
+        assert_eq!(isqrt_u128(8), 2);
+    }
+
+    #[test]
+    fn fx_squash_matches_f32_reference() {
+        let q = QFormat::new(2, 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let dim = rng.gen_range(2..9);
+            let vals: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.2..1.2)).collect();
+            let fx: Vec<Fx> = vals.iter().map(|&v| Fx::from_f32(v, q)).collect();
+            let fx_out = fx_squash(&fx);
+            // Reference on the *quantized* inputs.
+            let quantized: Vec<f32> = fx.iter().map(Fx::to_f32).collect();
+            let t = Tensor::from_vec(quantized, [1, dim]).unwrap();
+            let reference = t.squash_axis(1);
+            for (out, i) in fx_out.iter().zip(0..dim) {
+                let want = reference.get(&[0, i]);
+                assert!(
+                    (out.to_f32() - want).abs() < 3.0 * q.precision(),
+                    "dim {dim}: {} vs {want}",
+                    out.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fx_squash_zero_vector() {
+        let q = QFormat::new(2, 8);
+        let out = fx_squash(&[Fx::zero(q); 4]);
+        assert!(out.iter().all(|x| x.raw() == 0));
+    }
+
+    #[test]
+    fn fx_squash_output_length_below_one() {
+        let q = QFormat::new(2, 10);
+        let v = [Fx::from_f32(1.5, q), Fx::from_f32(-1.5, q)];
+        let out = fx_squash(&v);
+        let norm: f32 = out.iter().map(|x| x.to_f32() * x.to_f32()).sum::<f32>().sqrt();
+        assert!(norm < 1.0, "{norm}");
+    }
+
+    #[test]
+    fn fx_exp_matches_f32() {
+        let q = QFormat::new(4, 10);
+        for &x in &[-0.001f32, -0.5, -1.0, -2.5, -5.0, -9.0] {
+            let fx = Fx::from_f32(x, q);
+            let got = fx_exp_neg(fx, 30) as f64 / (1u64 << 30) as f64;
+            let want = (fx.to_f32() as f64).exp();
+            assert!(
+                (got - want).abs() < 0.004,
+                "exp({x}): {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fx_softmax_matches_f32_reference() {
+        let q = QFormat::new(4, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..12);
+            let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let fx: Vec<Fx> = vals.iter().map(|&v| Fx::from_f32(v, q)).collect();
+            let fx_out = fx_softmax(&fx);
+            let quantized: Vec<f32> = fx.iter().map(Fx::to_f32).collect();
+            let t = Tensor::from_vec(quantized, [1, n]).unwrap();
+            let reference = t.softmax_axis(1);
+            for (out, i) in fx_out.iter().zip(0..n) {
+                let want = reference.get(&[0, i]);
+                assert!(
+                    (out.to_f32() - want).abs() < 4.0 * q.precision(),
+                    "n {n}: {} vs {want}",
+                    out.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fx_softmax_sums_to_approximately_one() {
+        let q = QFormat::new(4, 12);
+        let logits = [
+            Fx::from_f32(2.0, q),
+            Fx::from_f32(-1.0, q),
+            Fx::from_f32(0.5, q),
+        ];
+        let probs = fx_softmax(&logits);
+        let sum: f32 = probs.iter().map(Fx::to_f32).sum();
+        assert!((sum - 1.0).abs() < 0.01, "{sum}");
+    }
+
+    #[test]
+    fn fx_softmax_is_shift_invariant() {
+        // softmax(x) == softmax(x + c): the max-subtraction makes the
+        // hardware unit exactly shift-invariant.
+        let q = QFormat::new(5, 8);
+        let a: Vec<Fx> = [0.5f32, -1.0, 2.0]
+            .iter()
+            .map(|&v| Fx::from_f32(v, q))
+            .collect();
+        let b: Vec<Fx> = [3.5f32, 2.0, 5.0]
+            .iter()
+            .map(|&v| Fx::from_f32(v, q))
+            .collect();
+        let pa = fx_softmax(&a);
+        let pb = fx_softmax(&b);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.raw(), y.raw());
+        }
+    }
+}

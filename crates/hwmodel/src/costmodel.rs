@@ -1,0 +1,135 @@
+//! Analytic energy/area cost models of the fixed-point hardware units the
+//! paper synthesised in UMC 65nm with Synopsys Design Compiler (Figs. 2–3).
+//!
+//! The paper reports that both the energy per operation and the silicon
+//! area of a MAC unit grow **quadratically** with the wordlength, and that
+//! squash/softmax modules behave likewise in the number of fractional bits
+//! while costing substantially more than a MAC. The models here are
+//! quadratic fits anchored at the figures' endpoints (32-bit MAC ≈ 1.4 pJ /
+//! 10.8 kµm²; 8-fractional-bit squash/softmax ≈ 4 pJ / 7 kµm²). They stand
+//! in for the proprietary synthesis flow (DESIGN.md §3, substitution 2);
+//! the paper only uses these curves qualitatively — to motivate minimising
+//! wordlengths.
+
+/// A hardware unit whose energy/area scale quadratically with the number
+/// of bits it processes.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_hwmodel::HwUnit;
+///
+/// let mac = HwUnit::mac();
+/// // Halving the wordlength quarters energy and area.
+/// let e32 = mac.energy_pj(32);
+/// let e16 = mac.energy_pj(16);
+/// assert!((e32 / e16 - 4.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwUnit {
+    name: &'static str,
+    /// Energy coefficient: pJ per bit².
+    energy_coeff: f64,
+    /// Area coefficient: µm² per bit².
+    area_coeff: f64,
+}
+
+impl HwUnit {
+    /// Fixed-point multiply-accumulate unit (paper Fig. 2): 1.4 pJ and
+    /// 10 800 µm² at a 32-bit wordlength.
+    pub fn mac() -> Self {
+        HwUnit {
+            name: "MAC",
+            energy_coeff: 1.4 / (32.0f64 * 32.0),
+            area_coeff: 10_800.0 / (32.0f64 * 32.0),
+        }
+    }
+
+    /// Squash unit (paper Fig. 3 left): 4 pJ and 7 000 µm² at 8 fractional
+    /// bits. Bits here are *fractional* bits (the paper keeps one integer
+    /// bit).
+    pub fn squash() -> Self {
+        HwUnit {
+            name: "squash",
+            energy_coeff: 4.0 / 64.0,
+            area_coeff: 7_000.0 / 64.0,
+        }
+    }
+
+    /// Softmax unit (paper Fig. 3 right): like squash, marginally more
+    /// expensive at equal width (exponentials vs one division/square root).
+    pub fn softmax() -> Self {
+        HwUnit {
+            name: "softmax",
+            energy_coeff: 4.4 / 64.0,
+            area_coeff: 7_400.0 / 64.0,
+        }
+    }
+
+    /// The unit's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Energy of one operation at `bits` width, in picojoules.
+    pub fn energy_pj(&self, bits: u8) -> f64 {
+        self.energy_coeff * (bits as f64).powi(2)
+    }
+
+    /// Silicon area at `bits` width, in µm².
+    pub fn area_um2(&self, bits: u8) -> f64 {
+        self.area_coeff * (bits as f64).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_anchors_match_paper_endpoints() {
+        let mac = HwUnit::mac();
+        assert!((mac.energy_pj(32) - 1.4).abs() < 1e-9);
+        assert!((mac.area_um2(32) - 10_800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn squash_softmax_anchor_at_8_fractional_bits() {
+        assert!((HwUnit::squash().energy_pj(8) - 4.0).abs() < 1e-9);
+        assert!((HwUnit::squash().area_um2(8) - 7_000.0).abs() < 1e-6);
+        assert!((HwUnit::softmax().energy_pj(8) - 4.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_is_quadratic() {
+        for unit in [HwUnit::mac(), HwUnit::squash(), HwUnit::softmax()] {
+            for bits in [4u8, 8, 16] {
+                let ratio = unit.energy_pj(2 * bits) / unit.energy_pj(bits);
+                assert!((ratio - 4.0).abs() < 1e-6, "{}", unit.name());
+                let ratio = unit.area_um2(2 * bits) / unit.area_um2(bits);
+                assert!((ratio - 4.0).abs() < 1e-6, "{}", unit.name());
+            }
+        }
+    }
+
+    #[test]
+    fn squash_and_softmax_cost_more_than_mac_at_equal_bits() {
+        // Paper: "the squash and the softmax functions require more energy
+        // and area than a simple MAC operation."
+        for bits in 2..=8u8 {
+            assert!(HwUnit::squash().energy_pj(bits) > HwUnit::mac().energy_pj(bits));
+            assert!(HwUnit::softmax().energy_pj(bits) > HwUnit::mac().energy_pj(bits));
+        }
+    }
+
+    #[test]
+    fn costs_are_monotone_in_bits() {
+        let mac = HwUnit::mac();
+        let mut last = 0.0;
+        for bits in 1..=32u8 {
+            let e = mac.energy_pj(bits);
+            assert!(e > last);
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Inference energy estimation: combines the per-unit cost models
+//! (Figs. 2–3) with an architecture's operation counts to estimate the
+//! energy of one inference pass at given per-layer wordlengths.
+//!
+//! This quantifies the paper's §IV-D observation: reducing the
+//! dynamic-routing wordlength to 3–4 bits yields outsized energy savings
+//! because the expensive squash/softmax units shrink quadratically.
+
+use crate::archstats::ArchStats;
+use crate::costmodel::HwUnit;
+
+/// Per-layer bit assignment for energy estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerBits {
+    /// Wordlength of MAC operands.
+    pub mac_bits: u8,
+    /// Fractional bits of squash/softmax datapaths (the `Q_DR` of the
+    /// framework for routing layers).
+    pub dr_bits: u8,
+}
+
+/// Estimated energy of one inference in nanojoules, given one
+/// [`LayerBits`] per layer of `arch`.
+///
+/// # Panics
+///
+/// Panics when `bits.len() != arch.layers.len()`.
+pub fn inference_energy_nj(arch: &ArchStats, bits: &[LayerBits]) -> f64 {
+    assert_eq!(
+        bits.len(),
+        arch.layers.len(),
+        "one bit assignment per layer required"
+    );
+    let (mac, squash, softmax) = (HwUnit::mac(), HwUnit::squash(), HwUnit::softmax());
+    arch.layers
+        .iter()
+        .zip(bits)
+        .map(|(layer, b)| {
+            layer.macs as f64 * mac.energy_pj(b.mac_bits)
+                + layer.squash_ops as f64 * squash.energy_pj(b.dr_bits)
+                + layer.softmax_ops as f64 * softmax.energy_pj(b.dr_bits)
+        })
+        .sum::<f64>()
+        / 1000.0
+}
+
+/// Uniform-width convenience wrapper around [`inference_energy_nj`].
+pub fn uniform_energy_nj(arch: &ArchStats, mac_bits: u8, dr_bits: u8) -> f64 {
+    let bits = vec![LayerBits { mac_bits, dr_bits }; arch.layers.len()];
+    inference_energy_nj(arch, &bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archstats::shallow_caps;
+
+    #[test]
+    fn energy_scales_quadratically_with_uniform_bits() {
+        let arch = shallow_caps();
+        let e16 = uniform_energy_nj(&arch, 16, 16);
+        let e8 = uniform_energy_nj(&arch, 8, 8);
+        assert!((e16 / e8 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dr_bits_reduction_saves_energy_at_fixed_mac_bits() {
+        let arch = shallow_caps();
+        let full = uniform_energy_nj(&arch, 8, 8);
+        let dr4 = uniform_energy_nj(&arch, 8, 4);
+        assert!(dr4 < full);
+    }
+
+    #[test]
+    fn per_layer_assignment_matches_manual_sum() {
+        let arch = shallow_caps();
+        let bits: Vec<LayerBits> = (0..arch.layers.len())
+            .map(|i| LayerBits {
+                mac_bits: 16 - 2 * i as u8,
+                dr_bits: 6,
+            })
+            .collect();
+        let total = inference_energy_nj(&arch, &bits);
+        let manual: f64 = arch
+            .layers
+            .iter()
+            .zip(&bits)
+            .map(|(l, b)| {
+                l.macs as f64 * HwUnit::mac().energy_pj(b.mac_bits)
+                    + l.squash_ops as f64 * HwUnit::squash().energy_pj(b.dr_bits)
+                    + l.softmax_ops as f64 * HwUnit::softmax().energy_pj(b.dr_bits)
+            })
+            .sum::<f64>()
+            / 1000.0;
+        assert!((total - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit assignment per layer")]
+    fn rejects_wrong_layer_count() {
+        inference_energy_nj(&shallow_caps(), &[]);
+    }
+}

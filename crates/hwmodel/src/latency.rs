@@ -1,0 +1,137 @@
+//! CapsAcc-style latency model: cycle counts for one inference on a
+//! weight-stationary systolic MAC array (the accelerator class of the
+//! paper's reference [17], Marchisio et al., DATE 2019).
+//!
+//! Each layer's MACs are spread over an `rows × cols` array at one MAC per
+//! PE per cycle, plus a pipeline fill/drain overhead per layer and a
+//! serialised evaluation cost for each squash/softmax (the units of
+//! Fig. 3, which CapsAcc instantiates once per lane).
+
+use crate::archstats::ArchStats;
+
+/// Geometry and clock of the modeled accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accelerator {
+    /// Systolic array rows.
+    pub rows: usize,
+    /// Systolic array columns.
+    pub cols: usize,
+    /// Parallel squash/softmax lanes.
+    pub special_lanes: usize,
+    /// Cycles per squash or softmax evaluation (iterative datapath).
+    pub special_cycles: u64,
+    /// Clock frequency in MHz (for wall-clock conversion).
+    pub clock_mhz: f64,
+}
+
+impl Accelerator {
+    /// The CapsAcc configuration from the paper's reference: a 16×16 MAC
+    /// array at 250 MHz with 16 special-function lanes.
+    pub fn capsacc() -> Self {
+        Accelerator {
+            rows: 16,
+            cols: 16,
+            special_lanes: 16,
+            special_cycles: 8,
+            clock_mhz: 250.0,
+        }
+    }
+
+    /// Number of parallel MACs.
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+
+    /// Cycles to run one inference of `arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the array is empty.
+    pub fn cycles(&self, arch: &ArchStats) -> u64 {
+        assert!(self.rows > 0 && self.cols > 0, "empty array");
+        let fill_drain = (self.rows + self.cols) as u64;
+        arch.layers
+            .iter()
+            .map(|layer| {
+                let mac_cycles = layer.macs.div_ceil(self.macs_per_cycle());
+                let special_ops = layer.squash_ops + layer.softmax_ops;
+                let special = special_ops.div_ceil(self.special_lanes.max(1) as u64)
+                    * self.special_cycles;
+                mac_cycles + special + fill_drain
+            })
+            .sum()
+    }
+
+    /// Wall-clock latency for one inference, in microseconds.
+    pub fn latency_us(&self, arch: &ArchStats) -> f64 {
+        self.cycles(arch) as f64 / self.clock_mhz
+    }
+
+    /// Throughput in inferences per second (single-inference pipeline).
+    pub fn inferences_per_second(&self, arch: &ArchStats) -> f64 {
+        1.0e6 / self.latency_us(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archstats::{lenet5, shallow_caps};
+
+    #[test]
+    fn cycles_scale_inverse_with_array_size() {
+        let arch = shallow_caps();
+        let small = Accelerator {
+            rows: 8,
+            cols: 8,
+            ..Accelerator::capsacc()
+        };
+        let big = Accelerator {
+            rows: 32,
+            cols: 32,
+            ..Accelerator::capsacc()
+        };
+        let (cs, cb) = (small.cycles(&arch), big.cycles(&arch));
+        // 16× more PEs ⇒ close to 16× fewer cycles (fill/drain is small).
+        let ratio = cs as f64 / cb as f64;
+        assert!((10.0..=16.5).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn capsnet_slower_than_lenet_on_same_array() {
+        let acc = Accelerator::capsacc();
+        assert!(acc.cycles(&shallow_caps()) > 100 * acc.cycles(&lenet5()));
+    }
+
+    #[test]
+    fn latency_matches_cycles_and_clock() {
+        let acc = Accelerator::capsacc();
+        let arch = lenet5();
+        let us = acc.latency_us(&arch);
+        assert!((us - acc.cycles(&arch) as f64 / 250.0).abs() < 1e-9);
+        assert!(acc.inferences_per_second(&arch) > 0.0);
+    }
+
+    #[test]
+    fn special_function_cost_counts() {
+        // ShallowCaps has squash/softmax work; zeroing the lanes' speed
+        // difference must show up in the totals.
+        let arch = shallow_caps();
+        let fast = Accelerator {
+            special_cycles: 1,
+            ..Accelerator::capsacc()
+        };
+        let slow = Accelerator {
+            special_cycles: 100,
+            ..Accelerator::capsacc()
+        };
+        assert!(slow.cycles(&arch) > fast.cycles(&arch));
+    }
+
+    #[test]
+    fn capsacc_latency_is_plausible() {
+        // ~202 M MACs on 256 PEs at 250 MHz ⇒ ≈ 3.2 ms; sanity-band check.
+        let ms = Accelerator::capsacc().latency_us(&shallow_caps()) / 1000.0;
+        assert!((1.0..20.0).contains(&ms), "{ms} ms");
+    }
+}

@@ -1,0 +1,41 @@
+//! # qcn-hwmodel
+//!
+//! Hardware cost models and architecture statistics for the Q-CapsNets
+//! reproduction (Marchisio et al., DAC 2020):
+//!
+//! * [`HwUnit`] — quadratic energy/area models of fixed-point MAC, squash
+//!   and softmax units, calibrated to the paper's UMC-65nm synthesis
+//!   results (Figs. 2–3);
+//! * [`archstats`] — parameter/MAC/squash/softmax accounting for
+//!   ShallowCaps, DeepCaps, AlexNet and LeNet-5 (Fig. 1);
+//! * [`energy`] — per-inference energy estimation combining the two,
+//!   quantifying the §IV-D claim that aggressive dynamic-routing
+//!   quantization yields outsized energy savings.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcn_hwmodel::{archstats, HwUnit};
+//!
+//! // Fig. 1: ShallowCaps is more compute-intensive per stored bit than
+//! // AlexNet.
+//! let caps = archstats::shallow_caps();
+//! let alex = archstats::alexnet();
+//! assert!(caps.macs_per_mbit() > alex.macs_per_mbit());
+//!
+//! // Fig. 2: an 8-bit MAC costs 1/16 the energy of a 32-bit MAC.
+//! let mac = HwUnit::mac();
+//! assert!((mac.energy_pj(32) / mac.energy_pj(8) - 16.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archstats;
+mod costmodel;
+pub mod energy;
+pub mod latency;
+pub mod traffic;
+
+pub use archstats::{ArchLayer, ArchStats};
+pub use costmodel::HwUnit;
+pub use energy::{inference_energy_nj, uniform_energy_nj, LayerBits};

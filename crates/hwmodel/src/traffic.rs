@@ -1,0 +1,148 @@
+//! Off-chip memory-traffic model: how many bytes per inference a
+//! weight-stationary accelerator (CapsAcc-style, the paper's reference
+//! [17]) must move, and how quantization shrinks it.
+//!
+//! The paper's introduction motivates quantization with CapsNets' "memory
+//! requirement, memory bandwidth and energy consumption"; this model
+//! quantifies the bandwidth half: every weight is fetched once per
+//! inference (weight-stationary reuse within a layer), every activation is
+//! written once and read once by the next layer.
+
+use crate::archstats::ArchStats;
+
+/// Per-layer bit widths for traffic estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficBits {
+    /// Stored weight wordlength.
+    pub weight_bits: u8,
+    /// Stored activation wordlength.
+    pub act_bits: u8,
+}
+
+/// Activation counts are not tracked by [`ArchStats`] layers directly, so
+/// the traffic model takes them explicitly (one output-activation count
+/// per layer, in values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficModel<'a> {
+    arch: &'a ArchStats,
+    activations: Vec<u64>,
+}
+
+impl<'a> TrafficModel<'a> {
+    /// Creates the model from an architecture plus per-layer output
+    /// activation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the counts do not match the layer count.
+    pub fn new(arch: &'a ArchStats, activations: Vec<u64>) -> Self {
+        assert_eq!(
+            activations.len(),
+            arch.layers.len(),
+            "one activation count per layer required"
+        );
+        TrafficModel { arch, activations }
+    }
+
+    /// DRAM traffic in bytes for one inference at the given per-layer
+    /// widths: weights fetched once; every activation written by its
+    /// producer and read by its consumer (the last layer's output is only
+    /// written).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits.len()` does not match the layer count.
+    pub fn bytes_per_inference(&self, bits: &[TrafficBits]) -> u64 {
+        assert_eq!(bits.len(), self.arch.layers.len(), "per-layer widths required");
+        let mut total_bits = 0u64;
+        for (i, (layer, b)) in self.arch.layers.iter().zip(bits).enumerate() {
+            total_bits += layer.params * b.weight_bits as u64;
+            // Producer write.
+            total_bits += self.activations[i] * b.act_bits as u64;
+            // Consumer read (all but the final output).
+            if i + 1 < self.arch.layers.len() {
+                total_bits += self.activations[i] * bits[i + 1].act_bits as u64;
+            }
+        }
+        total_bits.div_ceil(8)
+    }
+
+    /// Convenience: uniform widths everywhere.
+    pub fn uniform_bytes(&self, weight_bits: u8, act_bits: u8) -> u64 {
+        let bits = vec![
+            TrafficBits {
+                weight_bits,
+                act_bits,
+            };
+            self.arch.layers.len()
+        ];
+        self.bytes_per_inference(&bits)
+    }
+
+    /// Traffic reduction factor of `bits` relative to a 32-bit baseline.
+    pub fn reduction(&self, bits: &[TrafficBits]) -> f64 {
+        self.uniform_bytes(32, 32) as f64 / self.bytes_per_inference(bits) as f64
+    }
+}
+
+/// Output activation counts for the full-size ShallowCaps of
+/// [`crate::archstats::shallow_caps`]: conv 20×20×256, primary 1152 × 8-D
+/// capsules, digit 10 × 16-D capsules.
+pub fn shallow_caps_activations() -> Vec<u64> {
+    vec![20 * 20 * 256, 1152 * 8, 10 * 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archstats::shallow_caps;
+
+    fn model_under_test(arch: &ArchStats) -> TrafficModel<'_> {
+        TrafficModel::new(arch, shallow_caps_activations())
+    }
+
+    #[test]
+    fn uniform_32bit_matches_hand_count() {
+        let arch = shallow_caps();
+        let m = model_under_test(&arch);
+        let params: u64 = arch.layers.iter().map(|l| l.params).sum();
+        let acts: u64 = shallow_caps_activations().iter().sum();
+        let last = *shallow_caps_activations().last().unwrap();
+        // Weights once + every activation written once + all but the last
+        // read once.
+        let expected_bits = params * 32 + acts * 32 + (acts - last) * 32;
+        assert_eq!(m.uniform_bytes(32, 32), expected_bits.div_ceil(8));
+    }
+
+    #[test]
+    fn quantization_reduces_traffic_proportionally() {
+        let arch = shallow_caps();
+        let m = model_under_test(&arch);
+        let full = m.uniform_bytes(32, 32);
+        let quarter = m.uniform_bytes(8, 8);
+        assert_eq!(full, quarter * 4);
+    }
+
+    #[test]
+    fn mixed_widths_count_consumer_reads_at_consumer_width() {
+        let arch = shallow_caps();
+        let m = model_under_test(&arch);
+        let bits = vec![
+            TrafficBits { weight_bits: 8, act_bits: 8 },
+            TrafficBits { weight_bits: 8, act_bits: 4 },
+            TrafficBits { weight_bits: 8, act_bits: 4 },
+        ];
+        // Layer-0 activations are written at 8 bits and read by layer 1 at
+        // the layer-1 width (4 bits): total must be less than uniform 8.
+        assert!(m.bytes_per_inference(&bits) < m.uniform_bytes(8, 8));
+        assert!(m.reduction(&bits) > 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-layer widths")]
+    fn rejects_wrong_width_count() {
+        let arch = shallow_caps();
+        let m = model_under_test(&arch);
+        m.bytes_per_inference(&[]);
+    }
+}

@@ -1,0 +1,479 @@
+//! 2-D convolution via im2col / col2im, with the backward-pass helpers the
+//! autograd engine needs.
+//!
+//! All convolutions use NCHW layout: inputs are `[batch, channels, height,
+//! width]`, weights are `[out_channels, in_channels, kh, kw]`.
+
+use crate::Tensor;
+
+/// Static description of a 2-D convolution (kernel geometry and padding).
+///
+/// # Examples
+///
+/// ```
+/// use qcn_tensor::conv::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 3, 1, 1);
+/// assert_eq!(spec.output_hw(8, 8), (8, 8)); // "same" padding at stride 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec from kernel size, stride and padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel has a zero dimension or stride is zero.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: usize) -> Self {
+        assert!(kh > 0 && kw > 0, "kernel dimensions must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            kh,
+            kw,
+            stride,
+            padding,
+        }
+    }
+
+    /// Spatial output size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel does not fit in the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kh && pw >= self.kw,
+            "kernel {}x{} does not fit input {h}x{w} with padding {}",
+            self.kh,
+            self.kw,
+            self.padding
+        );
+        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+    }
+}
+
+/// Unfolds image patches into columns: `[b, c, h, w] → [b, c·kh·kw, oh·ow]`.
+///
+/// Column `p` of batch `b` holds the receptive field of output pixel `p`,
+/// flattened channel-major. Out-of-bounds (padding) elements read as zero.
+///
+/// # Panics
+///
+/// Panics when `input` is not rank 4 or the kernel does not fit.
+pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col expects NCHW, got {}", input.shape());
+    let (b, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols = oh * ow;
+    let rows = c * spec.kh * spec.kw;
+    let mut out = vec![0.0f32; b * rows * cols];
+    let in_data = input.data();
+    for batch in 0..b {
+        let in_base = batch * c * h * w;
+        let out_base = batch * rows * cols;
+        for ch in 0..c {
+            for ki in 0..spec.kh {
+                for kj in 0..spec.kw {
+                    let row = (ch * spec.kh + ki) * spec.kw + kj;
+                    for oi in 0..oh {
+                        let ii = oi * spec.stride + ki;
+                        if ii < spec.padding || ii >= h + spec.padding {
+                            continue;
+                        }
+                        let ii = ii - spec.padding;
+                        for oj in 0..ow {
+                            let jj = oj * spec.stride + kj;
+                            if jj < spec.padding || jj >= w + spec.padding {
+                                continue;
+                            }
+                            let jj = jj - spec.padding;
+                            out[out_base + row * cols + oi * ow + oj] =
+                                in_data[in_base + (ch * h + ii) * w + jj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [b, rows, cols]).expect("im2col output shape is consistent")
+}
+
+/// Folds columns back into an image, accumulating overlaps: the adjoint of
+/// [`im2col`]. `cols` is `[b, c·kh·kw, oh·ow]`; returns `[b, c, h, w]`.
+///
+/// # Panics
+///
+/// Panics when `cols` is not rank 4-compatible with the given geometry.
+pub fn col2im(cols: &Tensor, spec: Conv2dSpec, c: usize, h: usize, w: usize) -> Tensor {
+    assert_eq!(cols.rank(), 3, "col2im expects rank 3, got {}", cols.shape());
+    let (oh, ow) = spec.output_hw(h, w);
+    let b = cols.dims()[0];
+    let rows = c * spec.kh * spec.kw;
+    assert_eq!(cols.dims()[1], rows, "col2im row count mismatch");
+    assert_eq!(cols.dims()[2], oh * ow, "col2im column count mismatch");
+    let mut out = vec![0.0f32; b * c * h * w];
+    let col_data = cols.data();
+    let ncols = oh * ow;
+    for batch in 0..b {
+        let col_base = batch * rows * ncols;
+        let out_base = batch * c * h * w;
+        for ch in 0..c {
+            for ki in 0..spec.kh {
+                for kj in 0..spec.kw {
+                    let row = (ch * spec.kh + ki) * spec.kw + kj;
+                    for oi in 0..oh {
+                        let ii = oi * spec.stride + ki;
+                        if ii < spec.padding || ii >= h + spec.padding {
+                            continue;
+                        }
+                        let ii = ii - spec.padding;
+                        for oj in 0..ow {
+                            let jj = oj * spec.stride + kj;
+                            if jj < spec.padding || jj >= w + spec.padding {
+                                continue;
+                            }
+                            let jj = jj - spec.padding;
+                            out[out_base + (ch * h + ii) * w + jj] +=
+                                col_data[col_base + row * ncols + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [b, c, h, w]).expect("col2im output shape is consistent")
+}
+
+/// Forward 2-D convolution: `input [b, ci, h, w]`, `weight [co, ci, kh, kw]`,
+/// optional `bias [co]` → `[b, co, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel-count mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [co, ci, kh, kw]");
+    let (b, ci, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let co = weight.dims()[0];
+    assert_eq!(weight.dims()[1], ci, "conv2d channel mismatch");
+    assert_eq!(weight.dims()[2], spec.kh, "conv2d kernel height mismatch");
+    assert_eq!(weight.dims()[3], spec.kw, "conv2d kernel width mismatch");
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols = im2col(input, spec); // [b, ci·kh·kw, oh·ow]
+    let w2 = weight
+        .reshape([co, ci * spec.kh * spec.kw])
+        .expect("weight reshape is consistent");
+    let mut out = Tensor::zeros([b, co, oh, ow]);
+    let rows = ci * spec.kh * spec.kw;
+    let ncols = oh * ow;
+    for batch in 0..b {
+        let col_b = Tensor::from_vec(
+            cols.data()[batch * rows * ncols..(batch + 1) * rows * ncols].to_vec(),
+            [rows, ncols],
+        )
+        .expect("per-batch column slice is consistent");
+        let prod = w2.matmul(&col_b); // [co, oh·ow]
+        out.data_mut()[batch * co * ncols..(batch + 1) * co * ncols]
+            .copy_from_slice(prod.data());
+    }
+    if let Some(bias) = bias {
+        assert_eq!(bias.dims(), &[co], "conv2d bias must be [co]");
+        for batch in 0..b {
+            for ch in 0..co {
+                let base = (batch * co + ch) * ncols;
+                let bv = bias.data()[ch];
+                for p in 0..ncols {
+                    out.data_mut()[base + p] += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of `conv2d` w.r.t. its input. `grad` is `[b, co, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_backward_input(
+    grad: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    h: usize,
+    w: usize,
+) -> Tensor {
+    let (b, co) = (grad.dims()[0], grad.dims()[1]);
+    let ci = weight.dims()[1];
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(grad.dims()[2], oh, "grad height mismatch");
+    assert_eq!(grad.dims()[3], ow, "grad width mismatch");
+    let rows = ci * spec.kh * spec.kw;
+    let ncols = oh * ow;
+    let w2t = weight
+        .reshape([co, rows])
+        .expect("weight reshape is consistent")
+        .transpose(); // [rows, co]
+    let mut cols = Tensor::zeros([b, rows, ncols]);
+    for batch in 0..b {
+        let g_b = Tensor::from_vec(
+            grad.data()[batch * co * ncols..(batch + 1) * co * ncols].to_vec(),
+            [co, ncols],
+        )
+        .expect("per-batch gradient slice is consistent");
+        let prod = w2t.matmul(&g_b); // [rows, ncols]
+        cols.data_mut()[batch * rows * ncols..(batch + 1) * rows * ncols]
+            .copy_from_slice(prod.data());
+    }
+    col2im(&cols, spec, ci, h, w)
+}
+
+/// Gradient of `conv2d` w.r.t. its weights. Returns `[co, ci, kh, kw]`.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn conv2d_backward_weight(input: &Tensor, grad: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (b, ci, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let co = grad.dims()[1];
+    let (oh, ow) = spec.output_hw(h, w);
+    let rows = ci * spec.kh * spec.kw;
+    let ncols = oh * ow;
+    let cols = im2col(input, spec);
+    let mut acc = Tensor::zeros([co, rows]);
+    for batch in 0..b {
+        let g_b = Tensor::from_vec(
+            grad.data()[batch * co * ncols..(batch + 1) * co * ncols].to_vec(),
+            [co, ncols],
+        )
+        .expect("per-batch gradient slice is consistent");
+        let c_bt = Tensor::from_vec(
+            cols.data()[batch * rows * ncols..(batch + 1) * rows * ncols].to_vec(),
+            [rows, ncols],
+        )
+        .expect("per-batch column slice is consistent")
+        .transpose(); // [ncols, rows]
+        acc = &acc + &g_b.matmul(&c_bt);
+    }
+    acc.reshape([co, ci, spec.kh, spec.kw])
+        .expect("weight gradient reshape is consistent")
+}
+
+/// Gradient of `conv2d` w.r.t. its bias: sums `grad` over batch and space.
+///
+/// # Panics
+///
+/// Panics when `grad` is not rank 4.
+pub fn conv2d_backward_bias(grad: &Tensor) -> Tensor {
+    assert_eq!(grad.rank(), 4, "bias gradient expects NCHW grad");
+    let (b, co, oh, ow) = (
+        grad.dims()[0],
+        grad.dims()[1],
+        grad.dims()[2],
+        grad.dims()[3],
+    );
+    let mut out = Tensor::zeros([co]);
+    for batch in 0..b {
+        for ch in 0..co {
+            let base = (batch * co + ch) * oh * ow;
+            out.data_mut()[ch] += grad.data()[base..base + oh * ow].iter().sum::<f32>();
+        }
+    }
+    out
+}
+
+/// Reference (naive, quadruple-loop) conv2d used to validate the im2col path.
+pub fn conv2d_reference(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let (b, ci, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let co = weight.dims()[0];
+    let (oh, ow) = spec.output_hw(h, w);
+    Tensor::from_fn([b, co, oh, ow], |idx| {
+        let (batch, oc, oi, oj) = (idx[0], idx[1], idx[2], idx[3]);
+        let mut acc = bias.map_or(0.0, |bias| bias.data()[oc]);
+        for ic in 0..ci {
+            for ki in 0..spec.kh {
+                for kj in 0..spec.kw {
+                    let ii = oi * spec.stride + ki;
+                    let jj = oj * spec.stride + kj;
+                    if ii < spec.padding
+                        || jj < spec.padding
+                        || ii >= h + spec.padding
+                        || jj >= w + spec.padding
+                    {
+                        continue;
+                    }
+                    acc += input.get(&[batch, ic, ii - spec.padding, jj - spec.padding])
+                        * weight.get(&[oc, ic, ki, kj]);
+                }
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: &[usize]) -> Tensor {
+        let mut v = 0.0;
+        Tensor::from_fn(shape.to_vec(), |_| {
+            v += 1.0;
+            (v * 17.0) % 7.0 - 3.0
+        })
+    }
+
+    #[test]
+    fn output_hw_geometry() {
+        assert_eq!(Conv2dSpec::new(3, 3, 1, 0).output_hw(5, 5), (3, 3));
+        assert_eq!(Conv2dSpec::new(3, 3, 1, 1).output_hw(5, 5), (5, 5));
+        assert_eq!(Conv2dSpec::new(9, 9, 1, 0).output_hw(28, 28), (20, 20));
+        assert_eq!(Conv2dSpec::new(9, 9, 2, 0).output_hw(20, 20), (6, 6));
+        assert_eq!(Conv2dSpec::new(2, 2, 2, 0).output_hw(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is a plain reshape.
+        let t = seq_tensor(&[1, 2, 3, 3]);
+        let cols = im2col(&t, Conv2dSpec::new(1, 1, 1, 0));
+        assert_eq!(cols.dims(), &[1, 2, 9]);
+        assert_eq!(cols.data(), t.data());
+    }
+
+    #[test]
+    fn conv2d_matches_reference_no_padding() {
+        let input = seq_tensor(&[2, 3, 6, 6]);
+        let weight = seq_tensor(&[4, 3, 3, 3]);
+        let bias = seq_tensor(&[4]);
+        let spec = Conv2dSpec::new(3, 3, 1, 0);
+        let fast = conv2d(&input, &weight, Some(&bias), spec);
+        let slow = conv2d_reference(&input, &weight, Some(&bias), spec);
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_reference_padding_and_stride() {
+        let input = seq_tensor(&[1, 2, 7, 7]);
+        let weight = seq_tensor(&[3, 2, 3, 3]);
+        let spec = Conv2dSpec::new(3, 3, 2, 1);
+        let fast = conv2d(&input, &weight, None, spec);
+        let slow = conv2d_reference(&input, &weight, None, spec);
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_input_matches_finite_difference() {
+        let input = seq_tensor(&[1, 2, 5, 5]);
+        let weight = seq_tensor(&[2, 2, 3, 3]);
+        let spec = Conv2dSpec::new(3, 3, 1, 1);
+        let out = conv2d(&input, &weight, None, spec);
+        let grad = Tensor::ones(out.shape().clone());
+        let gin = conv2d_backward_input(&grad, &weight, spec, 5, 5);
+        let h = 1e-2f32;
+        for i in (0..input.len()).step_by(7) {
+            let mut ip = input.clone();
+            ip.data_mut()[i] += h;
+            let mut im = input.clone();
+            im.data_mut()[i] -= h;
+            let fp = conv2d(&ip, &weight, None, spec).sum();
+            let fm = conv2d(&im, &weight, None, spec).sum();
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!(
+                (gin.data()[i] - numeric).abs() < 1e-2,
+                "element {i}: analytic {} vs numeric {numeric}",
+                gin.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_weight_matches_finite_difference() {
+        let input = seq_tensor(&[2, 2, 4, 4]);
+        let weight = seq_tensor(&[2, 2, 3, 3]);
+        let spec = Conv2dSpec::new(3, 3, 1, 0);
+        let out = conv2d(&input, &weight, None, spec);
+        let grad = Tensor::ones(out.shape().clone());
+        let gw = conv2d_backward_weight(&input, &grad, spec);
+        assert_eq!(gw.dims(), weight.dims());
+        let h = 1e-2f32;
+        for i in 0..weight.len() {
+            let mut wp = weight.clone();
+            wp.data_mut()[i] += h;
+            let mut wm = weight.clone();
+            wm.data_mut()[i] -= h;
+            let fp = conv2d(&input, &wp, None, spec).sum();
+            let fm = conv2d(&input, &wm, None, spec).sum();
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!(
+                (gw.data()[i] - numeric).abs() < 2e-2,
+                "element {i}: analytic {} vs numeric {numeric}",
+                gw.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_bias_sums_spatial_and_batch() {
+        let grad = Tensor::ones([2, 3, 4, 4]);
+        let gb = conv2d_backward_bias(&grad);
+        assert_eq!(gb.dims(), &[3]);
+        assert!(gb.data().iter().all(|&x| x == 32.0));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for all x, y — the defining
+        // property of the adjoint, checked on pseudo-random data.
+        let spec = Conv2dSpec::new(3, 3, 2, 1);
+        let x = seq_tensor(&[1, 2, 5, 5]);
+        let cols_shape = im2col(&x, spec);
+        let y = seq_tensor(cols_shape.dims());
+        let lhs = (&im2col(&x, spec) * &y).sum();
+        let rhs = (&x * &col2im(&y, spec, 2, 5, 5)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

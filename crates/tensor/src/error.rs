@@ -1,0 +1,78 @@
+//! Error type for fallible tensor operations.
+
+use crate::Shape;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided data length does not match the shape's element count.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Shape,
+        /// Right-hand shape.
+        rhs: Shape,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "incompatible shapes {lhs} and {rhs} for {op}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "data length 5 does not match shape element count 6"
+        );
+        let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Random tensor initialisation (uniform, normal, Xavier/Glorot, He).
+//!
+//! All initialisers take an explicit `&mut impl Rng` so experiments are
+//! reproducible from a seed.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+
+impl Tensor {
+    /// Tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(lo < hi, "uniform range requires lo < hi, got [{lo}, {hi})");
+        let shape = shape.into();
+        let data: Vec<f32> = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape).expect("generated data matches shape")
+    }
+
+    /// Tensor with elements drawn from `N(mean, std²)` via Box–Muller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `std` is negative.
+    pub fn rand_normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(std >= 0.0, "standard deviation must be non-negative");
+        let shape = shape.into();
+        let data: Vec<f32> = (0..shape.len())
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                mean + std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            })
+            .collect();
+        Tensor::from_vec(data, shape).expect("generated data matches shape")
+    }
+
+    /// Xavier/Glorot uniform initialisation: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    ///
+    /// Suitable for layers followed by symmetric nonlinearities (squash,
+    /// sigmoid); the default for capsule transformation matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fan_in + fan_out == 0`.
+    pub fn xavier_uniform(
+        shape: impl Into<Shape>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(shape, -bound, bound, rng)
+    }
+
+    /// He/Kaiming normal initialisation: `N(0, 2 / fan_in)`.
+    ///
+    /// Suitable for layers followed by ReLU (the conv stem of both CapsNets).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fan_in == 0`.
+    pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+        assert!(fan_in > 0, "fan_in must be positive");
+        Tensor::rand_normal(shape, 0.0, (2.0 / fan_in as f32).sqrt(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        // Mean should be near 0 for 1000 samples.
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal([5000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::xavier_uniform([2000], 50, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        assert!(t.max_abs() > bound * 0.9, "samples should fill the range");
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::he_normal([5000], 8, &mut rng);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = Tensor::rand_normal([16], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::rand_normal([16], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! # qcn-tensor
+//!
+//! Dense `f32` tensor substrate for the Q-CapsNets reproduction (Marchisio
+//! et al., DAC 2020). Provides the n-dimensional array type, broadcasting
+//! arithmetic, matrix products, im2col convolution, reductions, and the
+//! CapsNet-specific nonlinearities (softmax, squash) together with their
+//! analytic backward passes.
+//!
+//! Everything is pure Rust and single-threaded; determinism (given a seeded
+//! RNG) is a design requirement so quantization experiments are exactly
+//! reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcn_tensor::Tensor;
+//!
+//! // A batch of two 3-D capsule vectors, squashed to length < 1.
+//! let caps = Tensor::from_vec(vec![3.0, 0.0, 4.0, 0.1, 0.2, 0.2], [2, 3])?;
+//! let squashed = caps.squash_axis(1);
+//! let lengths = squashed.norm_axis(1);
+//! assert!(lengths.data().iter().all(|&l| l < 1.0));
+//! # Ok::<(), qcn_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod conv;
+mod error;
+mod init;
+mod linalg;
+pub mod nn;
+pub mod reduce;
+pub mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,240 @@
+//! Matrix multiplication, transposition and axis permutation.
+
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Uses an `i-k-j` loop order so the innermost loop streams over
+    /// contiguous memory in both the right operand and the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either operand is not rank 2 or the inner dimensions
+    /// disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcn_tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+    /// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+    /// assert_eq!(a.matmul(&id), a);
+    /// # Ok::<(), qcn_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
+        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2, got {}", rhs.shape());
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.data(), rhs.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, [m, n]).expect("matmul output shape is consistent")
+    }
+
+    /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either operand is not rank 3, the batch sizes differ, or
+    /// the inner dimensions disagree.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
+        assert_eq!(rhs.rank(), 3, "bmm rhs must be rank 3, got {}", rhs.shape());
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
+        assert_eq!(b, b2, "bmm batch sizes disagree: {b} vs {b2}");
+        assert_eq!(k, k2, "bmm inner dims disagree: {k} vs {k2}");
+        let mut out = vec![0.0f32; b * m * n];
+        for batch in 0..b {
+            matmul_into(
+                &self.data()[batch * m * k..(batch + 1) * m * k],
+                &rhs.data()[batch * k * n..(batch + 1) * k * n],
+                &mut out[batch * m * n..(batch + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, [b, m, n]).expect("bmm output shape is consistent")
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires rank 2, got {}", self.shape());
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n, m]).expect("transpose output shape is consistent")
+    }
+
+    /// Reorders axes according to `perm`, copying into a contiguous tensor.
+    ///
+    /// `perm` must be a permutation of `0..rank`; output axis `i` is input
+    /// axis `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `perm` is not a permutation of the axis indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcn_tensor::Tensor;
+    ///
+    /// let t = Tensor::from_fn([2, 3, 4], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+    /// let p = t.permute(&[2, 0, 1]);
+    /// assert_eq!(p.dims(), &[4, 2, 3]);
+    /// assert_eq!(p.get(&[3, 1, 2]), t.get(&[1, 2, 3]));
+    /// ```
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(
+            perm.len(),
+            self.rank(),
+            "permutation length {} does not match rank {}",
+            perm.len(),
+            self.rank()
+        );
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            assert!(
+                p < self.rank() && !seen[p],
+                "invalid permutation {perm:?} for rank {}",
+                self.rank()
+            );
+            seen[p] = true;
+        }
+        let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
+        let out_shape = Shape::new(out_dims);
+        let in_strides = self.shape().strides();
+        // Stride into the input for each output axis.
+        let strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let rank = out_shape.rank();
+        let mut data = Vec::with_capacity(out_shape.len());
+        let mut counters = vec![0usize; rank];
+        let mut in_off = 0usize;
+        for _ in 0..out_shape.len() {
+            data.push(self.data()[in_off]);
+            let mut axis = rank;
+            while axis > 0 {
+                axis -= 1;
+                counters[axis] += 1;
+                in_off += strides[axis];
+                if counters[axis] < out_shape.dim(axis) {
+                    break;
+                }
+                in_off -= strides[axis] * counters[axis];
+                counters[axis] = 0;
+            }
+        }
+        Tensor::from_vec(data, out_shape).expect("permute output shape is consistent")
+    }
+}
+
+/// `out += a[m,k] × b[k,n]` over raw buffers (out starts zeroed by callers).
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                o_row[j] += av * b_row[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn([3, 3], |i| (i[0] * 3 + i[1]) as f32);
+        let id = Tensor::from_fn([3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn matmul_rejects_mismatched_inner() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_fn([2, 2, 3], |i| (i[0] + i[1] * 2 + i[2]) as f32);
+        let b = Tensor::from_fn([2, 3, 2], |i| (i[0] * 3 + i[1] + i[2] * 2) as f32);
+        let c = a.bmm(&b);
+        for batch in 0..2 {
+            let a_b = Tensor::from_fn([2, 3], |i| a.get(&[batch, i[0], i[1]]));
+            let b_b = Tensor::from_fn([3, 2], |i| b.get(&[batch, i[0], i[1]]));
+            let c_b = a_b.matmul(&b_b);
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(c.get(&[batch, i, j]), c_b.get(&[i, j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn([2, 5], |i| (i[0] * 5 + i[1]) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(&[3, 1]), a.get(&[1, 3]));
+    }
+
+    #[test]
+    fn permute_identity_and_reverse() {
+        let t = Tensor::from_fn([2, 3, 4], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        assert_eq!(t.permute(&[0, 1, 2]), t);
+        let r = t.permute(&[2, 1, 0]);
+        assert_eq!(r.dims(), &[4, 3, 2]);
+        assert_eq!(r.get(&[3, 2, 1]), t.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn permute_rejects_duplicates() {
+        Tensor::zeros([2, 2]).permute(&[0, 0]);
+    }
+
+    #[test]
+    fn matmul_transpose_identity_property() {
+        // (A B)^T == B^T A^T
+        let a = Tensor::from_fn([3, 4], |i| (i[0] * 4 + i[1]) as f32 * 0.5);
+        let b = Tensor::from_fn([4, 2], |i| (i[0] + i[1]) as f32 * 0.25);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

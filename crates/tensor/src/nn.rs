@@ -1,0 +1,238 @@
+//! Neural-network primitives: softmax, ReLU, sigmoid, and the capsule
+//! `squash` nonlinearity from Sabour et al. (Eq. 2 of the Q-CapsNets paper).
+
+use crate::reduce::expand_to;
+use crate::Tensor;
+
+/// Numerical floor added inside square roots and divisions for stability.
+pub const EPS: f32 = 1e-8;
+
+impl Tensor {
+    /// Rectified linear unit, elementwise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Logistic sigmoid, elementwise.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Numerically stable softmax along `axis` (paper Eq. 1).
+    ///
+    /// Subtracts the per-slice maximum before exponentiation so large logits
+    /// do not overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcn_tensor::Tensor;
+    ///
+    /// let t = Tensor::from_vec(vec![0.0, 0.0, 1000.0, 1000.0], [2, 2])?;
+    /// let s = t.softmax_axis(1);
+    /// assert!((s.get(&[0, 0]) - 0.5).abs() < 1e-6);
+    /// assert!((s.get(&[1, 1]) - 0.5).abs() < 1e-6);
+    /// # Ok::<(), qcn_tensor::TensorError>(())
+    /// ```
+    pub fn softmax_axis(&self, axis: usize) -> Tensor {
+        let max = self.max_axis_keepdim(axis);
+        let shifted = self - &expand_to(&max, self.shape());
+        let exp = shifted.map(f32::exp);
+        let sum = exp.sum_axis_keepdim(axis);
+        &exp / &expand_to(&sum, self.shape())
+    }
+
+    /// The capsule squash nonlinearity along `axis` (paper Eq. 2):
+    ///
+    /// `squash(s) = ||s||² / (1 + ||s||²) · s / ||s||`
+    ///
+    /// Vectors shrink toward length < 1 while preserving orientation; the
+    /// resulting length is the capsule's instantiation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    pub fn squash_axis(&self, axis: usize) -> Tensor {
+        let sq_norm = self.map(|x| x * x).sum_axis_keepdim(axis);
+        let scale = sq_norm.map(|n2| n2 / (1.0 + n2) / (n2 + EPS).sqrt());
+        self * &expand_to(&scale, self.shape())
+    }
+}
+
+/// Analytic Jacobian-vector product of [`Tensor::squash_axis`].
+///
+/// Given the layer input `s`, and the upstream gradient `grad` w.r.t. the
+/// squash output, returns the gradient w.r.t. `s`. The derivation follows
+/// from `v = f(‖s‖) s` with `f(n) = n / (1 + n²)` expressed per unit vector:
+/// `∂v/∂s = f(n) I + f'(n) (s sᵀ)/n` where `n = ‖s‖`.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or `axis >= rank`.
+pub fn squash_backward(s: &Tensor, grad: &Tensor, axis: usize) -> Tensor {
+    assert_eq!(s.shape(), grad.shape(), "squash_backward shape mismatch");
+    let sq_norm = s.map(|x| x * x).sum_axis_keepdim(axis); // n²
+    let n = sq_norm.map(|n2| (n2 + EPS).sqrt());
+    // v = c(n)·s with c(n) = n/(1+n²) (so ‖v‖ = n²/(1+n²), matching Eq. 2),
+    // hence dv/ds = c(n)·I + c'(n)·s sᵀ/n with c'(n) = (1−n²)/(1+n²)².
+    let c = &n / &sq_norm.map(|n2| 1.0 + n2);
+    let c_prime = sq_norm.map(|n2| (1.0 - n2) / ((1.0 + n2) * (1.0 + n2)));
+    // grad·s summed along axis → scalar per slice (⟨g, s⟩).
+    let gs = (grad * s).sum_axis_keepdim(axis);
+    // dL/ds = c·g + c'(n)/n · ⟨g, s⟩ · s
+    let coeff = &(&c_prime / &n) * &gs;
+    &(grad * &expand_to(&c, s.shape())) + &(s * &expand_to(&coeff, s.shape()))
+}
+
+/// Analytic backward pass of [`Tensor::softmax_axis`].
+///
+/// Given the softmax output `y` and upstream gradient `grad`, returns the
+/// gradient w.r.t. the logits: `y ⊙ (grad − ⟨grad, y⟩)`.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or `axis >= rank`.
+pub fn softmax_backward(y: &Tensor, grad: &Tensor, axis: usize) -> Tensor {
+    assert_eq!(y.shape(), grad.shape(), "softmax_backward shape mismatch");
+    let dot = (grad * y).sum_axis_keepdim(axis);
+    y * &(grad - &expand_to(&dot, y.shape()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![-2.0, 0.0, 3.0], [3]).unwrap();
+        assert_eq!(t.relu().data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 1.0], [3]).unwrap();
+        let s = t.sigmoid();
+        assert!(close(s.data()[1], 0.5));
+        assert!(close(s.data()[0] + s.data()[2], 1.0));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
+        let s = t.softmax_axis(1);
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.get(&[r, c])).sum();
+            assert!(close(sum, 1.0));
+            assert!(s.get(&[r, 2]) > s.get(&[r, 1]));
+            assert!(s.get(&[r, 1]) > s.get(&[r, 0]));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1e4, 1e4 + 1.0], [1, 2]).unwrap();
+        let s = t.softmax_axis(1);
+        assert!(s.data().iter().all(|x| x.is_finite()));
+        assert!(close(s.data()[0] + s.data()[1], 1.0));
+    }
+
+    #[test]
+    fn softmax_along_middle_axis() {
+        let t = Tensor::from_fn([2, 3, 2], |i| i[1] as f32);
+        let s = t.softmax_axis(1);
+        for b in 0..2 {
+            for d in 0..2 {
+                let sum: f32 = (0..3).map(|j| s.get(&[b, j, d])).sum();
+                assert!(close(sum, 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn squash_length_matches_eq2() {
+        // A vector of norm n must squash to norm n²/(1+n²).
+        for &n in &[0.1f32, 0.5, 1.0, 3.0, 10.0] {
+            let t = Tensor::from_vec(vec![n, 0.0, 0.0], [1, 3]).unwrap();
+            let v = t.squash_axis(1);
+            let out_norm = v.norm();
+            assert!(
+                close(out_norm, n * n / (1.0 + n * n)),
+                "norm {n}: got {out_norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn squash_preserves_direction() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], [1, 2]).unwrap();
+        let v = t.squash_axis(1);
+        // Direction 3:4 preserved.
+        assert!(close(v.data()[0] / v.data()[1], 0.75));
+    }
+
+    #[test]
+    fn squash_output_length_below_one() {
+        let t = Tensor::from_vec(vec![100.0, -50.0, 25.0], [1, 3]).unwrap();
+        assert!(t.squash_axis(1).norm() < 1.0);
+    }
+
+    #[test]
+    fn squash_zero_vector_is_zero() {
+        let t = Tensor::zeros([1, 4]);
+        let v = t.squash_axis(1);
+        assert!(v.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn squash_backward_matches_finite_difference() {
+        let s = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.5], [2, 3]).unwrap();
+        let grad = Tensor::from_vec(vec![1.0, -0.5, 0.25, 0.8, -1.0, 0.3], [2, 3]).unwrap();
+        let analytic = squash_backward(&s, &grad, 1);
+        let h = 1e-3f32;
+        for i in 0..s.len() {
+            let mut sp = s.clone();
+            sp.data_mut()[i] += h;
+            let mut sm = s.clone();
+            sm.data_mut()[i] -= h;
+            let fp = (&sp.squash_axis(1) * &grad).sum();
+            let fm = (&sm.squash_axis(1) * &grad).sum();
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 1e-2,
+                "element {i}: analytic {} vs numeric {numeric}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0, 1.0, -0.5], [2, 3]).unwrap();
+        let grad = Tensor::from_vec(vec![1.0, 0.5, -0.25, -1.0, 0.75, 0.1], [2, 3]).unwrap();
+        let y = x.softmax_axis(1);
+        let analytic = softmax_backward(&y, &grad, 1);
+        let h = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fp = (&xp.softmax_axis(1) * &grad).sum();
+            let fm = (&xm.softmax_axis(1) * &grad).sum();
+            let numeric = (fp - fm) / (2.0 * h);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 1e-2,
+                "element {i}: analytic {} vs numeric {numeric}",
+                analytic.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Reductions along axes: sum, mean, max, and their keepdim variants.
+
+use crate::{Shape, Tensor};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of empty tensor");
+        self.sum() / self.len() as f32
+    }
+
+    /// Sums along `axis`, keeping it as an extent-1 dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcn_tensor::Tensor;
+    ///
+    /// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+    /// let s = t.sum_axis_keepdim(1);
+    /// assert_eq!(s.dims(), &[2, 1]);
+    /// assert_eq!(s.data(), &[3.0, 7.0]);
+    /// # Ok::<(), qcn_tensor::TensorError>(())
+    /// ```
+    pub fn sum_axis_keepdim(&self, axis: usize) -> Tensor {
+        self.reduce_axis_keepdim(axis, 0.0, |acc, x| acc + x)
+    }
+
+    /// Sums along `axis`, removing the dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        let kept = self.sum_axis_keepdim(axis);
+        let shape = self.shape().remove_axis(axis);
+        kept.reshape(shape).expect("reduced shape has same length")
+    }
+
+    /// Mean along `axis`, keeping it as an extent-1 dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank` or the axis has extent 0.
+    pub fn mean_axis_keepdim(&self, axis: usize) -> Tensor {
+        let n = self.shape().dim(axis) as f32;
+        assert!(n > 0.0, "mean along empty axis");
+        &self.sum_axis_keepdim(axis) * (1.0 / n)
+    }
+
+    /// Maximum along `axis`, keeping it as an extent-1 dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank` or the axis has extent 0.
+    pub fn max_axis_keepdim(&self, axis: usize) -> Tensor {
+        assert!(self.shape().dim(axis) > 0, "max along empty axis");
+        self.reduce_axis_keepdim(axis, f32::NEG_INFINITY, |acc, x| acc.max(x))
+    }
+
+    /// Generic keepdim reduction along one axis.
+    fn reduce_axis_keepdim(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(
+            axis < self.rank(),
+            "axis {axis} out of range for rank {}",
+            self.rank()
+        );
+        let out_shape = self.shape().keep_axis(axis);
+        let mut out = Tensor::full(out_shape.clone(), init);
+        let extent = self.shape().dim(axis);
+        let strides = self.shape().strides();
+        let axis_stride = strides[axis];
+        // Split iteration into (outer, axis, inner) index components.
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let outer: usize = self.dims()[..axis].iter().product();
+        for o in 0..outer {
+            for i in 0..inner {
+                let base = o * extent * inner + i;
+                let mut acc = init;
+                for a in 0..extent {
+                    acc = f(acc, self.data()[base + a * axis_stride]);
+                }
+                out.data_mut()[o * inner + i] = acc;
+            }
+        }
+        out
+    }
+
+    /// Row-wise argmax of a rank-2 tensor: index of the max along axis 1.
+    ///
+    /// Used to turn a `[batch, classes]` logit matrix into predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires rank 2, got {}", self.shape());
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        assert!(cols > 0, "argmax_rows with zero columns");
+        (0..rows)
+            .map(|r| {
+                let row = &self.data()[r * cols..(r + 1) * cols];
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Euclidean norm along `axis`, keeping it as an extent-1 dimension.
+    ///
+    /// This is the capsule "length" operation from the CapsNet paper: the
+    /// norm of each capsule vector is its instantiation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    pub fn norm_axis_keepdim(&self, axis: usize) -> Tensor {
+        self.map(|x| x * x)
+            .sum_axis_keepdim(axis)
+            .map(|s| s.sqrt())
+    }
+
+    /// Euclidean norm along `axis`, removing the dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis >= rank`.
+    pub fn norm_axis(&self, axis: usize) -> Tensor {
+        let kept = self.norm_axis_keepdim(axis);
+        let shape = self.shape().remove_axis(axis);
+        kept.reshape(shape).expect("reduced shape has same length")
+    }
+}
+
+/// Broadcasts a keepdim-reduced tensor back over the reduced axis.
+///
+/// This is the standard adjoint helper for reductions: `expand_like(t, src)`
+/// where `t` has extent 1 along the reduced axes of `src`'s shape.
+///
+/// # Panics
+///
+/// Panics when `t`'s shape cannot broadcast to `shape`.
+pub fn expand_to(t: &Tensor, shape: &Shape) -> Tensor {
+    let ones = Tensor::zeros(shape.clone());
+    t.zip_broadcast(&ones, |a, _| a)
+        .unwrap_or_else(|e| panic!("expand_to: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_total() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn sum_axis_keepdim_both_axes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let s0 = t.sum_axis_keepdim(0);
+        assert_eq!(s0.dims(), &[1, 3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = t.sum_axis_keepdim(1);
+        assert_eq!(s1.dims(), &[2, 1]);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_axis_middle_of_rank3() {
+        let t = Tensor::from_fn([2, 3, 2], |i| (i[0] * 6 + i[1] * 2 + i[2]) as f32);
+        let s = t.sum_axis(1);
+        assert_eq!(s.dims(), &[2, 2]);
+        // Sum over axis 1 of values 0..12 laid out row-major.
+        assert_eq!(s.data(), &[0.0 + 2.0 + 4.0, 1.0 + 3.0 + 5.0, 6.0 + 8.0 + 10.0, 7.0 + 9.0 + 11.0]);
+    }
+
+    #[test]
+    fn max_axis_keepdim() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, -3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let m = t.max_axis_keepdim(1);
+        assert_eq!(m.data(), &[9.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_axis_keepdim() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [2, 2]).unwrap();
+        let m = t.mean_axis_keepdim(0);
+        assert_eq!(m.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn norm_axis_is_capsule_length() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], [2, 2]).unwrap();
+        let n = t.norm_axis(1);
+        assert_eq!(n.dims(), &[2]);
+        assert_eq!(n.data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_rows_predictions() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.3], [2, 3]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn expand_to_inverts_keepdim_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2, 1]).unwrap();
+        let e = expand_to(&t, &Shape::new(vec![2, 3]));
+        assert_eq!(e.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_axis_then_expand_matches_manual() {
+        let t = Tensor::from_fn([3, 4], |i| (i[0] + i[1]) as f32);
+        let s = t.sum_axis_keepdim(0);
+        let e = expand_to(&s, t.shape());
+        assert_eq!(e.dims(), t.dims());
+        for j in 0..4 {
+            for i in 0..3 {
+                assert_eq!(e.get(&[i, j]), s.get(&[0, j]));
+            }
+        }
+    }
+}

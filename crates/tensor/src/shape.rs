@@ -1,0 +1,324 @@
+//! Shape and stride algebra for dense row-major tensors.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. All tensors in
+//! `qcn-tensor` are contiguous and row-major ("C order"), so strides are
+//! always derivable from the shape; they are computed on demand by
+//! [`Shape::strides`].
+
+use std::fmt;
+
+/// The extents of each dimension of a tensor.
+///
+/// A scalar is represented by an empty shape (`rank == 0`, `len == 1`).
+///
+/// # Examples
+///
+/// ```
+/// use qcn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Returns the scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.rank()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &s)) in index.iter().zip(strides.iter()).enumerate() {
+            assert!(
+                i < self.0[axis],
+                "index {i} out of bounds for axis {axis} with extent {}",
+                self.0[axis]
+            );
+            off += i * s;
+        }
+        off
+    }
+
+    /// Computes the broadcast shape of `self` and `other` following NumPy
+    /// rules: trailing dimensions must be equal or 1.
+    ///
+    /// Returns `None` when the shapes are incompatible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qcn_tensor::Shape;
+    ///
+    /// let a = Shape::new(vec![4, 1, 3]);
+    /// let b = Shape::new(vec![5, 1]);
+    /// assert_eq!(a.broadcast(&b), Some(Shape::new(vec![4, 5, 3])));
+    /// assert_eq!(a.broadcast(&Shape::new(vec![2, 2])), None);
+    /// ```
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = Vec::with_capacity(rank);
+        for i in 0..rank {
+            let a = dim_from_end(&self.0, rank - 1 - i);
+            let b = dim_from_end(&other.0, rank - 1 - i);
+            dims.push(match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            });
+        }
+        Some(Shape(dims))
+    }
+
+    /// Removes the axis `axis`, as after a non-keepdim reduction.
+    ///
+    /// A rank-1 shape reduces to the scalar shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn remove_axis(&self, axis: usize) -> Shape {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let mut dims = self.0.clone();
+        dims.remove(axis);
+        Shape(dims)
+    }
+
+    /// Sets the extent of `axis` to 1, as after a keepdim reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn keep_axis(&self, axis: usize) -> Shape {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let mut dims = self.0.clone();
+        dims[axis] = 1;
+        Shape(dims)
+    }
+}
+
+fn dim_from_end(dims: &[usize], from_end: usize) -> usize {
+    if from_end < dims.len() {
+        dims[dims.len() - 1 - from_end]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// Iterates all multi-indices of a shape in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_tensor::shape::{Shape, indices};
+///
+/// let all: Vec<Vec<usize>> = indices(&Shape::new(vec![2, 2])).collect();
+/// assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+/// ```
+pub fn indices(shape: &Shape) -> IndexIter {
+    IndexIter {
+        shape: shape.clone(),
+        next: if shape.is_empty() {
+            None
+        } else {
+            Some(vec![0; shape.rank()])
+        },
+    }
+}
+
+/// Iterator over all multi-indices of a [`Shape`], produced by [`indices`].
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer.
+        let mut idx = current.clone();
+        let mut axis = self.shape.rank();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            idx[axis] += 1;
+            if idx[axis] < self.shape.dim(axis) {
+                self.next = Some(idx);
+                break;
+            }
+            idx[axis] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_computes_flat_index() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::new(vec![2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(vec![2, 1, 3]);
+        let b = Shape::new(vec![4, 3]);
+        assert_eq!(a.broadcast(&b), Some(Shape::new(vec![2, 4, 3])));
+        assert_eq!(
+            Shape::scalar().broadcast(&a),
+            Some(Shape::new(vec![2, 1, 3]))
+        );
+        assert_eq!(a.broadcast(&Shape::new(vec![2, 2])), None);
+    }
+
+    #[test]
+    fn broadcast_is_commutative() {
+        let a = Shape::new(vec![7, 1]);
+        let b = Shape::new(vec![1, 9]);
+        assert_eq!(a.broadcast(&b), b.broadcast(&a));
+    }
+
+    #[test]
+    fn remove_and_keep_axis() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.remove_axis(1), Shape::new(vec![2, 4]));
+        assert_eq!(s.keep_axis(1), Shape::new(vec![2, 1, 4]));
+        assert_eq!(Shape::new(vec![5]).remove_axis(0), Shape::scalar());
+    }
+
+    #[test]
+    fn index_iter_covers_all_elements_in_order() {
+        let s = Shape::new(vec![2, 3]);
+        let all: Vec<Vec<usize>> = indices(&s).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+        // Flat offsets must be 0..len in order.
+        for (flat, idx) in all.iter().enumerate() {
+            assert_eq!(s.offset(idx), flat);
+        }
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+}

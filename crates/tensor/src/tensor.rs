@@ -1,0 +1,582 @@
+//! The dense, contiguous, row-major `f32` tensor at the heart of the
+//! workspace.
+
+use crate::{Shape, TensorError};
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the single data container used by the autograd engine, the
+/// CapsNet layers, and the Q-CapsNets quantization framework. It is always
+/// contiguous: operations that would produce strided views (such as
+/// `Tensor::permute`) copy into a fresh contiguous buffer.
+///
+/// # Examples
+///
+/// ```
+/// use qcn_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// let doubled = &t + &t;
+/// assert_eq!(doubled.get(&[1, 1]), 8.0);
+/// # Ok::<(), qcn_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Tensor {
+        let shape = shape.into();
+        let mut data = Vec::with_capacity(shape.len());
+        for idx in crate::shape::indices(&shape) {
+            data.push(f(&idx));
+        }
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents of each dimension.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or any coordinate is out of bounds.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns the single element of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a one-element tensor, got shape {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the new shape's element
+    /// count differs.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.len(),
+                actual: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors elementwise with NumPy-style broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes cannot be
+    /// broadcast together.
+    pub fn zip_broadcast(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape == other.shape {
+            // Fast path: identical shapes.
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Ok(Tensor {
+                data,
+                shape: self.shape.clone(),
+            });
+        }
+        let out_shape =
+            self.shape
+                .broadcast(&other.shape)
+                .ok_or_else(|| TensorError::ShapeMismatch {
+                    lhs: self.shape.clone(),
+                    rhs: other.shape.clone(),
+                    op: "broadcast",
+                })?;
+        let lhs_strides = broadcast_strides(&self.shape, &out_shape);
+        let rhs_strides = broadcast_strides(&other.shape, &out_shape);
+        let rank = out_shape.rank();
+        let mut data = Vec::with_capacity(out_shape.len());
+        let mut counters = vec![0usize; rank];
+        let mut lhs_off = 0usize;
+        let mut rhs_off = 0usize;
+        for _ in 0..out_shape.len() {
+            data.push(f(self.data[lhs_off], other.data[rhs_off]));
+            // Odometer increment with incremental offset updates.
+            let mut axis = rank;
+            while axis > 0 {
+                axis -= 1;
+                counters[axis] += 1;
+                lhs_off += lhs_strides[axis];
+                rhs_off += rhs_strides[axis];
+                if counters[axis] < out_shape.dim(axis) {
+                    break;
+                }
+                lhs_off -= lhs_strides[axis] * counters[axis];
+                rhs_off -= rhs_strides[axis] * counters[axis];
+                counters[axis] = 0;
+            }
+        }
+        Ok(Tensor {
+            data,
+            shape: out_shape,
+        })
+    }
+
+    /// Sums gradients of a broadcast operation back to the original shape.
+    ///
+    /// This is the adjoint of broadcasting `self`'s shape up to `grad`'s
+    /// shape: axes that were expanded (extent 1 or missing) are summed out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` could not have been broadcast to `grad.shape()`.
+    pub fn reduce_to_shape(grad: &Tensor, target: &Shape) -> Tensor {
+        if grad.shape() == target {
+            return grad.clone();
+        }
+        assert!(
+            target.broadcast(grad.shape()) == Some(grad.shape().clone()),
+            "shape {} is not broadcastable to {}",
+            target,
+            grad.shape()
+        );
+        let out_rank = grad.rank();
+        let t_rank = target.rank();
+        let mut result = Tensor::zeros(target.clone());
+        let t_strides = target.strides();
+        let rank_diff = out_rank - t_rank;
+        let mut counters = vec![0usize; out_rank];
+        let mut t_off = 0usize;
+        // Per-output-axis stride into the target (0 where broadcast).
+        let axis_strides: Vec<usize> = (0..out_rank)
+            .map(|axis| {
+                if axis < rank_diff {
+                    0
+                } else {
+                    let t_axis = axis - rank_diff;
+                    if target.dim(t_axis) == 1 && grad.shape().dim(axis) != 1 {
+                        0
+                    } else {
+                        t_strides[t_axis]
+                    }
+                }
+            })
+            .collect();
+        for &g in grad.data.iter() {
+            result.data[t_off] += g;
+            let mut axis = out_rank;
+            while axis > 0 {
+                axis -= 1;
+                counters[axis] += 1;
+                t_off += axis_strides[axis];
+                if counters[axis] < grad.shape().dim(axis) {
+                    break;
+                }
+                t_off -= axis_strides[axis] * counters[axis];
+                counters[axis] = 0;
+            }
+        }
+        result
+    }
+
+    /// Copies the `[start, start + len)` range of `axis` into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis` is out of range or the slice exceeds the axis
+    /// extent.
+    pub fn slice_axis(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.rank(), "slice axis {axis} out of range");
+        assert!(
+            start + len <= self.dims()[axis],
+            "slice range {start}..{} exceeds axis extent {}",
+            start + len,
+            self.dims()[axis]
+        );
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let extent = self.dims()[axis];
+        let mut out_dims = self.dims().to_vec();
+        out_dims[axis] = len;
+        let mut data = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let src = (o * extent + start) * inner;
+            data.extend_from_slice(&self.data[src..src + len * inner]);
+        }
+        Tensor::from_vec(data, out_dims).expect("slice size matches dims")
+    }
+
+    /// Returns the index of the maximum element of a rank-1 tensor.
+    ///
+    /// Ties resolve to the lowest index. Useful for classification argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius / L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0.0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// Strides of `shape` viewed under the broadcast shape `out`: 0 for axes that
+/// were expanded, the regular row-major stride otherwise.
+pub(crate) fn broadcast_strides(shape: &Shape, out: &Shape) -> Vec<usize> {
+    let strides = shape.strides();
+    let rank_diff = out.rank() - shape.rank();
+    (0..out.rank())
+        .map(|axis| {
+            if axis < rank_diff {
+                0
+            } else {
+                let s_axis = axis - rank_diff;
+                if shape.dim(s_axis) == 1 && out.dim(axis) != 1 {
+                    0
+                } else {
+                    strides[s_axis]
+                }
+            }
+        })
+        .collect()
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(f, "data=[{:?}, ... {} elements])", self.data[0], self.len())
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// The scalar zero tensor.
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $f:expr, $name:literal) => {
+        impl std::ops::$trait for &Tensor {
+            type Output = Tensor;
+
+            /// Elementwise operation with broadcasting.
+            ///
+            /// # Panics
+            ///
+            /// Panics when the shapes cannot be broadcast together.
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_broadcast(rhs, $f).unwrap_or_else(|e| {
+                    panic!("{}: {e}", $name);
+                })
+            }
+        }
+
+        impl std::ops::$trait<f32> for &Tensor {
+            type Output = Tensor;
+
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|x| $f(x, rhs))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a: f32, b: f32| a + b, "tensor add");
+impl_binop!(Sub, sub, |a: f32, b: f32| a - b, "tensor sub");
+impl_binop!(Mul, mul, |a: f32, b: f32| a * b, "tensor mul");
+impl_binop!(Div, div, |a: f32, b: f32| a / b, "tensor div");
+
+impl std::ops::Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros([2, 3]);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.get(&[1, 2]), 7.5);
+        assert_eq!(t.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn elementwise_same_shape() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], [2]).unwrap();
+        assert_eq!((&a + &b).data(), &[11.0, 22.0]);
+        assert_eq!((&a - &b).data(), &[-9.0, -18.0]);
+        assert_eq!((&a * &b).data(), &[10.0, 40.0]);
+        assert_eq!((&b / &a).data(), &[10.0, 10.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn broadcast_row_and_column() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]).unwrap();
+        let col = Tensor::from_vec(vec![100.0, 200.0], [2, 1]).unwrap();
+        let r = &a + &row;
+        assert_eq!(r.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let c = &a + &col;
+        assert_eq!(c.data(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let s = Tensor::scalar(5.0);
+        assert_eq!((&a * &s).data(), &[5.0, 10.0]);
+        assert_eq!((&s - &a).data(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_rhs_ops() {
+        let a = Tensor::from_vec(vec![2.0, 4.0], [2]).unwrap();
+        assert_eq!((&a * 0.5).data(), &[1.0, 2.0]);
+        assert_eq!((&a + 1.0).data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let grad = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        // Target [3]: sum over leading axis.
+        let r = Tensor::reduce_to_shape(&grad, &Shape::new(vec![3]));
+        assert_eq!(r.data(), &[5.0, 7.0, 9.0]);
+        // Target [2,1]: sum over the trailing axis.
+        let r = Tensor::reduce_to_shape(&grad, &Shape::new(vec![2, 1]));
+        assert_eq!(r.data(), &[6.0, 15.0]);
+        // Target scalar: sum everything.
+        let r = Tensor::reduce_to_shape(&grad, &Shape::scalar());
+        assert_eq!(r.item(), 21.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_identity_when_equal() {
+        let grad = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        assert_eq!(Tensor::reduce_to_shape(&grad, grad.shape()), grad);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let r = t.reshape([4]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([3]).is_err());
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 2.0], [4]).unwrap();
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn from_fn_generates_by_index() {
+        let t = Tensor::from_fn([2, 2], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn slice_axis_extracts_range() {
+        let t = Tensor::from_fn([2, 4, 3], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let s = t.slice_axis(1, 1, 2);
+        assert_eq!(s.dims(), &[2, 2, 3]);
+        assert_eq!(s.get(&[0, 0, 0]), t.get(&[0, 1, 0]));
+        assert_eq!(s.get(&[1, 1, 2]), t.get(&[1, 2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds axis extent")]
+    fn slice_axis_rejects_overflow() {
+        Tensor::zeros([2, 3]).slice_axis(1, 2, 2);
+    }
+
+    #[test]
+    fn norm_and_max_abs() {
+        let t = Tensor::from_vec(vec![3.0, -4.0], [2]).unwrap();
+        assert_eq!(t.norm(), 5.0);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn tensor_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+}

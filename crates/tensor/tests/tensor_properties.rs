@@ -1,0 +1,160 @@
+//! Property-based tests of the tensor substrate's algebraic laws.
+
+use proptest::prelude::*;
+use qcn_tensor::{Shape, Tensor};
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn tensor_strategy(max_side: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_side, 1..=max_side).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, [r, c]).expect("sized"))
+    })
+}
+
+proptest! {
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a_data in proptest::collection::vec(-3.0f32..3.0, 6),
+        b_data in proptest::collection::vec(-3.0f32..3.0, 6),
+        c_data in proptest::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let a = Tensor::from_vec(a_data, [2, 3]).unwrap();
+        let b = Tensor::from_vec(b_data, [3, 2]).unwrap();
+        let c = Tensor::from_vec(c_data, [3, 2]).unwrap();
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// (AB)C = A(BC) within floating-point tolerance.
+    #[test]
+    fn matmul_associates(
+        a_data in proptest::collection::vec(-2.0f32..2.0, 4),
+        b_data in proptest::collection::vec(-2.0f32..2.0, 6),
+        c_data in proptest::collection::vec(-2.0f32..2.0, 3),
+    ) {
+        let a = Tensor::from_vec(a_data, [2, 2]).unwrap();
+        let b = Tensor::from_vec(b_data, [2, 3]).unwrap();
+        let c = Tensor::from_vec(c_data, [3, 1]).unwrap();
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// Transpose is an involution and reverses matmul order.
+    #[test]
+    fn transpose_laws(t in tensor_strategy(5)) {
+        prop_assert_eq!(t.transpose().transpose(), t.clone());
+        let tt = t.transpose();
+        let prod = t.matmul(&tt); // always square, symmetric
+        let prod_t = prod.transpose();
+        for (x, y) in prod.data().iter().zip(prod_t.data()) {
+            prop_assert!(close(*x, *y));
+        }
+    }
+
+    /// Sum along both axes equals the total sum.
+    #[test]
+    fn axis_sums_total(t in tensor_strategy(6)) {
+        let by_rows = t.sum_axis_keepdim(0).sum();
+        let by_cols = t.sum_axis_keepdim(1).sum();
+        prop_assert!(close(by_rows, t.sum()));
+        prop_assert!(close(by_cols, t.sum()));
+    }
+
+    /// Permute with the identity permutation is the identity.
+    #[test]
+    fn permute_identity(t in tensor_strategy(5)) {
+        prop_assert_eq!(t.permute(&[0, 1]), t);
+    }
+
+    /// Reshape round-trips and preserves the data order.
+    #[test]
+    fn reshape_roundtrip(t in tensor_strategy(5)) {
+        let n = t.len();
+        let flat = t.reshape([n]).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+        let back = flat.reshape(t.shape().clone()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// slice_axis then concat along the same axis reassembles the tensor.
+    #[test]
+    fn slice_is_partition(t in tensor_strategy(6), split in 1usize..5) {
+        let cols = t.dims()[1];
+        let split = split.min(cols - 1).max(1);
+        if split < cols {
+            let left = t.slice_axis(1, 0, split);
+            let right = t.slice_axis(1, split, cols - split);
+            prop_assert_eq!(left.dims()[1] + right.dims()[1], cols);
+            // Element-level check of the partition.
+            for r in 0..t.dims()[0] {
+                for c in 0..cols {
+                    let v = if c < split {
+                        left.get(&[r, c])
+                    } else {
+                        right.get(&[r, c - split])
+                    };
+                    prop_assert_eq!(v, t.get(&[r, c]));
+                }
+            }
+        }
+    }
+
+    /// Softmax is invariant to adding a constant to all logits.
+    #[test]
+    fn softmax_shift_invariance(
+        data in proptest::collection::vec(-5.0f32..5.0, 2..12),
+        shift in -10.0f32..10.0,
+    ) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, [1, n]).unwrap();
+        let shifted = &t + shift;
+        let a = t.softmax_axis(1);
+        let b = shifted.softmax_axis(1);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!(close(*x, *y), "{x} vs {y}");
+        }
+    }
+
+    /// Squash is scale-monotone: longer inputs squash to longer outputs
+    /// in the same direction.
+    #[test]
+    fn squash_monotone_in_length(
+        dir in proptest::collection::vec(-1.0f32..1.0, 2..6),
+        s1 in 0.1f32..2.0,
+        extra in 0.1f32..2.0,
+    ) {
+        let n = dir.len();
+        let base = Tensor::from_vec(dir, [1, n]).unwrap();
+        if base.norm() > 1e-3 {
+            let short = (&base * s1).squash_axis(1);
+            let long = (&base * (s1 + extra)).squash_axis(1);
+            prop_assert!(long.norm() >= short.norm() - 1e-5);
+        }
+    }
+
+    /// reduce_to_shape after broadcast-add recovers scaled originals:
+    /// reduce(a ⊕ 0_{broadcast}) sums over expanded axes only.
+    #[test]
+    fn broadcast_then_reduce_counts_multiplicity(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        value in -5.0f32..5.0,
+    ) {
+        let row = Tensor::full([cols], value);
+        let big = &Tensor::zeros([rows, cols]) + &row;
+        let back = Tensor::reduce_to_shape(&big, &Shape::new(vec![cols]));
+        for &v in back.data() {
+            prop_assert!(close(v, value * rows as f32));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Hardware energy estimation (paper §IV-D): combine the UMC-65nm-
+//! calibrated unit cost models with the full-size ShallowCaps/DeepCaps
+//! operation counts to estimate how the framework's wordlength choices
+//! translate into inference energy.
+//!
+//! No training involved — this example runs in milliseconds.
+//!
+//! Run with: `cargo run --release --example energy_estimation`
+
+use qcn_repro::hwmodel::archstats::{deep_caps, shallow_caps};
+use qcn_repro::hwmodel::{inference_energy_nj, uniform_energy_nj, HwUnit, LayerBits};
+
+fn main() {
+    println!("== per-inference energy estimates (UMC-65nm-calibrated models) ==\n");
+    for arch in [shallow_caps(), deep_caps(3)] {
+        println!(
+            "{} ({} MACs, {} squash, {} softmax per inference):",
+            arch.name,
+            arch.total_macs(),
+            arch.total_squash_ops(),
+            arch.total_softmax_ops()
+        );
+        println!(
+            "  fp32-equivalent (32-bit datapath): {:>12.1} nJ",
+            uniform_energy_nj(&arch, 32, 8)
+        );
+        println!(
+            "  uniform 8-bit:                     {:>12.1} nJ",
+            uniform_energy_nj(&arch, 8, 8)
+        );
+        // A Q-CapsNets-style assignment: decreasing weights toward the
+        // output, 4-bit routing.
+        let bits: Vec<LayerBits> = (0..arch.layers.len())
+            .map(|l| LayerBits {
+                mac_bits: 8u8.saturating_sub(l as u8).max(4),
+                dr_bits: 4,
+            })
+            .collect();
+        let qcaps = inference_energy_nj(&arch, &bits);
+        println!("  Q-CapsNets-style (≤8-bit, DR=4):   {qcaps:>12.1} nJ");
+        println!(
+            "  saving vs fp32: {:.1}x\n",
+            uniform_energy_nj(&arch, 32, 8) / qcaps
+        );
+    }
+    println!("unit cost reference at 8 bits:");
+    for unit in [HwUnit::mac(), HwUnit::squash(), HwUnit::softmax()] {
+        println!(
+            "  {:<8} {:>8.3} pJ {:>10.1} µm²",
+            unit.name(),
+            unit.energy_pj(8),
+            unit.area_um2(8)
+        );
+    }
+}

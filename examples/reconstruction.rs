@@ -1,0 +1,97 @@
+//! Training with the reconstruction regularizer (Sabour et al.'s decoder,
+//! paper §II footnote 3) and rendering reconstructions as ASCII art.
+//!
+//! Run with: `cargo run --release --example reconstruction`
+
+use qcn_repro::capsnet::{
+    train_step_with_reconstruction, Adam, CapsNet, Decoder, MarginLoss, ModelQuant, QuantCtx,
+    ShallowCaps, ShallowCapsConfig,
+};
+use qcn_repro::datasets::{shuffled_batches, SynthKind};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Renders a `[1, h, w]`-ish flat pixel vector as ASCII art.
+fn ascii(pixels: &[f32], w: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    pixels
+        .chunks(w)
+        .map(|row| {
+            row.iter()
+                .map(|&p| {
+                    let idx = (p.clamp(0.0, 1.0) * (RAMP.len() - 1) as f32).round() as usize;
+                    RAMP[idx] as char
+                })
+                .collect::<String>()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let (train_set, test_set) = SynthKind::Mnist.train_test(800, 100, 33);
+    let config = ShallowCapsConfig::small(1);
+    let side = config.image_side;
+    let mut model = ShallowCaps::new(config, 33);
+    let mut decoder = Decoder::new(10, 8, 48, 96, side * side, 33);
+    let mut opt = Adam::new(0.002);
+    let loss = MarginLoss::default();
+    let mut rng = StdRng::seed_from_u64(33);
+    println!("training ShallowCaps + reconstruction decoder…");
+    for epoch in 0..6 {
+        let (mut total, mut margin, mut recon, mut batches) = (0.0, 0.0, 0.0, 0);
+        for batch in shuffled_batches(train_set.len(), 32, &mut rng) {
+            let (images, labels) = train_set.batch(&batch);
+            let (t, m, r) = train_step_with_reconstruction(
+                &mut model,
+                &mut decoder,
+                &images,
+                &labels,
+                &loss,
+                0.0005,
+                &mut opt,
+            );
+            total += t;
+            margin += m;
+            recon += r;
+            batches += 1;
+        }
+        let b = batches as f32;
+        println!(
+            "epoch {:>2}: total {:.4}  margin {:.4}  reconstruction {:.4}",
+            epoch + 1,
+            total / b,
+            margin / b,
+            recon / b
+        );
+    }
+
+    // Show three test images next to their reconstructions.
+    let fp = ModelQuant::full_precision(model.groups().len());
+    let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
+    for index in [0usize, 1, 2] {
+        let image = test_set.image(index);
+        let batch = image
+            .reshape([1, 1, side, side])
+            .expect("single-image batch");
+        let caps = model.infer(&batch, &fp, &mut ctx);
+        let recon = decoder.reconstruct(&caps, &mut ctx);
+        let original = ascii(image.data(), side);
+        let decoded = ascii(recon.data(), side);
+        println!(
+            "\nclass {} — original (left) vs reconstruction (right):",
+            test_set.labels()[index]
+        );
+        for (a, b) in original.lines().zip(decoded.lines()) {
+            println!("{a}   {b}");
+        }
+        // Reconstruction quality metric.
+        let target = Tensor::from_vec(image.data().to_vec(), [side * side]).expect("flat");
+        let mse = (&recon.reshape([side * side]).expect("flat recon") - &target)
+            .map(|x| x * x)
+            .mean();
+        println!("MSE: {mse:.4}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Rounding-scheme study (paper §II-B and §IV-C): measure the numeric
+//! error statistics of truncation, round-to-nearest and stochastic
+//! rounding, then run the whole Q-CapsNets framework once per scheme and
+//! let the §III-B selection rules pick the winner.
+//!
+//! Run with: `cargo run --release --example rounding_schemes`
+
+use qcn_repro::capsnet::{train, CapsNet, ShallowCaps, ShallowCapsConfig, TrainConfig};
+use qcn_repro::datasets::SynthKind;
+use qcn_repro::fixed::{QFormat, QuantizationStats, Quantizer, RoundingScheme};
+use qcn_repro::framework::{run_library, FrameworkConfig, Selection};
+use qcn_repro::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Part 1 — pure numerics: quantize a random signal at Q1.4 and report
+    // the per-scheme bias/MSE/SQNR.
+    println!("== rounding-scheme error statistics (Q1.4, 16k samples) ==\n");
+    println!(
+        "{:<6} {:>12} {:>14} {:>12}",
+        "scheme", "bias", "MSE", "SQNR (dB)"
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let signal = Tensor::rand_uniform([16_384], -0.95, 0.95, &mut rng);
+    for scheme in RoundingScheme::ALL {
+        let q = Quantizer::new(QFormat::with_frac(4), scheme).quantize(&signal, &mut rng);
+        let stats = QuantizationStats::measure(&signal, &q);
+        println!(
+            "{:<6} {:>12.6} {:>14.8} {:>12.2}",
+            scheme.to_string(),
+            stats.bias,
+            stats.mse,
+            stats.sqnr_db
+        );
+    }
+    println!("\n(truncation shows the negative bias of §II-B; SR is unbiased)\n");
+
+    // Part 2 — end to end: train a small CapsNet and run the framework
+    // once per scheme with the §III-B selection rules.
+    let (train_set, test_set) = SynthKind::FashionMnist.train_test(1000, 300, 11);
+    let mut model = ShallowCaps::new(ShallowCapsConfig::small(1), 11);
+    println!("training ShallowCaps on {}…", SynthKind::FashionMnist);
+    train(
+        &mut model,
+        &train_set,
+        &test_set,
+        &TrainConfig {
+            epochs: 5,
+            verbose: true,
+            ..TrainConfig::default()
+        },
+    );
+    let fp32_bits: u64 = model
+        .groups()
+        .iter()
+        .map(|g| g.weight_count as u64 * 32)
+        .sum();
+    let library = run_library(
+        &model,
+        &test_set,
+        &FrameworkConfig {
+            acc_tol: 0.02,
+            memory_budget_bits: fp32_bits / 6,
+            ..FrameworkConfig::default()
+        },
+        &RoundingScheme::ALL,
+    );
+    println!("\nper-scheme outcomes:");
+    for (scheme, report) in &library.runs {
+        let summary: Vec<String> = report
+            .outcome
+            .results()
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} acc={:.2}% W×{:.2}",
+                    r.kind,
+                    r.accuracy * 100.0,
+                    r.weight_mem_reduction
+                )
+            })
+            .collect();
+        println!("  {scheme}: {}", summary.join("; "));
+    }
+    match &library.selection {
+        Selection::Satisfied { scheme, result } => println!(
+            "\nselected (rules A1–A4): {scheme} — acc {:.2}%, W mem ×{:.2}, A mem ×{:.2}",
+            result.accuracy * 100.0,
+            result.weight_mem_reduction,
+            result.act_mem_reduction
+        ),
+        Selection::Fallback { memory, accuracy } => {
+            println!(
+                "\nselected (rules B1–B3): memory slot {} (acc {:.2}%), accuracy slot {} (W ×{:.2})",
+                memory.0,
+                memory.1.accuracy * 100.0,
+                accuracy.0,
+                accuracy.1.weight_mem_reduction
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! DeepCaps-specific integration coverage: train a tiny DeepCaps, run the
+//! framework, and check the invariants unique to the deeper architecture
+//! (two routing sites, per-block groups, Eq. 6's decreasing profile over
+//! four groups).
+
+use qcn_repro::capsnet::{
+    accuracy, train, CapsNet, DeepCaps, DeepCapsConfig, ModelQuant, TrainConfig,
+};
+use qcn_repro::datasets::augment::AugmentPolicy;
+use qcn_repro::datasets::{Dataset, SynthKind};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::{run, FrameworkConfig, Outcome};
+use std::sync::OnceLock;
+
+fn trained() -> (&'static DeepCaps, &'static Dataset) {
+    static CELL: OnceLock<(DeepCaps, Dataset)> = OnceLock::new();
+    let (m, d) = CELL.get_or_init(|| {
+        let mut config = DeepCapsConfig::small(1);
+        config.conv_channels = 8;
+        config.blocks[0].types = 2;
+        config.blocks[1].types = 2;
+        config.digit_dim = 6;
+        let mut model = DeepCaps::new(config, 31);
+        let (train_set, test_set) = SynthKind::Mnist.train_test(400, 120, 31);
+        let report = train(
+            &mut model,
+            &train_set,
+            &test_set,
+            &TrainConfig {
+                epochs: 4,
+                batch_size: 25,
+                lr: 0.003,
+                augment: AugmentPolicy::none(),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            report.final_accuracy > 0.5,
+            "DeepCaps training failed: {:.1}%",
+            report.final_accuracy * 100.0
+        );
+        (model, test_set)
+    });
+    (m, d)
+}
+
+#[test]
+fn deepcaps_framework_produces_valid_result() {
+    let (model, test) = trained();
+    let groups = model.groups();
+    assert_eq!(groups.len(), 4);
+    let fp32_bits: u64 = groups.iter().map(|g| g.weight_count as u64 * 32).sum();
+    let report = run(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.05,
+            memory_budget_bits: fp32_bits / 4,
+            ..FrameworkConfig::default()
+        },
+    );
+    for result in report.outcome.results() {
+        // Weight widths follow a non-increasing profile when all set.
+        let widths: Vec<u8> = result
+            .config
+            .layers
+            .iter()
+            .filter_map(|l| l.weight_frac)
+            .collect();
+        for w in widths.windows(2) {
+            assert!(w[0] >= w[1], "Eq. 6 profile violated: {widths:?}");
+        }
+    }
+    if let Outcome::Satisfied(result) = &report.outcome {
+        assert!(result.weight_mem_bits <= fp32_bits / 4);
+        // Both routing groups (B3 skip and L4) must have DR widths.
+        assert!(result.config.layers[2].dr_frac.is_some());
+        assert!(result.config.layers[3].dr_frac.is_some());
+    }
+}
+
+#[test]
+fn deepcaps_quantized_accuracy_is_monotone_ish_in_width() {
+    // Coarse sanity: very wide quantization should be at least as good as
+    // very narrow quantization.
+    let (model, test) = trained();
+    let acc_at = |frac: u8| {
+        let config = ModelQuant::uniform(4, frac, RoundingScheme::RoundToNearest);
+        let q = model.with_quantized_weights(&config);
+        accuracy(&q, test, &config, 40)
+    };
+    assert!(acc_at(12) >= acc_at(1));
+}
+
+#[test]
+fn deepcaps_dr_only_quantization_is_tolerated() {
+    // The paper's central observation, on the deep model: quantizing only
+    // the routing data to few bits barely moves accuracy.
+    let (model, test) = trained();
+    let fp = ModelQuant::full_precision(4);
+    let fp_acc = accuracy(model, test, &fp, 40);
+    let mut config = ModelQuant::full_precision(4);
+    config.layers[2].dr_frac = Some(4);
+    config.layers[3].dr_frac = Some(4);
+    let dr_acc = accuracy(model, test, &config, 40);
+    assert!(
+        dr_acc >= fp_acc - 0.05,
+        "4-bit DR should be nearly free: {fp_acc} → {dr_acc}"
+    );
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: train a small CapsNet, run the full
+//! Q-CapsNets framework, and check the paper's structural invariants.
+
+use qcn_repro::capsnet::{
+    accuracy, train, CapsNet, ModelQuant, ShallowCaps, ShallowCapsConfig, TrainConfig,
+};
+use qcn_repro::datasets::augment::AugmentPolicy;
+use qcn_repro::datasets::{Dataset, SynthKind};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::{
+    memory, run, run_library, FrameworkConfig, Outcome, ResultKind, Selection,
+};
+use std::sync::OnceLock;
+
+/// One lightly trained model shared by every test in this binary.
+fn trained() -> (&'static ShallowCaps, &'static Dataset) {
+    static CELL: OnceLock<(ShallowCaps, Dataset)> = OnceLock::new();
+    let (m, d) = CELL.get_or_init(|| {
+        let config = ShallowCapsConfig {
+            conv_channels: 12,
+            primary_types: 4,
+            digit_dim: 6,
+            ..ShallowCapsConfig::small(1)
+        };
+        let mut model = ShallowCaps::new(config, 9);
+        let (train_set, test_set) = SynthKind::Mnist.train_test(400, 120, 9);
+        let report = train(
+            &mut model,
+            &train_set,
+            &test_set,
+            &TrainConfig {
+                epochs: 4,
+                batch_size: 25,
+                lr: 0.003,
+                augment: AugmentPolicy::none(),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            report.final_accuracy > 0.5,
+            "training failed to beat 50%: {:.1}%",
+            report.final_accuracy * 100.0
+        );
+        (model, test_set)
+    });
+    (m, d)
+}
+
+#[test]
+fn path_a_satisfies_both_constraints() {
+    let (model, test) = trained();
+    let groups = model.groups();
+    let fp32_bits: u64 = groups.iter().map(|g| g.weight_count as u64 * 32).sum();
+    let budget = fp32_bits / 4;
+    let report = run(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.05,
+            memory_budget_bits: budget,
+            ..FrameworkConfig::default()
+        },
+    );
+    let Outcome::Satisfied(result) = &report.outcome else {
+        panic!("expected Path A, got {:?}", report.outcome);
+    };
+    // Memory constraint.
+    assert!(result.weight_mem_bits <= budget);
+    assert_eq!(
+        result.weight_mem_bits,
+        memory::weight_memory_bits(&groups, &result.config)
+    );
+    // Accuracy constraint (within the framework's one-sample slack).
+    let slack = 1.0 / test.len() as f32;
+    assert!(
+        result.accuracy >= report.acc_target - slack,
+        "{} < {}",
+        result.accuracy,
+        report.acc_target
+    );
+    // Step 4A must have specialised the routing layer.
+    assert!(result.config.layers[2].dr_frac.is_some());
+}
+
+#[test]
+fn dr_bits_do_not_exceed_activation_bits() {
+    // Paper §IV-D: routing data can always be quantized at least as
+    // aggressively as the activations it derives from.
+    let (model, test) = trained();
+    let report = run(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.05,
+            ..FrameworkConfig::default()
+        },
+    );
+    for result in report.outcome.results() {
+        let lq = &result.config.layers[2];
+        if let (Some(dr), Some(act)) = (lq.dr_frac, lq.act_frac) {
+            assert!(dr <= act, "DR {dr} > act {act}");
+        }
+    }
+}
+
+#[test]
+fn impossible_budget_returns_fallback_pair() {
+    let (model, test) = trained();
+    let total_w: u64 = model.groups().iter().map(|g| g.weight_count as u64).sum();
+    let report = run(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.001,
+            memory_budget_bits: total_w, // 1 bit per weight
+            ..FrameworkConfig::default()
+        },
+    );
+    let Outcome::Fallback { memory, accuracy } = &report.outcome else {
+        panic!("1 bit/weight cannot hold the accuracy target");
+    };
+    assert_eq!(memory.kind, ResultKind::Memory);
+    assert_eq!(accuracy.kind, ResultKind::Accuracy);
+    // model_memory respects the budget even when accuracy collapses.
+    assert!(memory.weight_mem_bits <= total_w);
+    // model_accuracy keeps (near-)target accuracy at whatever memory.
+    let slack = 1.0 / test.len() as f32;
+    assert!(accuracy.accuracy >= report.acc_target - slack);
+    assert!(accuracy.accuracy >= memory.accuracy);
+}
+
+#[test]
+fn quantized_model_evaluates_identically_to_reported_accuracy() {
+    // The accuracy in the report must be reproducible from the config.
+    let (model, test) = trained();
+    let report = run(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.05,
+            ..FrameworkConfig::default()
+        },
+    );
+    for result in report.outcome.results() {
+        let qmodel = model.with_quantized_weights(&result.config);
+        let acc = accuracy(&qmodel, test, &result.config, 50);
+        assert!(
+            (acc - result.accuracy).abs() < 1e-6,
+            "reported {} vs reproduced {acc}",
+            result.accuracy
+        );
+    }
+}
+
+#[test]
+fn library_selection_returns_a_library_scheme() {
+    let (model, test) = trained();
+    let fp32_bits: u64 = model
+        .groups()
+        .iter()
+        .map(|g| g.weight_count as u64 * 32)
+        .sum();
+    let lib = run_library(
+        model,
+        test,
+        &FrameworkConfig {
+            acc_tol: 0.05,
+            memory_budget_bits: fp32_bits / 4,
+            ..FrameworkConfig::default()
+        },
+        &RoundingScheme::ALL,
+    );
+    assert_eq!(lib.runs.len(), 3);
+    match &lib.selection {
+        Selection::Satisfied { scheme, result } => {
+            assert!(RoundingScheme::ALL.contains(scheme));
+            assert!(result.weight_mem_bits <= fp32_bits / 4);
+            // The winner must have the lowest weight memory among all
+            // satisfied runs.
+            for (_, run) in &lib.runs {
+                if let Outcome::Satisfied(other) = &run.outcome {
+                    assert!(result.weight_mem_bits <= other.weight_mem_bits);
+                }
+            }
+        }
+        Selection::Fallback { memory, accuracy } => {
+            assert!(RoundingScheme::ALL.contains(&memory.0));
+            assert!(RoundingScheme::ALL.contains(&accuracy.0));
+        }
+    }
+}
+
+#[test]
+fn memory_accounting_matches_hand_computation() {
+    let (model, _) = trained();
+    let groups = model.groups();
+    let mut config = ModelQuant::uniform(3, 7, RoundingScheme::Truncation);
+    config.layers[2].weight_frac = Some(3);
+    let expected: u64 = groups
+        .iter()
+        .zip(&config.layers)
+        .map(|(g, l)| g.weight_count as u64 * (1 + l.weight_frac.unwrap() as u64))
+        .sum();
+    assert_eq!(memory::weight_memory_bits(&groups, &config), expected);
+}

@@ -1,0 +1,94 @@
+//! Cross-validation of the f32 fake-quantization path against true integer
+//! fixed-point arithmetic ([`qcn_repro::fixed::Fx`]): the framework's
+//! simulated quantization must be bit-exact with what a hardware datapath
+//! would store.
+
+use qcn_repro::fixed::{Fx, QFormat, Quantizer, RoundingScheme};
+use qcn_repro::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn fake_quantized_values_are_exactly_representable_as_fx() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for frac in [2u8, 4, 7, 11] {
+        let format = QFormat::with_frac(frac);
+        for scheme in RoundingScheme::ALL {
+            let t = Tensor::rand_uniform([256], -2.0, 2.0, &mut rng);
+            let q = Quantizer::new(format, scheme).quantize(&t, &mut rng);
+            for &v in q.data() {
+                // Converting a fake-quantized value to Fx and back must be
+                // lossless: the value sits on the integer grid.
+                let fx = Fx::from_f32(v, format);
+                assert_eq!(fx.to_f32(), v, "{scheme} frac {frac}: {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_dot_product_matches_integer_mac_chain() {
+    // A capsule vote is a dot product; verify the f32 path (quantized
+    // inputs, f32 multiply-accumulate, truncating re-quantization) matches
+    // the Fx MAC chain when the accumulator is wide enough.
+    let mut rng = StdRng::seed_from_u64(1);
+    let io_format = QFormat::with_frac(6);
+    // Wide accumulator (like a real MAC unit's internal width).
+    let acc_format = QFormat::new(8, 12);
+    for _ in 0..50 {
+        let xs: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.9..0.9)).collect();
+        let ws: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.9..0.9)).collect();
+        // Quantize inputs/weights once (truncation).
+        let xq: Vec<f32> = xs
+            .iter()
+            .map(|&x| Fx::from_f32(x, io_format).to_f32())
+            .collect();
+        let wq: Vec<f32> = ws
+            .iter()
+            .map(|&w| Fx::from_f32(w, io_format).to_f32())
+            .collect();
+        // f32 path.
+        let f32_result: f32 = xq.iter().zip(&wq).map(|(x, w)| x * w).sum();
+        // Integer path.
+        let mut acc = Fx::zero(acc_format);
+        for (&x, &w) in xq.iter().zip(&wq) {
+            acc = acc.mac(Fx::from_f32(x, acc_format), Fx::from_f32(w, acc_format));
+        }
+        // Products of two 6-fractional-bit values need 12 fractional bits:
+        // the wide accumulator holds them exactly, so both paths agree to
+        // the accumulator precision.
+        assert!(
+            (acc.to_f32() - f32_result).abs() <= acc_format.precision() * 16.0,
+            "{} vs {f32_result}",
+            acc.to_f32()
+        );
+    }
+}
+
+#[test]
+fn requantization_matches_fake_round_trip() {
+    // Narrowing an Fx value (hardware wordlength reduction before a squash
+    // unit) must equal fake-quantizing the same value with truncation.
+    let mut rng = StdRng::seed_from_u64(2);
+    let wide = QFormat::new(2, 12);
+    let narrow = QFormat::with_frac(4);
+    let trn = RoundingScheme::Truncation;
+    for _ in 0..500 {
+        let x = rng.gen_range(-1.0..1.0f32);
+        let fx_wide = Fx::from_f32(x, wide);
+        let hardware = fx_wide.requantize(narrow).to_f32();
+        let fake = trn.round(fx_wide.to_f32(), narrow, &mut rng);
+        assert_eq!(hardware, fake, "x = {x}");
+    }
+}
+
+#[test]
+fn saturating_behaviour_matches() {
+    let format = QFormat::with_frac(5);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &x in &[1.5f32, -3.0, 0.99, -1.0, 7.25] {
+        let fake = RoundingScheme::Truncation.round(x, format, &mut rng);
+        let fx = Fx::from_f32(x, format).to_f32();
+        assert_eq!(fake, fx, "x = {x}");
+    }
+}

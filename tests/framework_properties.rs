@@ -1,0 +1,235 @@
+//! Property tests of the framework's search algorithms driven by a
+//! *synthetic accuracy oracle* whose accuracy surface is known in closed
+//! form — so optimality and termination properties can be checked exactly,
+//! with no model training.
+//!
+//! The oracle is monotone (more bits never hurt), matching the assumption
+//! the paper's binary search and greedy descents rely on.
+
+use proptest::prelude::*;
+use qcapsnets::algorithms::{binary_search_uniform, dr_quant, layerwise, ParamDomain};
+use qcapsnets::ConfigScorer;
+use qcn_repro::capsnet::{GroupInfo, LayerQuant, ModelQuant};
+use qcn_repro::fixed::RoundingScheme;
+
+/// A monotone synthetic accuracy surface: each layer contributes an
+/// exponential penalty `coeff · 2^(−bits)` for weights, activations and
+/// routing data; `None` counts as 32 bits (negligible).
+#[derive(Debug, Clone)]
+struct Oracle {
+    groups: Vec<GroupInfo>,
+    weight_coeff: Vec<f32>,
+    act_coeff: Vec<f32>,
+    dr_coeff: Vec<f32>,
+    evaluations: usize,
+}
+
+impl Oracle {
+    fn new(weight_coeff: Vec<f32>, act_coeff: Vec<f32>, dr_coeff: Vec<f32>, routing: Vec<bool>) -> Self {
+        let groups = routing
+            .iter()
+            .enumerate()
+            .map(|(i, &has_routing)| GroupInfo {
+                name: format!("L{i}"),
+                weight_count: 100,
+                activation_count: 100,
+                has_routing,
+            })
+            .collect();
+        Oracle {
+            groups,
+            weight_coeff,
+            act_coeff,
+            dr_coeff,
+            evaluations: 0,
+        }
+    }
+
+    fn accuracy_of(&self, config: &ModelQuant) -> f32 {
+        let bits = |b: Option<u8>| b.unwrap_or(32) as f32;
+        let mut acc = 1.0f32;
+        for (l, lq) in config.layers.iter().enumerate() {
+            acc -= self.weight_coeff[l] * 0.5f32.powf(bits(lq.weight_frac));
+            acc -= self.act_coeff[l] * 0.5f32.powf(bits(lq.act_frac));
+            if self.groups[l].has_routing {
+                acc -= self.dr_coeff[l] * 0.5f32.powf(bits(lq.effective_dr_frac()));
+            }
+        }
+        acc.max(0.0)
+    }
+}
+
+impl ConfigScorer for Oracle {
+    fn score(&mut self, config: &ModelQuant) -> f32 {
+        self.evaluations += 1;
+        self.accuracy_of(config)
+    }
+
+    fn groups(&self) -> Vec<GroupInfo> {
+        self.groups.clone()
+    }
+}
+
+fn coeff_strategy(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.01f32..0.8, n)
+}
+
+const MAX_FRAC: u8 = 16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary search returns the *minimal* passing uniform width.
+    #[test]
+    fn binary_search_is_minimal(
+        w in coeff_strategy(3),
+        a in coeff_strategy(3),
+        target in 0.3f32..0.95,
+    ) {
+        let mut oracle = Oracle::new(w, a, vec![0.0; 3], vec![false, false, true]);
+        let base = ModelQuant {
+            layers: vec![LayerQuant::full_precision(); 3],
+            scheme: RoundingScheme::Truncation,
+            seed: 0,
+        };
+        let (config, frac) =
+            binary_search_uniform(&mut oracle, &base, ParamDomain::Both, MAX_FRAC, target);
+        let acc = oracle.accuracy_of(&config);
+        if acc >= target {
+            // Minimality: one bit less must fail (unless already 0).
+            if frac > 0 {
+                let mut narrower = base.clone();
+                for l in &mut narrower.layers {
+                    l.weight_frac = Some(frac - 1);
+                    l.act_frac = Some(frac - 1);
+                }
+                prop_assert!(oracle.accuracy_of(&narrower) < target);
+            }
+        } else {
+            // Unreachable target: the search must have returned max width.
+            prop_assert_eq!(frac, MAX_FRAC);
+        }
+    }
+
+    /// Binary search uses O(log max_frac) evaluations.
+    #[test]
+    fn binary_search_is_logarithmic(
+        w in coeff_strategy(4),
+        a in coeff_strategy(4),
+        target in 0.3f32..0.95,
+    ) {
+        let mut oracle = Oracle::new(w, a, vec![0.0; 4], vec![false; 4]);
+        let base = ModelQuant {
+            layers: vec![LayerQuant::full_precision(); 4],
+            scheme: RoundingScheme::Truncation,
+            seed: 0,
+        };
+        binary_search_uniform(&mut oracle, &base, ParamDomain::Both, MAX_FRAC, target);
+        prop_assert!(oracle.evaluations <= 6, "{} evals", oracle.evaluations);
+    }
+
+    /// Layer-wise descent keeps accuracy at or above the floor, never
+    /// touches layer 0, produces a non-increasing suffix, and is locally
+    /// minimal: any further lock-step suffix decrement fails.
+    #[test]
+    fn layerwise_postconditions(
+        w in coeff_strategy(4),
+        a in coeff_strategy(4),
+        start_frac in 4u8..12,
+        margin in 0.001f32..0.2,
+    ) {
+        let n = 4;
+        let mut oracle = Oracle::new(w, a, vec![0.0; n], vec![false; n]);
+        let start = ModelQuant {
+            layers: vec![LayerQuant::uniform(start_frac); n],
+            scheme: RoundingScheme::Truncation,
+            seed: 0,
+        };
+        let start_acc = oracle.accuracy_of(&start);
+        let acc_min = (start_acc - margin).max(0.0);
+        let result = layerwise(&mut oracle, &start, ParamDomain::Activations, acc_min);
+        // Accuracy floor respected.
+        prop_assert!(oracle.accuracy_of(&result) >= acc_min);
+        // First layer untouched.
+        prop_assert_eq!(result.layers[0].act_frac, Some(start_frac));
+        // Suffix monotone non-increasing.
+        let widths: Vec<u8> = result.layers.iter().map(|l| l.act_frac.unwrap()).collect();
+        for pair in widths[1..].windows(2) {
+            prop_assert!(pair[0] >= pair[1], "{widths:?}");
+        }
+        // Local minimality for every suffix.
+        for s in 1..n {
+            if widths[s..].iter().all(|&b| b > 0) {
+                let mut candidate = result.clone();
+                for l in s..n {
+                    candidate.layers[l].act_frac = Some(widths[l] - 1);
+                }
+                prop_assert!(
+                    oracle.accuracy_of(&candidate) < acc_min,
+                    "suffix {s} could descend further: {widths:?}"
+                );
+            }
+        }
+    }
+
+    /// DR quantization touches exactly the routing groups, respects the
+    /// accuracy floor, and each chosen width is locally minimal.
+    #[test]
+    fn dr_quant_postconditions(
+        w in coeff_strategy(3),
+        a in coeff_strategy(3),
+        dr in coeff_strategy(3),
+        start_frac in 4u8..12,
+        margin in 0.001f32..0.2,
+    ) {
+        let routing = vec![false, true, true];
+        let mut oracle = Oracle::new(w, a, dr, routing.clone());
+        let start = ModelQuant {
+            layers: vec![LayerQuant::uniform(start_frac); 3],
+            scheme: RoundingScheme::Truncation,
+            seed: 0,
+        };
+        let start_acc = oracle.accuracy_of(&start);
+        let acc_min = (start_acc - margin).max(0.0);
+        let result = dr_quant(&mut oracle, &start, acc_min);
+        prop_assert!(oracle.accuracy_of(&result) >= acc_min);
+        // Non-routing groups untouched.
+        prop_assert_eq!(result.layers[0].dr_frac, None);
+        for (l, &is_routing) in routing.iter().enumerate() {
+            if is_routing {
+                let chosen = result.layers[l].dr_frac.expect("routing group gets DR width");
+                prop_assert!(chosen <= start_frac);
+                // Local minimality.
+                if chosen > 0 {
+                    let mut candidate = result.clone();
+                    candidate.layers[l].dr_frac = Some(chosen - 1);
+                    prop_assert!(oracle.accuracy_of(&candidate) < acc_min);
+                }
+            }
+        }
+    }
+
+    /// The full pipeline order (binary search → layerwise → dr_quant) under
+    /// a monotone oracle never ends below the final accuracy floor.
+    #[test]
+    fn composed_pipeline_respects_floor(
+        w in coeff_strategy(3),
+        a in coeff_strategy(3),
+        dr in coeff_strategy(3),
+        target in 0.5f32..0.9,
+    ) {
+        let mut oracle = Oracle::new(w, a, dr, vec![false, false, true]);
+        let base = ModelQuant {
+            layers: vec![LayerQuant::full_precision(); 3],
+            scheme: RoundingScheme::Truncation,
+            seed: 0,
+        };
+        let (uniform, _) =
+            binary_search_uniform(&mut oracle, &base, ParamDomain::Both, MAX_FRAC, target);
+        if oracle.accuracy_of(&uniform) >= target {
+            let lw = layerwise(&mut oracle, &uniform, ParamDomain::Activations, target);
+            let final_config = dr_quant(&mut oracle, &lw, target);
+            prop_assert!(oracle.accuracy_of(&final_config) >= target);
+        }
+    }
+}

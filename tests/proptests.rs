@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! rounding-scheme laws, tensor broadcast algebra, quantization
+//! idempotence, and the Eq. 6 budget solver's postconditions.
+
+use proptest::prelude::*;
+use qcn_repro::capsnet::GroupInfo;
+use qcn_repro::fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_repro::framework::memory::{solve_eq6, weight_memory_bits};
+use qcn_repro::capsnet::ModelQuant;
+use qcn_repro::tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_scheme() -> impl Strategy<Value = RoundingScheme> {
+    prop_oneof![
+        Just(RoundingScheme::Truncation),
+        Just(RoundingScheme::RoundToNearest),
+        Just(RoundingScheme::Stochastic),
+    ]
+}
+
+proptest! {
+    /// |xq − x| ≤ ε for in-range values, for every scheme (§II-B).
+    #[test]
+    fn rounding_error_bounded_by_precision(
+        x in -0.99f32..0.99,
+        frac in 1u8..12,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let format = QFormat::with_frac(frac);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xq = scheme.round(x, format, &mut rng);
+        prop_assert!((xq - x).abs() <= format.precision() + 1e-6);
+    }
+
+    /// Truncation never rounds up: xq ≤ x (the negative bias of §II-B).
+    #[test]
+    fn truncation_never_exceeds_input(x in -0.99f32..0.99, frac in 1u8..12) {
+        let format = QFormat::with_frac(frac);
+        let mut rng = StdRng::seed_from_u64(0);
+        let xq = RoundingScheme::Truncation.round(x, format, &mut rng);
+        prop_assert!(xq <= x + 1e-7);
+    }
+
+    /// Every rounded value is representable and in the format's range.
+    #[test]
+    fn rounded_values_are_representable(
+        x in -10.0f32..10.0,
+        frac in 0u8..16,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let format = QFormat::with_frac(frac);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xq = scheme.round(x, format, &mut rng);
+        prop_assert!(format.is_representable(xq), "{xq} not on the {format} grid");
+    }
+
+    /// Quantization is idempotent: rounding a grid value is the identity.
+    #[test]
+    fn quantization_is_idempotent(
+        frac in 0u8..12,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(-0.99f32..0.99, 1..64),
+    ) {
+        let format = QFormat::with_frac(frac);
+        let quantizer = Quantizer::new(format, scheme);
+        let t = Tensor::from_vec(raw.clone(), [raw.len()]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q1 = quantizer.quantize(&t, &mut rng);
+        let q2 = quantizer.quantize(&q1, &mut rng);
+        prop_assert_eq!(q1, q2);
+    }
+
+    /// Wider formats never increase the rounding error (monotone SQNR).
+    #[test]
+    fn more_bits_never_hurt(x in -0.99f32..0.99, frac in 1u8..10) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let narrow = RoundingScheme::Truncation.round(x, QFormat::with_frac(frac), &mut rng);
+        let wide = RoundingScheme::Truncation.round(x, QFormat::with_frac(frac + 2), &mut rng);
+        prop_assert!((wide - x).abs() <= (narrow - x).abs() + 1e-7);
+    }
+
+    /// Broadcast is commutative and produces the elementwise-max extents.
+    #[test]
+    fn broadcast_commutes(
+        a in proptest::collection::vec(1usize..4, 1..4),
+        b in proptest::collection::vec(1usize..4, 1..4),
+    ) {
+        let sa = Shape::new(a);
+        let sb = Shape::new(b);
+        prop_assert_eq!(sa.broadcast(&sb), sb.broadcast(&sa));
+    }
+
+    /// a + b == b + a for broadcastable tensors (via scalar broadcast).
+    #[test]
+    fn tensor_add_commutes_with_broadcast(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([rows, cols], -1.0, 1.0, &mut rng);
+        let row = Tensor::rand_uniform([cols], -1.0, 1.0, &mut rng);
+        prop_assert_eq!(&a + &row, &row + &a);
+    }
+
+    /// reduce_to_shape is the adjoint of broadcast: total mass preserved.
+    #[test]
+    fn reduce_to_shape_preserves_sum(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grad = Tensor::rand_uniform([rows, cols], -1.0, 1.0, &mut rng);
+        let reduced = Tensor::reduce_to_shape(&grad, &Shape::new(vec![cols]));
+        prop_assert!((reduced.sum() - grad.sum()).abs() < 1e-4);
+    }
+
+    /// Eq. 6 postconditions: within budget, maximal, decreasing profile.
+    #[test]
+    fn eq6_postconditions(
+        p in proptest::collection::vec(1usize..10_000, 1..6),
+        budget_per_weight in 1u64..40,
+    ) {
+        let groups: Vec<GroupInfo> = p
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| GroupInfo {
+                name: format!("L{i}"),
+                weight_count: count,
+                activation_count: 1,
+                has_routing: false,
+            })
+            .collect();
+        let total: u64 = p.iter().map(|&x| x as u64).sum();
+        let budget = total * budget_per_weight;
+        if let Some(lengths) = solve_eq6(&groups, budget, 32) {
+            // Within budget.
+            let cost: u64 = groups
+                .iter()
+                .zip(&lengths)
+                .map(|(g, &n)| g.weight_count as u64 * n as u64)
+                .sum();
+            prop_assert!(cost <= budget);
+            // Non-increasing, ≥ 1, ≤ 32.
+            for w in lengths.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+            prop_assert!(lengths.iter().all(|&n| (1..=32).contains(&n)));
+        } else {
+            // Infeasible only when even 1-bit weights overflow the budget.
+            prop_assert!(total > budget);
+        }
+    }
+
+    /// Weight memory accounting is linear in the per-group bit widths.
+    #[test]
+    fn weight_memory_is_linear(
+        counts in proptest::collection::vec(1usize..1000, 1..5),
+        frac in 0u8..23,
+    ) {
+        let groups: Vec<GroupInfo> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| GroupInfo {
+                name: format!("L{i}"),
+                weight_count: c,
+                activation_count: 1,
+                has_routing: false,
+            })
+            .collect();
+        let config = ModelQuant::uniform(groups.len(), frac, RoundingScheme::Truncation);
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(
+            weight_memory_bits(&groups, &config),
+            total * (1 + frac as u64)
+        );
+    }
+
+    /// Squash output length is always strictly below 1 and preserves
+    /// direction (Eq. 2 invariants) for nonzero vectors.
+    #[test]
+    fn squash_invariants(
+        raw in proptest::collection::vec(-5.0f32..5.0, 2..8),
+    ) {
+        let n = raw.len();
+        let t = Tensor::from_vec(raw.clone(), [1, n]).unwrap();
+        let v = t.squash_axis(1);
+        let out_norm = v.norm();
+        prop_assert!(out_norm < 1.0);
+        let in_norm = t.norm();
+        if in_norm > 1e-3 {
+            // Direction preserved: v ∝ t (check via normalized dot ≈ 1).
+            let dot: f32 = t.data().iter().zip(v.data()).map(|(a, b)| a * b).sum();
+            prop_assert!((dot / (in_norm * out_norm) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows sum to 1 and are positive for any finite logits.
+    #[test]
+    fn softmax_is_a_distribution(
+        raw in proptest::collection::vec(-30.0f32..30.0, 2..10),
+    ) {
+        let n = raw.len();
+        let t = Tensor::from_vec(raw, [1, n]).unwrap();
+        let s = t.softmax_axis(1);
+        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
+        prop_assert!(s.data().iter().all(|&x| x >= 0.0));
+    }
+}
