@@ -531,13 +531,13 @@ pub(crate) fn caps_votes_forward(input: &Tensor, weight: &Tensor) -> Tensor {
             for jj in 0..nj {
                 let w_base = ((ii * nj + jj) * di) * dj;
                 let o_base = ((bi * ni + ii) * nj + jj) * dj;
+                // No `ud == 0.0` skip: it blocked vectorization and dropped
+                // 0 × NaN / 0 × ∞ contributions. Same fmadd accumulation as
+                // `caps_votes_infer`, so the two stay bitwise equal.
                 for (d, &ud) in u.iter().enumerate() {
-                    if ud == 0.0 {
-                        continue;
-                    }
                     let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
                     for k in 0..dj {
-                        o[o_base + k] += ud * w_row[k];
+                        o[o_base + k] = qcn_tensor::fmadd(ud, w_row[k], o[o_base + k]);
                     }
                 }
             }

@@ -7,10 +7,59 @@ use qcn_capsnet::layers::{caps_votes_infer, CapsFc};
 use qcn_capsnet::{LayerQuant, QuantCtx};
 use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_tensor::parallel::with_threads;
 use qcn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+
+/// The seed's straightforward triple loop (with its `a == 0.0` skip),
+/// kept here as the reference point for the blocked kernel's speedup.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = ad[i * k + l];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * bd[l * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n]).expect("naive matmul output")
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul 256x256x256 naive", |bch| {
+        bch.iter(|| matmul_naive(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("matmul 256x256x256 blocked serial", |bch| {
+        bch.iter(|| with_threads(1, || black_box(&a).matmul(black_box(&b))))
+    });
+    c.bench_function("matmul 256x256x256 blocked parallel", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let a = Tensor::rand_uniform([16, 64, 64], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([16, 64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("bmm 16x64x64x64 serial", |bch| {
+        bch.iter(|| with_threads(1, || black_box(&a).bmm(black_box(&b))))
+    });
+    c.bench_function("bmm 16x64x64x64 parallel", |bch| {
+        bch.iter(|| black_box(&a).bmm(black_box(&b)))
+    });
+}
 
 fn bench_conv2d(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -91,7 +140,7 @@ fn bench_squash_softmax(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_conv2d, bench_caps_votes, bench_dynamic_routing,
-              bench_quantizer, bench_squash_softmax
+    targets = bench_matmul, bench_bmm, bench_conv2d, bench_caps_votes,
+              bench_dynamic_routing, bench_quantizer, bench_squash_softmax
 }
 criterion_main!(kernels);

@@ -151,7 +151,6 @@ impl Decoder {
 mod tests {
     use super::*;
     use qcn_fixed::RoundingScheme;
-    use rand::Rng;
 
     fn decoder() -> Decoder {
         Decoder::new(10, 8, 32, 48, 16 * 16, 7)

@@ -8,7 +8,6 @@
 
 use crate::quant::{LayerQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
-use qcn_tensor::reduce::expand_to;
 use qcn_tensor::Tensor;
 use rand::Rng;
 
@@ -126,30 +125,21 @@ impl CapsFc {
     /// Fig. 9. Input `[batch, in_caps, in_dim]` (already quantized by the
     /// previous layer); output `[batch, out_caps, out_dim]` quantized at
     /// `Qa`.
+    ///
+    /// Routing is dispatched per sample through the thread pool (routing
+    /// never mixes samples); results are bit-identical for every thread
+    /// count, including under stochastic rounding.
     pub fn infer(&self, x: &Tensor, lq: &LayerQuant, ctx: &mut QuantCtx) -> Tensor {
         let b = x.dims()[0];
         let dr = lq.effective_dr_frac();
-        // Votes û quantized at Q_DR.
+        // Votes û quantized at Q_DR, viewed as [b, I, J, Dj, 1] so the
+        // shared routing loop (spatial axis S = 1) applies.
         let votes = crate::layers::caps_votes_infer(x, &self.weight);
-        let votes = ctx.apply(votes, dr);
-        let mut logits = Tensor::zeros([b, self.in_caps, self.out_caps, 1]);
-        let mut v = Tensor::zeros([b, 1, self.out_caps, self.out_dim]);
-        for iter in 0..self.routing_iters {
-            // c = softmax(b) — both operand and result at Q_DR.
-            let c = ctx.apply(logits.softmax_axis(2), dr);
-            // s = Σ_i c·û, quantized at Q_DR *before* the squash unit.
-            let weighted = &votes * &expand_to(&c, votes.shape());
-            let s = ctx.apply(weighted.sum_axis_keepdim(1), dr);
-            let last = iter + 1 == self.routing_iters;
-            // Intermediate v stays at Q_DR; the final output is the layer
-            // activation and uses Qa.
-            v = ctx.apply(s.squash_axis(3), if last { lq.act_frac } else { dr });
-            if !last {
-                let prod = &votes * &expand_to(&v, votes.shape());
-                let agreement = ctx.apply(prod.sum_axis_keepdim(3), dr);
-                logits = ctx.apply(&logits + &agreement, dr);
-            }
-        }
+        let votes = ctx
+            .apply(votes, dr)
+            .reshape([b, self.in_caps, self.out_caps, self.out_dim, 1])
+            .expect("votes reshape to routing layout");
+        let v = crate::layers::route_per_sample(&votes, self.routing_iters, lq, ctx);
         v.reshape([b, self.out_caps, self.out_dim])
             .expect("routing output matches capsule shape")
     }
@@ -279,6 +269,31 @@ mod tests {
         assert!(gw.max_abs() > 0.0, "weight gradient must be nonzero");
         let gx = g.grad(xv).expect("input gradient must exist");
         assert!(gx.max_abs() > 0.0, "input gradient must be nonzero");
+    }
+
+    #[test]
+    fn infer_is_bit_identical_across_thread_counts() {
+        use qcn_tensor::parallel::with_threads;
+        let layer = layer(3);
+        let x = input(5);
+        let lq = LayerQuant {
+            weight_frac: Some(8),
+            act_frac: Some(6),
+            dr_frac: Some(5),
+        };
+        for scheme in [
+            RoundingScheme::Truncation,
+            RoundingScheme::RoundToNearest,
+            RoundingScheme::Stochastic,
+        ] {
+            let serial =
+                with_threads(1, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
+            for t in [2, 7, 8] {
+                let par =
+                    with_threads(t, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
+                assert_eq!(par.data(), serial.data(), "{scheme:?}, threads {t}");
+            }
+        }
     }
 
     #[test]

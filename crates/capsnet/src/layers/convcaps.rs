@@ -5,7 +5,6 @@
 use crate::quant::{LayerQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
 use qcn_tensor::conv::{conv2d, Conv2dSpec};
-use qcn_tensor::reduce::expand_to;
 use qcn_tensor::Tensor;
 use rand::Rng;
 
@@ -296,20 +295,9 @@ impl ConvCapsRouting {
             }
         }
         let votes = ctx.apply(votes, dr);
-        let mut logits = Tensor::zeros([b, self.in_types, self.out_types, 1, s_spatial]);
-        let mut v = Tensor::zeros([b, 1, self.out_types, self.out_dim, s_spatial]);
-        for iter in 0..self.routing_iters {
-            let c = ctx.apply(logits.softmax_axis(2), dr);
-            let weighted = &votes * &expand_to(&c, votes.shape());
-            let s = ctx.apply(weighted.sum_axis_keepdim(1), dr);
-            let last = iter + 1 == self.routing_iters;
-            v = ctx.apply(s.squash_axis(3), if last { lq.act_frac } else { dr });
-            if !last {
-                let prod = &votes * &expand_to(&v, votes.shape());
-                let agreement = ctx.apply(prod.sum_axis_keepdim(3), dr);
-                logits = ctx.apply(&logits + &agreement, dr);
-            }
-        }
+        // Route each sample independently through the thread pool (shared
+        // loop with CapsFc; bit-identical for every thread count).
+        let v = crate::layers::route_per_sample(&votes, self.routing_iters, lq, ctx);
         v.reshape([b, self.out_types * self.out_dim, oh, ow])
             .expect("routing output repacks")
     }

@@ -21,12 +21,19 @@ pub use convcaps::{ConvCaps, ConvCapsRouting};
 pub(crate) use convcaps::squash_packed;
 pub use primary::PrimaryCaps;
 
-use qcn_tensor::Tensor;
+use crate::quant::{LayerQuant, QuantCtx};
+use qcn_tensor::reduce::expand_to;
+use qcn_tensor::{parallel, Tensor};
 
 /// Inference-path capsule vote computation:
 /// `û[b,i,j,·] = u[b,i,·] · W[i,j,·,·]` (paper Fig. 6, step 1).
 ///
 /// Mirrors the autograd `caps_votes` op for graph-free quantized inference.
+/// Parallelized over (batch, input-capsule) blocks; each `û[b,i,·,·]` panel
+/// is produced by exactly one worker with an `d`-ascending accumulation, so
+/// the result is bit-identical for every thread count. There is no
+/// `u[d] == 0.0` skip: it blocked vectorization and silently dropped
+/// `0 × NaN` / `0 × ∞` contributions.
 ///
 /// # Panics
 ///
@@ -44,26 +51,97 @@ pub fn caps_votes_infer(input: &Tensor, weight: &Tensor) -> Tensor {
     assert_eq!(ni, wi, "caps votes capsule-count mismatch");
     assert_eq!(di, wdi, "caps votes capsule-dimension mismatch");
     let mut out = Tensor::zeros([b, ni, nj, dj]);
+    if nj * dj == 0 {
+        return out;
+    }
     let (inp, w) = (input.data(), weight.data());
-    let o = out.data_mut();
-    for bi in 0..b {
-        for ii in 0..ni {
-            let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
-            for jj in 0..nj {
-                let w_base = (ii * nj + jj) * di * dj;
-                let o_base = ((bi * ni + ii) * nj + jj) * dj;
-                for (d, &ud) in u.iter().enumerate() {
-                    if ud == 0.0 {
-                        continue;
-                    }
-                    let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
-                    for k in 0..dj {
-                        o[o_base + k] += ud * w_row[k];
-                    }
+    // One item = one (batch, input-capsule) pair producing nj·dj outputs.
+    let min_items = (16_384 / (di * nj * dj).max(1)).max(1);
+    parallel::par_chunks_mut(out.data_mut(), nj * dj, min_items, |item, panel| {
+        let (bi, ii) = (item / ni, item % ni);
+        let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
+        for jj in 0..nj {
+            let w_base = (ii * nj + jj) * di * dj;
+            let o_row = &mut panel[jj * dj..(jj + 1) * dj];
+            for (d, &ud) in u.iter().enumerate() {
+                let w_row = &w[w_base + d * dj..w_base + (d + 1) * dj];
+                for k in 0..dj {
+                    o_row[k] = qcn_tensor::fmadd(ud, w_row[k], o_row[k]);
                 }
             }
         }
+    });
+    out
+}
+
+/// The dynamic-routing loop shared by [`CapsFc`] and [`ConvCapsRouting`]
+/// inference, on votes `[b, Ti, To, Do, S]` (CapsFc uses `S = 1`):
+/// coupling softmax over `To`, vote aggregation over `Ti`, squash along
+/// `Do`, with the Q_DR / Qa rounding points of paper Fig. 9. `votes` must
+/// already be quantized at Q_DR. Returns `[b, 1, To, Do, S]`.
+pub(crate) fn dynamic_routing(
+    votes: &Tensor,
+    iters: usize,
+    lq: &LayerQuant,
+    ctx: &mut QuantCtx,
+) -> Tensor {
+    let d = votes.dims();
+    let (b, ti, to, dd, s) = (d[0], d[1], d[2], d[3], d[4]);
+    let dr = lq.effective_dr_frac();
+    let mut logits = Tensor::zeros([b, ti, to, 1, s]);
+    let mut v = Tensor::zeros([b, 1, to, dd, s]);
+    for iter in 0..iters {
+        // c = softmax(b) — both operand and result at Q_DR.
+        let c = ctx.apply(logits.softmax_axis(2), dr);
+        // s = Σ_i c·û, quantized at Q_DR *before* the squash unit.
+        let weighted = votes * &expand_to(&c, votes.shape());
+        let s_pre = ctx.apply(weighted.sum_axis_keepdim(1), dr);
+        let last = iter + 1 == iters;
+        // Intermediate v stays at Q_DR; the final output is the layer
+        // activation and uses Qa.
+        v = ctx.apply(s_pre.squash_axis(3), if last { lq.act_frac } else { dr });
+        if !last {
+            let prod = votes * &expand_to(&v, votes.shape());
+            let agreement = ctx.apply(prod.sum_axis_keepdim(3), dr);
+            logits = ctx.apply(&logits + &agreement, dr);
+        }
     }
+    v
+}
+
+/// Runs [`dynamic_routing`] independently per sample, dispatched through
+/// the thread pool. Every sample routes with its own context forked from
+/// `(base, sample)` — a pure function of the main context's state at entry
+/// — so stochastic rounding, like everything else, is bit-identical for
+/// every thread count. For non-stochastic schemes the result equals the
+/// whole-batch routing exactly (routing never mixes samples).
+pub(crate) fn route_per_sample(
+    votes: &Tensor,
+    iters: usize,
+    lq: &LayerQuant,
+    ctx: &mut QuantCtx,
+) -> Tensor {
+    let d = votes.dims();
+    let (b, ti, to, dd, s) = (d[0], d[1], d[2], d[3], d[4]);
+    let per_sample = ti * to * dd * s;
+    let out_len = to * dd * s;
+    let mut out = Tensor::zeros([b, 1, to, dd, s]);
+    if out_len == 0 {
+        return out;
+    }
+    let base = ctx.fork_base();
+    let vdata = votes.data();
+    let ctx_ref = &*ctx;
+    parallel::par_chunks_mut(out.data_mut(), out_len, 1, |sample, chunk| {
+        let mut sctx = ctx_ref.fork(base, sample as u64);
+        let votes_s = Tensor::from_vec(
+            vdata[sample * per_sample..(sample + 1) * per_sample].to_vec(),
+            [1, ti, to, dd, s],
+        )
+        .expect("per-sample vote slice is consistent");
+        let v = dynamic_routing(&votes_s, iters, lq, &mut sctx);
+        chunk.copy_from_slice(v.data());
+    });
     out
 }
 

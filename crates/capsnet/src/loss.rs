@@ -72,7 +72,9 @@ impl MarginLoss {
     /// Evaluates the loss on concrete capsule lengths (no graph), for
     /// quantized-inference monitoring.
     ///
-    /// `lengths` is `[batch, classes]`.
+    /// `lengths` is `[batch, classes]`. Per-sample terms are computed
+    /// through the thread pool and reduced in sample order, so the result
+    /// is bit-identical for every thread count.
     ///
     /// # Panics
     ///
@@ -81,18 +83,22 @@ impl MarginLoss {
         assert_eq!(lengths.rank(), 2, "lengths must be [batch, classes]");
         let (batch, classes) = (lengths.dims()[0], lengths.dims()[1]);
         assert_eq!(batch, labels.len(), "batch/label count mismatch");
-        let mut total = 0.0;
-        for (b, &label) in labels.iter().enumerate() {
-            for k in 0..classes {
-                let len = lengths.get(&[b, k]);
+        let mut partials = vec![0.0f32; batch];
+        let ldata = lengths.data();
+        qcn_tensor::parallel::par_chunks_mut(&mut partials, 1, 64, |b, slot| {
+            let label = labels[b];
+            let mut acc = 0.0f32;
+            for (k, &len) in ldata[b * classes..(b + 1) * classes].iter().enumerate() {
                 if label == k {
-                    total += (self.m_plus - len).max(0.0).powi(2);
+                    acc += (self.m_plus - len).max(0.0).powi(2);
                 } else {
-                    total += self.lambda * (len - self.m_minus).max(0.0).powi(2);
+                    acc += self.lambda * (len - self.m_minus).max(0.0).powi(2);
                 }
             }
-        }
-        total / batch as f32
+            slot[0] = acc;
+        });
+        // Sample-ascending reduction: fixed order regardless of threads.
+        partials.iter().sum::<f32>() / batch as f32
     }
 }
 

@@ -68,14 +68,36 @@ pub trait CapsNet: Clone {
     }
 
     /// Classifies a batch: runs [`infer`](CapsNet::infer) and takes the
-    /// argmax of output-capsule lengths.
+    /// argmax of output-capsule lengths, computed per sample through the
+    /// thread pool (same tie-breaking as `argmax_rows`: first maximum
+    /// wins).
     fn predict(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Vec<usize> {
         let caps = self.infer(x, config, ctx);
-        let dims = caps.dims().to_vec();
-        caps.norm_axis(2)
-            .reshape([dims[0], dims[1]])
-            .expect("lengths reshape to [batch, classes]")
-            .argmax_rows()
+        let (b, classes, dim) = (caps.dims()[0], caps.dims()[1], caps.dims()[2]);
+        assert!(classes > 0, "predict with zero classes");
+        let mut preds = vec![0usize; b];
+        let data = caps.data();
+        qcn_tensor::parallel::par_chunks_mut(&mut preds, 1, 64, |s, slot| {
+            let sample = &data[s * classes * dim..(s + 1) * classes * dim];
+            let length = |k: usize| {
+                sample[k * dim..(k + 1) * dim]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt()
+            };
+            let mut best = 0usize;
+            let mut best_len = length(0);
+            for k in 1..classes {
+                let len = length(k);
+                if len > best_len {
+                    best = k;
+                    best_len = len;
+                }
+            }
+            slot[0] = best;
+        });
+        preds
     }
 }
 

@@ -8,7 +8,7 @@
 use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::fmt;
 
 /// Fractional-bit widths for one quantization group (layer or block).
@@ -146,6 +146,28 @@ impl QuantCtx {
     /// The rounding scheme in effect.
     pub fn scheme(&self) -> RoundingScheme {
         self.scheme
+    }
+
+    /// Draws a fresh base seed for a batch of per-sample context forks.
+    ///
+    /// Advancing the main stream here (once per dispatch, on the calling
+    /// thread) keeps successive dispatches decorrelated while the forks
+    /// themselves stay a pure function of `(base, stream)` — which is what
+    /// makes parallel per-sample stochastic rounding independent of the
+    /// thread count.
+    pub fn fork_base(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Builds the deterministic per-sample fork `stream` of a dispatch
+    /// whose base was drawn with [`fork_base`](QuantCtx::fork_base).
+    pub fn fork(&self, base: u64, stream: u64) -> QuantCtx {
+        // Golden-ratio stride decorrelates neighbouring streams; StdRng's
+        // seed_from_u64 applies SplitMix64 on top.
+        QuantCtx::new(
+            self.scheme,
+            base.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     /// Quantizes `t` to `frac` fractional bits (1 integer bit) when `frac`

@@ -141,7 +141,7 @@ impl AugmentPolicy {
                 out = rotate(&out, deg);
             }
         }
-        if self.hflip_prob > 0.0 && rng.gen_range(0.0..1.0) < self.hflip_prob {
+        if self.hflip_prob > 0.0 && rng.gen_range(0.0f32..1.0) < self.hflip_prob {
             out = hflip(&out);
         }
         out

@@ -102,9 +102,9 @@ impl Jitter {
     fn draw(rng: &mut impl Rng, hard: bool) -> Self {
         let wobble = if hard { 1.4 } else { 1.0 };
         Jitter {
-            dx: rng.gen_range(-0.18..0.18) * wobble,
-            dy: rng.gen_range(-0.18..0.18) * wobble,
-            angle: rng.gen_range(-0.3..0.3) * wobble,
+            dx: rng.gen_range(-0.18f32..0.18) * wobble,
+            dy: rng.gen_range(-0.18f32..0.18) * wobble,
+            angle: rng.gen_range(-0.3f32..0.3) * wobble,
             scale: rng.gen_range(0.75..1.1),
             thickness: rng.gen_range(0.08..0.16),
         }
@@ -192,11 +192,11 @@ fn render_sample(kind: SynthKind, class: usize, rng: &mut impl Rng) -> Tensor {
     let tex_freq = rng.gen_range(6.0..12.0f32);
     let tex_phase = rng.gen_range(0.0..std::f32::consts::TAU);
     // CIFAR colour: class-dependent hue with jitter.
-    let hue = (class as f32 / 10.0 + rng.gen_range(-0.04..0.04)).rem_euclid(1.0);
+    let hue = (class as f32 / 10.0 + rng.gen_range(-0.04f32..0.04)).rem_euclid(1.0);
     let fg = hue_to_rgb(hue);
-    let bg = hue_to_rgb((hue + rng.gen_range(0.3..0.7)).rem_euclid(1.0));
+    let bg = hue_to_rgb((hue + rng.gen_range(0.3f32..0.7)).rem_euclid(1.0));
     let bg_level = if hard { rng.gen_range(0.1..0.35) } else { 0.0 };
-    let noise_amp = match kind {
+    let noise_amp: f32 = match kind {
         SynthKind::Mnist => 0.02,
         SynthKind::FashionMnist => 0.05,
         SynthKind::Cifar10 => 0.10,

@@ -3,8 +3,14 @@
 //!
 //! All convolutions use NCHW layout: inputs are `[batch, channels, height,
 //! width]`, weights are `[out_channels, in_channels, kh, kw]`.
+//!
+//! The hot paths run through [`crate::parallel`]: im2col / col2im are
+//! partitioned over the batch axis, and the convolution GEMMs over
+//! batch·output-row blocks, each block computed by the serial cache-blocked
+//! kernel — so every result is bit-identical for every thread count.
 
-use crate::Tensor;
+use crate::linalg::{gemm, gemm_serial_with, pack_matrix_panel, panel_scratch, transpose_block};
+use crate::{parallel, Tensor};
 
 /// Static description of a 2-D convolution (kernel geometry and padding).
 ///
@@ -64,7 +70,111 @@ impl Conv2dSpec {
     }
 }
 
-/// Unfolds image patches into columns: `[b, c, h, w] → [b, c·kh·kw, oh·ow]`.
+/// Valid output-coordinate range `[lo, hi)` along one axis for kernel
+/// offset `k`: the `o` with `0 ≤ o·stride + k − padding < extent`.
+fn valid_range(extent: usize, o_extent: usize, k: usize, spec: Conv2dSpec) -> (usize, usize) {
+    let (s, p) = (spec.stride, spec.padding);
+    let lo = p.saturating_sub(k).div_ceil(s);
+    let hi = if extent + p > k {
+        ((extent + p - k - 1) / s + 1).min(o_extent)
+    } else {
+        0
+    };
+    (lo.min(hi), hi)
+}
+
+/// Unfolds one batch: `in_batch` is `[c, h, w]`, `out_batch` is
+/// `[c·kh·kw, oh·ow]` (pre-zeroed; padding positions stay zero).
+///
+/// The padding bounds are resolved analytically per row, so the inner loop
+/// is a branch-free contiguous copy at stride 1 and a strided gather
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
+fn im2col_batch(
+    in_batch: &[f32],
+    out_batch: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    spec: Conv2dSpec,
+) {
+    let cols = oh * ow;
+    let (s, p) = (spec.stride, spec.padding);
+    for ch in 0..c {
+        for ki in 0..spec.kh {
+            let (oi_lo, oi_hi) = valid_range(h, oh, ki, spec);
+            for kj in 0..spec.kw {
+                let row = (ch * spec.kh + ki) * spec.kw + kj;
+                let (oj_lo, oj_hi) = valid_range(w, ow, kj, spec);
+                if oj_lo >= oj_hi {
+                    continue;
+                }
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * s + ki - p;
+                    let src_base = (ch * h + ii) * w + (oj_lo * s + kj - p);
+                    let dst =
+                        &mut out_batch[row * cols + oi * ow + oj_lo..row * cols + oi * ow + oj_hi];
+                    if s == 1 {
+                        dst.copy_from_slice(&in_batch[src_base..src_base + dst.len()]);
+                    } else {
+                        for (t, d) in dst.iter_mut().enumerate() {
+                            *d = in_batch[src_base + t * s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds one batch back, accumulating overlaps: the adjoint of
+/// [`im2col_batch`].
+#[allow(clippy::too_many_arguments)]
+fn col2im_batch(
+    col_batch: &[f32],
+    out_batch: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    spec: Conv2dSpec,
+) {
+    let ncols = oh * ow;
+    let (s, p) = (spec.stride, spec.padding);
+    for ch in 0..c {
+        for ki in 0..spec.kh {
+            let (oi_lo, oi_hi) = valid_range(h, oh, ki, spec);
+            for kj in 0..spec.kw {
+                let row = (ch * spec.kh + ki) * spec.kw + kj;
+                let (oj_lo, oj_hi) = valid_range(w, ow, kj, spec);
+                if oj_lo >= oj_hi {
+                    continue;
+                }
+                for oi in oi_lo..oi_hi {
+                    let ii = oi * s + ki - p;
+                    let dst_base = (ch * h + ii) * w + (oj_lo * s + kj - p);
+                    let src = &col_batch[row * ncols + oi * ow + oj_lo..row * ncols + oi * ow + oj_hi];
+                    if s == 1 {
+                        let dst = &mut out_batch[dst_base..dst_base + src.len()];
+                        for (d, &x) in dst.iter_mut().zip(src) {
+                            *d += x;
+                        }
+                    } else {
+                        for (t, &x) in src.iter().enumerate() {
+                            out_batch[dst_base + t * s] += x;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unfolds image patches into columns: `[b, c, h, w] → [b, c·kh·kw, oh·ow]`,
+/// parallelized over the batch axis.
 ///
 /// Column `p` of batch `b` holds the receptive field of output pixel `p`,
 /// flattened channel-major. Out-of-bounds (padding) elements read as zero.
@@ -84,43 +194,33 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
     let cols = oh * ow;
     let rows = c * spec.kh * spec.kw;
     let mut out = vec![0.0f32; b * rows * cols];
-    let in_data = input.data();
-    for batch in 0..b {
-        let in_base = batch * c * h * w;
-        let out_base = batch * rows * cols;
-        for ch in 0..c {
-            for ki in 0..spec.kh {
-                for kj in 0..spec.kw {
-                    let row = (ch * spec.kh + ki) * spec.kw + kj;
-                    for oi in 0..oh {
-                        let ii = oi * spec.stride + ki;
-                        if ii < spec.padding || ii >= h + spec.padding {
-                            continue;
-                        }
-                        let ii = ii - spec.padding;
-                        for oj in 0..ow {
-                            let jj = oj * spec.stride + kj;
-                            if jj < spec.padding || jj >= w + spec.padding {
-                                continue;
-                            }
-                            let jj = jj - spec.padding;
-                            out[out_base + row * cols + oi * ow + oj] =
-                                in_data[in_base + (ch * h + ii) * w + jj];
-                        }
-                    }
-                }
+    if rows * cols > 0 {
+        let in_data = input.data();
+        parallel::par_split_mut(&mut out, rows * cols, 1, |batches, block| {
+            for (off, batch) in batches.clone().enumerate() {
+                im2col_batch(
+                    &in_data[batch * c * h * w..(batch + 1) * c * h * w],
+                    &mut block[off * rows * cols..(off + 1) * rows * cols],
+                    c,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    spec,
+                );
             }
-        }
+        });
     }
     Tensor::from_vec(out, [b, rows, cols]).expect("im2col output shape is consistent")
 }
 
 /// Folds columns back into an image, accumulating overlaps: the adjoint of
 /// [`im2col`]. `cols` is `[b, c·kh·kw, oh·ow]`; returns `[b, c, h, w]`.
+/// Parallelized over the batch axis.
 ///
 /// # Panics
 ///
-/// Panics when `cols` is not rank 4-compatible with the given geometry.
+/// Panics when `cols` is not rank 3-compatible with the given geometry.
 pub fn col2im(cols: &Tensor, spec: Conv2dSpec, c: usize, h: usize, w: usize) -> Tensor {
     assert_eq!(cols.rank(), 3, "col2im expects rank 3, got {}", cols.shape());
     let (oh, ow) = spec.output_hw(h, w);
@@ -129,40 +229,176 @@ pub fn col2im(cols: &Tensor, spec: Conv2dSpec, c: usize, h: usize, w: usize) -> 
     assert_eq!(cols.dims()[1], rows, "col2im row count mismatch");
     assert_eq!(cols.dims()[2], oh * ow, "col2im column count mismatch");
     let mut out = vec![0.0f32; b * c * h * w];
-    let col_data = cols.data();
     let ncols = oh * ow;
-    for batch in 0..b {
-        let col_base = batch * rows * ncols;
-        let out_base = batch * c * h * w;
-        for ch in 0..c {
-            for ki in 0..spec.kh {
-                for kj in 0..spec.kw {
-                    let row = (ch * spec.kh + ki) * spec.kw + kj;
-                    for oi in 0..oh {
-                        let ii = oi * spec.stride + ki;
-                        if ii < spec.padding || ii >= h + spec.padding {
-                            continue;
-                        }
-                        let ii = ii - spec.padding;
-                        for oj in 0..ow {
-                            let jj = oj * spec.stride + kj;
-                            if jj < spec.padding || jj >= w + spec.padding {
-                                continue;
-                            }
-                            let jj = jj - spec.padding;
-                            out[out_base + (ch * h + ii) * w + jj] +=
-                                col_data[col_base + row * ncols + oi * ow + oj];
-                        }
-                    }
-                }
+    if c * h * w > 0 {
+        let col_data = cols.data();
+        parallel::par_split_mut(&mut out, c * h * w, 1, |batches, block| {
+            for (off, batch) in batches.clone().enumerate() {
+                col2im_batch(
+                    &col_data[batch * rows * ncols..(batch + 1) * rows * ncols],
+                    &mut block[off * c * h * w..(off + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    spec,
+                );
             }
-        }
+        });
     }
     Tensor::from_vec(out, [b, c, h, w]).expect("col2im output shape is consistent")
 }
 
+/// Per-row geometry of the implicit im2col matrix, precomputed once per
+/// convolution so the packing inner loop is division-free. Row `l`
+/// (`l = (ch·kh + ki)·kw + kj`) copies from image row `ch·h + oi·s + ki − p`
+/// for the valid output rows `oi_lo..oi_hi`.
+struct PackRow {
+    /// `ch * h` — image row base of this channel.
+    chh: usize,
+    /// Kernel row offset `ki`.
+    ki: usize,
+    /// Kernel column offset `kj`.
+    kj: usize,
+    /// Valid output-row range for `ki`.
+    oi_lo: usize,
+    oi_hi: usize,
+    /// Valid output-column range for `kj`.
+    oj_lo: usize,
+    oj_hi: usize,
+}
+
+/// Builds the [`PackRow`] table for a `[c, h, w]` image under `spec`.
+fn pack_rows(c: usize, h: usize, w: usize, oh: usize, ow: usize, spec: Conv2dSpec) -> Vec<PackRow> {
+    let mut rows = Vec::with_capacity(c * spec.kh * spec.kw);
+    for ch in 0..c {
+        for ki in 0..spec.kh {
+            let (oi_lo, oi_hi) = valid_range(h, oh, ki, spec);
+            for kj in 0..spec.kw {
+                let (oj_lo, oj_hi) = valid_range(w, ow, kj, spec);
+                rows.push(PackRow {
+                    chh: ch * h,
+                    ki,
+                    kj,
+                    oi_lo,
+                    oi_hi,
+                    oj_lo,
+                    oj_hi,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Packs the `l0..l1 × j..j+w` panel of one batch's *implicit* im2col
+/// matrix (`c·kh·kw × oh·ow`) straight from the image `in_batch`
+/// (`[c, h, w]` flattened) into `bpack`, each row zero-padded to the
+/// stride `wpad`. Produces exactly the values [`im2col_batch`] would —
+/// padding positions read as zero — without materializing the matrix.
+/// `meta` is the [`pack_rows`] table; the loop body is divisions-free.
+#[allow(clippy::too_many_arguments)]
+fn pack_input_panel(
+    in_batch: &[f32],
+    bpack: &mut [f32],
+    meta: &[PackRow],
+    l0: usize,
+    l1: usize,
+    j: usize,
+    wcols: usize,
+    wpad: usize,
+    img_w: usize,
+    ow: usize,
+    spec: Conv2dSpec,
+) {
+    let w = img_w;
+    let (s, p) = (spec.stride, spec.padding);
+    let col_end = j + wcols;
+    // Output rows `oi` whose pixel range intersects columns [j, col_end).
+    let (oi_first, oi_last) = (j / ow, (col_end - 1) / ow);
+    for (dst, m) in bpack.chunks_exact_mut(wpad).zip(&meta[l0..l1]) {
+        dst.fill(0.0);
+        for oi in oi_first.max(m.oi_lo)..(oi_last + 1).min(m.oi_hi) {
+            let seg_lo = j.saturating_sub(oi * ow).max(m.oj_lo);
+            let seg_hi = (col_end - oi * ow).min(ow).min(m.oj_hi);
+            if seg_lo >= seg_hi {
+                continue;
+            }
+            let ii = oi * s + m.ki - p;
+            let src_base = (m.chh + ii) * w + (seg_lo * s + m.kj - p);
+            let dst_seg = &mut dst[oi * ow + seg_lo - j..oi * ow + seg_hi - j];
+            if s == 1 {
+                dst_seg.copy_from_slice(&in_batch[src_base..src_base + seg_hi - seg_lo]);
+            } else {
+                for (t, d) in dst_seg.iter_mut().enumerate() {
+                    *d = in_batch[src_base + t * s];
+                }
+            }
+        }
+    }
+}
+
+/// Runs the per-batch GEMMs `out[batch] = lhs_rows × B(batch)` (callers
+/// pass a freshly zeroed `out`, so the kernel's store writeback skips
+/// reading the destination back) with the
+/// output partitioned over batch·row blocks. `lhs` is `[m, k]` (shared
+/// across batches); the logical right operand `B(batch)` (`k × n`) is
+/// supplied panel-wise by `pack(batch, l0, l1, j, w, bpack)`. Each output
+/// row is computed by exactly one worker with the serial kernel, so the
+/// result is thread-count invariant.
+#[allow(clippy::type_complexity)]
+fn batched_gemm_shared_lhs(
+    lhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: impl Fn(usize, usize, usize, usize, usize, usize, &mut [f32]) + Sync,
+    per_row: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let min_items = (65_536 / (k * n).max(1)).max(1);
+    parallel::par_split_mut(out, n, min_items, |items, block| {
+        let mut scratch = panel_scratch();
+        let mut idx = items.start;
+        let mut off = 0;
+        while idx < items.end {
+            let batch = idx / m;
+            let r0 = idx % m;
+            let r1 = m.min(items.end - batch * m);
+            let nrows = r1 - r0;
+            let out_rows = &mut block[off * n..(off + nrows) * n];
+            gemm_serial_with(
+                &lhs[r0 * k..r1 * k],
+                out_rows,
+                nrows,
+                k,
+                n,
+                true,
+                &mut scratch,
+                &mut |l0, l1, j, w, wpad, bpack| pack(batch, l0, l1, j, w, wpad, bpack),
+            );
+            for r in 0..nrows {
+                per_row(r0 + r, &mut out_rows[r * n..(r + 1) * n]);
+            }
+            idx += nrows;
+            off += nrows;
+        }
+    });
+}
+
 /// Forward 2-D convolution: `input [b, ci, h, w]`, `weight [co, ci, kh, kw]`,
 /// optional `bias [co]` → `[b, co, oh, ow]`.
+///
+/// Runs as an implicit GEMM: the cache-blocked kernel's packing stage
+/// reads patches straight from the input image ([`pack_input_panel`]), so
+/// the im2col matrix is never materialized. The GEMM is parallelized over
+/// batch·output-channel blocks and the bias is folded into the same pass;
+/// no intermediate tensors are allocated. The values match the explicit
+/// im2col formulation bit-for-bit.
 ///
 /// # Panics
 ///
@@ -181,35 +417,49 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     assert_eq!(weight.dims()[2], spec.kh, "conv2d kernel height mismatch");
     assert_eq!(weight.dims()[3], spec.kw, "conv2d kernel width mismatch");
     let (oh, ow) = spec.output_hw(h, w);
-    let cols = im2col(input, spec); // [b, ci·kh·kw, oh·ow]
+    let rows = ci * spec.kh * spec.kw;
+    let ncols = oh * ow;
+    let mut out = Tensor::zeros([b, co, oh, ow]);
+    if let Some(bias) = bias {
+        assert_eq!(bias.dims(), &[co], "conv2d bias must be [co]");
+    }
     let w2 = weight
         .reshape([co, ci * spec.kh * spec.kw])
         .expect("weight reshape is consistent");
-    let mut out = Tensor::zeros([b, co, oh, ow]);
-    let rows = ci * spec.kh * spec.kw;
-    let ncols = oh * ow;
-    for batch in 0..b {
-        let col_b = Tensor::from_vec(
-            cols.data()[batch * rows * ncols..(batch + 1) * rows * ncols].to_vec(),
-            [rows, ncols],
-        )
-        .expect("per-batch column slice is consistent");
-        let prod = w2.matmul(&col_b); // [co, oh·ow]
-        out.data_mut()[batch * co * ncols..(batch + 1) * co * ncols]
-            .copy_from_slice(prod.data());
-    }
-    if let Some(bias) = bias {
-        assert_eq!(bias.dims(), &[co], "conv2d bias must be [co]");
-        for batch in 0..b {
-            for ch in 0..co {
-                let base = (batch * co + ch) * ncols;
-                let bv = bias.data()[ch];
-                for p in 0..ncols {
-                    out.data_mut()[base + p] += bv;
+    let bias_data = bias.map(|t| t.data());
+    let in_data = input.data();
+    let chw = ci * h * w;
+    let meta = pack_rows(ci, h, w, oh, ow, spec);
+    batched_gemm_shared_lhs(
+        w2.data(),
+        out.data_mut(),
+        co,
+        rows,
+        ncols,
+        |batch, l0, l1, j, wc, wpad, bpack| {
+            pack_input_panel(
+                &in_data[batch * chw..(batch + 1) * chw],
+                bpack,
+                &meta,
+                l0,
+                l1,
+                j,
+                wc,
+                wpad,
+                w,
+                ow,
+                spec,
+            );
+        },
+        |row, out_row| {
+            if let Some(bd) = bias_data {
+                let bv = bd[row];
+                for v in out_row.iter_mut() {
+                    *v += bv;
                 }
             }
-        }
-    }
+        },
+    );
     out
 }
 
@@ -237,20 +487,35 @@ pub fn conv2d_backward_input(
         .expect("weight reshape is consistent")
         .transpose(); // [rows, co]
     let mut cols = Tensor::zeros([b, rows, ncols]);
-    for batch in 0..b {
-        let g_b = Tensor::from_vec(
-            grad.data()[batch * co * ncols..(batch + 1) * co * ncols].to_vec(),
-            [co, ncols],
-        )
-        .expect("per-batch gradient slice is consistent");
-        let prod = w2t.matmul(&g_b); // [rows, ncols]
-        cols.data_mut()[batch * rows * ncols..(batch + 1) * rows * ncols]
-            .copy_from_slice(prod.data());
-    }
+    let grad_data = grad.data();
+    batched_gemm_shared_lhs(
+        w2t.data(),
+        cols.data_mut(),
+        rows,
+        co,
+        ncols,
+        |batch, l0, l1, j, wc, wpad, bpack| {
+            pack_matrix_panel(
+                &grad_data[batch * co * ncols..(batch + 1) * co * ncols],
+                ncols,
+                l0,
+                l1,
+                j,
+                wc,
+                wpad,
+                bpack,
+            );
+        },
+        |_, _| {},
+    );
     col2im(&cols, spec, ci, h, w)
 }
 
 /// Gradient of `conv2d` w.r.t. its weights. Returns `[co, ci, kh, kw]`.
+///
+/// The per-batch products accumulate into the gradient in ascending batch
+/// order with a row-parallel GEMM per batch, so the reduction order per
+/// element is independent of the thread count.
 ///
 /// # Panics
 ///
@@ -268,19 +533,26 @@ pub fn conv2d_backward_weight(input: &Tensor, grad: &Tensor, spec: Conv2dSpec) -
     let ncols = oh * ow;
     let cols = im2col(input, spec);
     let mut acc = Tensor::zeros([co, rows]);
+    let mut scratch = vec![0.0f32; ncols * rows];
     for batch in 0..b {
-        let g_b = Tensor::from_vec(
-            grad.data()[batch * co * ncols..(batch + 1) * co * ncols].to_vec(),
-            [co, ncols],
-        )
-        .expect("per-batch gradient slice is consistent");
-        let c_bt = Tensor::from_vec(
-            cols.data()[batch * rows * ncols..(batch + 1) * rows * ncols].to_vec(),
-            [rows, ncols],
-        )
-        .expect("per-batch column slice is consistent")
-        .transpose(); // [ncols, rows]
-        acc = &acc + &g_b.matmul(&c_bt);
+        // acc += grad_b [co, ncols] × cols_bᵀ [ncols, rows]
+        transpose_block(
+            &cols.data()[batch * rows * ncols..(batch + 1) * rows * ncols],
+            &mut scratch,
+            rows,
+            ncols,
+            0,
+            ncols,
+        );
+        gemm(
+            &grad.data()[batch * co * ncols..(batch + 1) * co * ncols],
+            &scratch,
+            acc.data_mut(),
+            co,
+            ncols,
+            rows,
+            false,
+        );
     }
     acc.reshape([co, ci, spec.kh, spec.kw])
         .expect("weight gradient reshape is consistent")
@@ -351,6 +623,7 @@ pub fn conv2d_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_threads;
 
     fn seq_tensor(shape: &[usize]) -> Tensor {
         let mut v = 0.0;
@@ -402,6 +675,37 @@ mod tests {
         assert_eq!(fast.dims(), slow.dims());
         for (a, b) in fast.data().iter().zip(slow.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv2d_forward_and_backward_bit_identical_across_thread_counts() {
+        let input = seq_tensor(&[3, 4, 9, 9]);
+        let weight = seq_tensor(&[5, 4, 3, 3]);
+        let bias = seq_tensor(&[5]);
+        let spec = Conv2dSpec::new(3, 3, 1, 1);
+        let (fwd1, gin1, gw1) = with_threads(1, || {
+            let out = conv2d(&input, &weight, Some(&bias), spec);
+            let grad = seq_tensor(out.dims());
+            (
+                out,
+                conv2d_backward_input(&grad, &weight, spec, 9, 9),
+                conv2d_backward_weight(&input, &grad, spec),
+            )
+        });
+        for t in [2, 7, 8] {
+            let (fwd, gin, gw) = with_threads(t, || {
+                let out = conv2d(&input, &weight, Some(&bias), spec);
+                let grad = seq_tensor(out.dims());
+                (
+                    out,
+                    conv2d_backward_input(&grad, &weight, spec, 9, 9),
+                    conv2d_backward_weight(&input, &grad, spec),
+                )
+            });
+            assert_eq!(fwd.data(), fwd1.data(), "forward, threads {t}");
+            assert_eq!(gin.data(), gin1.data(), "grad input, threads {t}");
+            assert_eq!(gw.data(), gw1.data(), "grad weight, threads {t}");
         }
     }
 

@@ -1,12 +1,298 @@
 //! Matrix multiplication, transposition and axis permutation.
+//!
+//! The matrix-product kernels are cache-blocked (`KC`-deep panels with an
+//! `MR×NR` register tile) and parallelized over contiguous row / batch
+//! blocks through [`crate::parallel`]. Every output element is accumulated
+//! in the same order regardless of the thread count or the position of a
+//! row inside a worker's block — the per-element reduction is fixed by the
+//! `KC` panel schedule, not by the partition — so results are bit-identical
+//! for every `QCN_NUM_THREADS` setting.
 
-use crate::{Shape, Tensor};
+use crate::{parallel, Shape, Tensor};
+
+/// Register-tile width (output columns held in accumulators at once).
+/// Four 16-lane vectors per row: each `a` broadcast feeds four FMAs,
+/// keeping the kernel FMA-bound instead of load-port-bound.
+const NR: usize = 64;
+/// Register-tile height (output rows held in accumulators at once).
+/// `MR × NR/16 = 16` independent FMA dependency chains per `l` step —
+/// enough to hide FMA latency on wide cores without spilling the
+/// accumulator tile out of the vector register file.
+const MR: usize = 4;
+/// Depth of one cache panel: `KC × NR` of `b` plus `MR × KC` of `a` stay
+/// resident while a tile is computed.
+const KC: usize = 256;
+/// `l`-step unroll of the microkernel's panel loop. Unrolling amortizes
+/// the loop-carried index arithmetic; each output element still receives
+/// its two terms sequentially (one fused chain), so the reduction order
+/// is exactly the unrolled serial order.
+const UL: usize = 2;
+
+/// Computes one `mr × w` output tile (`mr ≤ MR`, `w ≤ W ≤ NR`) for the
+/// panel `l0..l1`, reading the right operand from `bpack` (the panel's
+/// columns packed contiguously, `W` floats per `l`, the `W - w` pad lanes
+/// zero), accumulating into registers first and writing the panel sum to
+/// `out` once — stored outright when `STORE` (first panel of a
+/// fresh-output product, skipping the read of the zeroed destination),
+/// added otherwise. The accumulation order over `l` is ascending and
+/// identical for every instantiation, which is what makes the kernel's
+/// reduction order independent of tiling and threading decisions.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel<const MR_: usize, const W: usize, const STORE: bool>(
+    a: &[f32],
+    bpack: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    w: usize,
+    l0: usize,
+    l1: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; W]; MR_];
+    let kc = l1 - l0;
+    // Fixed trip counts everywhere so the compiler keeps the whole
+    // accumulator tile in vector registers. `UL` panel rows are consumed
+    // per iteration; the trailing `kc % UL` rows run through the
+    // scalar-`l` epilogue below. Narrow tiles (`w < W`) arrive
+    // zero-padded to `W` by the packing stage — the padding lanes
+    // accumulate `av × 0.0` garbage that the `w`-wide writeback discards,
+    // while the live lanes see exactly the full-width reduction order.
+    let mut li = 0usize;
+    for bgrp in bpack.chunks_exact(W * UL).take(kc / UL) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let abase = (i0 + r) * k + l0 + li;
+            let arow = &a[abase..abase + UL];
+            for (u, &av) in arow.iter().enumerate() {
+                let brow = &bgrp[u * W..(u + 1) * W];
+                for c in 0..W {
+                    acc_row[c] = crate::fmadd(av, brow[c], acc_row[c]);
+                }
+            }
+        }
+        li += UL;
+    }
+    while li < kc {
+        let brow = &bpack[li * W..(li + 1) * W];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * k + l0 + li];
+            for c in 0..W {
+                acc_row[c] = crate::fmadd(av, brow[c], acc_row[c]);
+            }
+        }
+        li += 1;
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + w];
+        if STORE {
+            orow.copy_from_slice(&acc_row[..w]);
+        } else {
+            for c in 0..w {
+                orow[c] += acc_row[c];
+            }
+        }
+    }
+}
+
+/// Packs the `l0..l1 × j..j+w` panel of the row-major matrix `b`
+/// (`k × n`, only `n` is needed) into `bpack`, zero-padding each row to
+/// the stride `wpad`. The padding keeps the microkernel on a fixed-width
+/// path for narrow edge tiles; the pad lanes are discarded on writeback.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_matrix_panel(
+    b: &[f32],
+    n: usize,
+    l0: usize,
+    l1: usize,
+    j: usize,
+    w: usize,
+    wpad: usize,
+    bpack: &mut [f32],
+) {
+    for l in l0..l1 {
+        let dst = &mut bpack[(l - l0) * wpad..(l - l0 + 1) * wpad];
+        dst[..w].copy_from_slice(&b[l * n + j..l * n + j + w]);
+        dst[w..].fill(0.0);
+    }
+}
+
+/// `out += a[m,k] × B` on the calling thread, cache-blocked (`out = a × B`
+/// when `store` is set — for freshly zeroed outputs, where reading the
+/// destination back on the first panel would be pure overhead), with the
+/// right operand supplied panel-by-panel through `pack_panel(l0, l1, j,
+/// w, wpad, bpack)` — the callback fills `bpack` (length `(l1-l0) ×
+/// wpad`) with the `l0..l1 × j..j+w` panel of the logical `k × n` right
+/// operand, each row zero-padded to the stride `wpad` (`w` rounded up to
+/// a multiple of 16, so edge tiles run a narrower fixed-width kernel
+/// instead of wasting most of a full-width one).
+///
+/// Each panel is packed once and reused across all row tiles — packing
+/// turns the microkernel's strided `B` accesses into aligned streaming
+/// loads, and lets callers synthesize `B` on the fly (the implicit-GEMM
+/// convolution packs patches straight from the input image, skipping the
+/// materialized im2col matrix). Packing is a pure copy, and every output
+/// element still accumulates its `l` terms in ascending order (panels in
+/// order, `l0..l1` within each), so results are bitwise independent of
+/// the blocking and of how `B` is supplied.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub(crate) fn gemm_serial_with(
+    a: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    store: bool,
+    bpack: &mut [f32],
+    pack_panel: &mut dyn FnMut(usize, usize, usize, usize, usize, &mut [f32]),
+) {
+    debug_assert!(a.len() >= m * k && out.len() >= m * n);
+    debug_assert!(bpack.len() >= KC * NR);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut l0 = 0;
+    loop {
+        let l1 = (l0 + KC).min(k);
+        let mut j = 0;
+        while j < n {
+            let w = NR.min(n - j);
+            let wpad = (w + 15) & !15;
+            pack_panel(l0, l1, j, w, wpad, &mut bpack[..(l1 - l0) * wpad]);
+            let mut i = 0;
+            while i < m {
+                let mr = MR.min(m - i);
+                macro_rules! tile {
+                    ($mr:literal, $w:literal) => {
+                        if store && l0 == 0 {
+                            micro_kernel::<$mr, $w, true>(a, bpack, out, i, j, w, l0, l1, k, n)
+                        } else {
+                            micro_kernel::<$mr, $w, false>(a, bpack, out, i, j, w, l0, l1, k, n)
+                        }
+                    };
+                }
+                match (mr, wpad) {
+                    (4, 64) => tile!(4, 64),
+                    (4, 48) => tile!(4, 48),
+                    (4, 32) => tile!(4, 32),
+                    (4, _) => tile!(4, 16),
+                    (3, 64) => tile!(3, 64),
+                    (3, 48) => tile!(3, 48),
+                    (3, 32) => tile!(3, 32),
+                    (3, _) => tile!(3, 16),
+                    (2, 64) => tile!(2, 64),
+                    (2, 48) => tile!(2, 48),
+                    (2, 32) => tile!(2, 32),
+                    (2, _) => tile!(2, 16),
+                    (_, 64) => tile!(1, 64),
+                    (_, 48) => tile!(1, 48),
+                    (_, 32) => tile!(1, 32),
+                    _ => tile!(1, 16),
+                }
+                i += mr;
+            }
+            j += w;
+        }
+        if l1 == k {
+            break;
+        }
+        l0 = l1;
+    }
+}
+
+/// `out += a[m,k] × b[k,n]` on the calling thread, cache-blocked.
+///
+/// There is deliberately no `a[i,l] == 0.0` skip: besides blocking
+/// vectorization, the skip was wrong — `0.0 × NaN` and `0.0 × ∞` must
+/// propagate as NaN into the product instead of being dropped.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_serial(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    store: bool,
+    scratch: &mut [f32],
+) {
+    debug_assert!(b.len() >= k * n);
+    gemm_serial_with(a, out, m, k, n, store, scratch, &mut |l0, l1, j, w, wpad, bpack| {
+        pack_matrix_panel(b, n, l0, l1, j, w, wpad, bpack);
+    });
+}
+
+/// One worker's panel-packing scratch (`KC × NR`): allocate once per
+/// worker partition and reuse across panels, batches, and GEMM calls —
+/// the pack callbacks overwrite the used prefix in full, so the buffer
+/// never needs re-zeroing between calls.
+pub(crate) fn panel_scratch() -> Vec<f32> {
+    vec![0.0f32; KC * NR]
+}
+
+/// `out += a[m,k] × b[k,n]` (`out = a × b` when `store`), parallelized
+/// over contiguous row blocks.
+///
+/// Each output row is produced by exactly one worker running
+/// [`gemm_serial`] on its block, so the result is bit-identical to the
+/// single-threaded product.
+pub(crate) fn gemm(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    store: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Only spawn a worker for at least ~64k multiply-adds of work.
+    let min_rows = (65_536 / (k * n).max(1)).max(1);
+    parallel::par_split_mut(out, n, min_rows, |rows, out_rows| {
+        let a_rows = &a[rows.start * k..rows.end * k];
+        let mut scratch = panel_scratch();
+        gemm_serial(a_rows, b, out_rows, rows.len(), k, n, store, &mut scratch);
+    });
+}
+
+/// Transposes `src` (`rows × cols`, row-major) into the `dst` slice holding
+/// output rows `j0..j1` (i.e. `dst` is `(j1-j0) × rows`), tile-wise so both
+/// sides stay cache-resident.
+pub(crate) fn transpose_block(
+    src: &[f32],
+    dst: &mut [f32],
+    rows: usize,
+    cols: usize,
+    j0: usize,
+    j1: usize,
+) {
+    const TILE: usize = 32;
+    let mut jb = j0;
+    while jb < j1 {
+        let je = (jb + TILE).min(j1);
+        let mut ib = 0;
+        while ib < rows {
+            let ie = (ib + TILE).min(rows);
+            for j in jb..je {
+                let drow = &mut dst[(j - j0) * rows..(j - j0) * rows + rows];
+                for i in ib..ie {
+                    drow[i] = src[i * cols + j];
+                }
+            }
+            ib = ie;
+        }
+        jb = je;
+    }
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
-    /// Uses an `i-k-j` loop order so the innermost loop streams over
-    /// contiguous memory in both the right operand and the output.
+    /// Runs the cache-blocked kernel, parallelized over row blocks; the
+    /// result is bit-identical for every thread count.
     ///
     /// # Panics
     ///
@@ -30,11 +316,13 @@ impl Tensor {
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        matmul_into(self.data(), rhs.data(), &mut out, m, k, n);
+        gemm(self.data(), rhs.data(), &mut out, m, k, n, true);
         Tensor::from_vec(out, [m, n]).expect("matmul output shape is consistent")
     }
 
-    /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`.
+    /// Batched matrix product: `[b, m, k] × [b, k, n] → [b, m, n]`,
+    /// parallelized over the batch axis (each batch product runs the same
+    /// serial blocked kernel, so results match `matmul` per batch exactly).
     ///
     /// # Panics
     ///
@@ -48,20 +336,31 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch sizes disagree: {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims disagree: {k} vs {k2}");
         let mut out = vec![0.0f32; b * m * n];
-        for batch in 0..b {
-            matmul_into(
-                &self.data()[batch * m * k..(batch + 1) * m * k],
-                &rhs.data()[batch * k * n..(batch + 1) * k * n],
-                &mut out[batch * m * n..(batch + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        if m * n > 0 {
+            let (lhs_data, rhs_data) = (self.data(), rhs.data());
+            // One batch per worker at minimum; each batch's product is the
+            // serial kernel, so batch order inside a worker is irrelevant.
+            parallel::par_split_mut(&mut out, m * n, 1, |batches, out_block| {
+                let mut scratch = panel_scratch();
+                for (off, batch) in batches.clone().enumerate() {
+                    gemm_serial(
+                        &lhs_data[batch * m * k..(batch + 1) * m * k],
+                        &rhs_data[batch * k * n..(batch + 1) * k * n],
+                        &mut out_block[off * m * n..(off + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                        true,
+                        &mut scratch,
+                    );
+                }
+            });
         }
         Tensor::from_vec(out, [b, m, n]).expect("bmm output shape is consistent")
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Transpose of a rank-2 tensor, tile-blocked and parallelized over
+    /// output row strips.
     ///
     /// # Panics
     ///
@@ -70,10 +369,12 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "transpose requires rank 2, got {}", self.shape());
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
-            }
+        if m > 0 && n > 0 {
+            let min_rows = (4096 / m.max(1)).max(1);
+            let src = self.data();
+            parallel::par_split_mut(&mut out, m, min_rows, |jr, dst| {
+                transpose_block(src, dst, m, n, jr.start, jr.end);
+            });
         }
         Tensor::from_vec(out, [n, m]).expect("transpose output shape is consistent")
     }
@@ -81,7 +382,10 @@ impl Tensor {
     /// Reorders axes according to `perm`, copying into a contiguous tensor.
     ///
     /// `perm` must be a permutation of `0..rank`; output axis `i` is input
-    /// axis `perm[i]`.
+    /// axis `perm[i]`. The identity permutation is a plain copy and a swap
+    /// of the last two axes runs as a batched blocked transpose
+    /// (parallelized over the leading axes); other permutations fall back
+    /// to a generic strided walk.
     ///
     /// # Panics
     ///
@@ -114,6 +418,41 @@ impl Tensor {
             );
             seen[p] = true;
         }
+        let rank = self.rank();
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return self.clone();
+        }
+        // Fast path: identity prefix with the last two axes swapped is a
+        // batched rank-2 transpose over contiguous blocks.
+        let swaps_last_two = rank >= 2
+            && perm[rank - 2] == rank - 1
+            && perm[rank - 1] == rank - 2
+            && perm[..rank - 2].iter().enumerate().all(|(i, &p)| i == p);
+        if swaps_last_two {
+            let rows = self.dims()[rank - 2];
+            let cols = self.dims()[rank - 1];
+            let batch: usize = self.dims()[..rank - 2].iter().product();
+            let mut out_dims = self.dims().to_vec();
+            out_dims.swap(rank - 2, rank - 1);
+            let mut out = vec![0.0f32; batch * rows * cols];
+            if rows > 0 && cols > 0 && batch > 0 {
+                let src = self.data();
+                parallel::par_split_mut(&mut out, rows * cols, 1, |batches, dst| {
+                    for (off, b) in batches.clone().enumerate() {
+                        transpose_block(
+                            &src[b * rows * cols..(b + 1) * rows * cols],
+                            &mut dst[off * rows * cols..(off + 1) * rows * cols],
+                            rows,
+                            cols,
+                            0,
+                            cols,
+                        );
+                    }
+                });
+            }
+            return Tensor::from_vec(out, Shape::new(out_dims))
+                .expect("permute output shape is consistent");
+        }
         let out_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
         let out_shape = Shape::new(out_dims);
         let in_strides = self.shape().strides();
@@ -141,26 +480,29 @@ impl Tensor {
     }
 }
 
-/// `out += a[m,k] × b[k,n]` over raw buffers (out starts zeroed by callers).
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for l in 0..k {
-            let av = a[i * k + l];
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[l * n..(l + 1) * n];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                o_row[j] += av * b_row[j];
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_threads;
+
+    /// Straightforward triple loop, used as the oracle for the blocked
+    /// kernel. Accumulates with the same [`crate::fmadd`] primitive so the
+    /// comparison is bitwise on every build.
+    fn matmul_naive(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc = crate::fmadd(a.data()[i * k + l], b.data()[l * n + j], acc);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
 
     #[test]
     fn matmul_known_product() {
@@ -177,6 +519,57 @@ mod tests {
         let id = Tensor::from_fn([3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
         assert_eq!(a.matmul(&id), a);
         assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_on_awkward_shapes() {
+        // Shapes straddling the MR/NR/KC tile boundaries, including
+        // degenerate ones.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 19),
+            (7, 300, 33),
+            (9, 2, 65),
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+        ] {
+            let a = Tensor::from_fn([m, k], |i| ((i[0] * 31 + i[1] * 7) % 13) as f32 * 0.25 - 1.0);
+            let b = Tensor::from_fn([k, n], |i| ((i[0] * 17 + i[1] * 3) % 11) as f32 * 0.5 - 2.0);
+            let got = a.matmul(&b);
+            let want = matmul_naive(&a, &b);
+            for (x, y) in got.data().iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_infinity() {
+        // The old kernel skipped a[i,l] == 0.0, silently dropping the
+        // IEEE-mandated 0 × NaN = NaN and 0 × ∞ = NaN contributions.
+        let a = Tensor::from_vec(vec![0.0, 1.0], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, 5.0, 1.0, 1.0], [2, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert!(c.data()[0].is_nan(), "0 × NaN must poison the dot product");
+        assert_eq!(c.data()[1], 1.0);
+
+        let binf = Tensor::from_vec(vec![f32::INFINITY, 1.0], [2, 1]).unwrap();
+        let cinf = a.matmul(&binf);
+        assert!(cinf.data()[0].is_nan(), "0 × ∞ must poison the dot product");
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts() {
+        let a = Tensor::from_fn([23, 37], |i| ((i[0] * 13 + i[1]) % 97) as f32 * 0.1 - 4.0);
+        let b = Tensor::from_fn([37, 29], |i| ((i[0] * 7 + i[1] * 5) % 89) as f32 * 0.2 - 8.0);
+        let serial = with_threads(1, || a.matmul(&b));
+        for t in [2, 3, 7, 8] {
+            let par = with_threads(t, || a.matmul(&b));
+            assert_eq!(par.data(), serial.data(), "thread count {t}");
+        }
     }
 
     #[test]
@@ -205,10 +598,32 @@ mod tests {
     }
 
     #[test]
+    fn bmm_is_bit_identical_across_thread_counts() {
+        let a = Tensor::from_fn([13, 4, 9], |i| ((i[0] * 11 + i[1] * 3 + i[2]) % 23) as f32 * 0.3);
+        let b = Tensor::from_fn([13, 9, 5], |i| ((i[0] * 5 + i[1] * 7 + i[2]) % 19) as f32 * 0.7);
+        let serial = with_threads(1, || a.bmm(&b));
+        for t in [2, 7] {
+            assert_eq!(with_threads(t, || a.bmm(&b)).data(), serial.data(), "threads {t}");
+        }
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = Tensor::from_fn([2, 5], |i| (i[0] * 5 + i[1]) as f32);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().get(&[3, 1]), a.get(&[1, 3]));
+    }
+
+    #[test]
+    fn transpose_blocked_matches_elementwise_on_large_odd_shapes() {
+        let a = Tensor::from_fn([67, 45], |i| (i[0] * 1000 + i[1]) as f32);
+        let t = with_threads(3, || a.transpose());
+        assert_eq!(t.dims(), &[45, 67]);
+        for i in 0..67 {
+            for j in 0..45 {
+                assert_eq!(t.get(&[j, i]), a.get(&[i, j]));
+            }
+        }
     }
 
     #[test]
@@ -218,6 +633,31 @@ mod tests {
         let r = t.permute(&[2, 1, 0]);
         assert_eq!(r.dims(), &[4, 3, 2]);
         assert_eq!(r.get(&[3, 2, 1]), t.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn permute_last_two_swap_fast_path_matches_generic() {
+        // [0, 2, 1] takes the batched-transpose fast path; verify it
+        // against direct indexing, across thread counts.
+        let t = Tensor::from_fn([5, 33, 17], |i| (i[0] * 10_000 + i[1] * 100 + i[2]) as f32);
+        let serial = with_threads(1, || t.permute(&[0, 2, 1]));
+        assert_eq!(serial.dims(), &[5, 17, 33]);
+        for b in 0..5 {
+            for i in 0..33 {
+                for j in 0..17 {
+                    assert_eq!(serial.get(&[b, j, i]), t.get(&[b, i, j]));
+                }
+            }
+        }
+        for threads in [2, 7] {
+            assert_eq!(with_threads(threads, || t.permute(&[0, 2, 1])), serial);
+        }
+        // Rank-4 variant: [0, 1, 3, 2].
+        let q = Tensor::from_fn([2, 3, 4, 5], |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f32
+        });
+        let p = q.permute(&[0, 1, 3, 2]);
+        assert_eq!(p.get(&[1, 2, 4, 3]), q.get(&[1, 2, 3, 4]));
     }
 
     #[test]

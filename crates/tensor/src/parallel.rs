@@ -1,0 +1,340 @@
+//! Deterministic fork-join parallelism for the tensor hot paths.
+//!
+//! A tiny work-stealing-free execution layer built on [`std::thread::scope`]:
+//! callers partition their output into contiguous, disjoint chunks (rows of
+//! a matrix product, batches of a convolution, samples of a routing pass)
+//! and every chunk is computed by exactly one worker with the same serial
+//! code the single-threaded fallback runs. Because no output element is
+//! ever written by two workers and the per-element reduction order is
+//! fixed by the kernel (never by the partition), results are **bit-identical
+//! for every thread count** — the determinism contract the Q-CapsNets
+//! accuracy search relies on.
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. a scoped [`with_threads`] override (used by tests and benches);
+//! 2. the `QCN_NUM_THREADS` environment variable (`1` = exact serial
+//!    fallback, no threads spawned);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested calls (a parallel kernel invoked from inside a worker closure)
+//! degrade to serial execution instead of oversubscribing.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcn_tensor::parallel;
+//!
+//! let mut out = vec![0.0f32; 12];
+//! // Square each "row" of 3 elements, partitioned across the pool.
+//! parallel::par_chunks_mut(&mut out, 3, 1, |row_idx, chunk| {
+//!     for (j, v) in chunk.iter_mut().enumerate() {
+//!         *v = (row_idx * 3 + j) as f32;
+//!     }
+//! });
+//! assert_eq!(out[11], 11.0);
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 = no override.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set inside worker closures so nested parallel calls run serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Hardware parallelism, resolved once per process.
+fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The thread count parallel kernels will use right now.
+///
+/// Reads the `QCN_NUM_THREADS` environment variable on every call (it is
+/// cheap relative to any kernel worth parallelizing), so tests can flip it
+/// at runtime; a [`with_threads`] override takes precedence, and inside a
+/// worker the answer is always 1.
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let over = OVERRIDE.with(|o| o.get());
+    if over > 0 {
+        return over;
+    }
+    match std::env::var("QCN_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+/// Runs `f` with the pool pinned to exactly `n` threads (≥ 1), restoring
+/// the previous setting afterwards. Used by the equivalence tests and the
+/// benchmark harness; panics when `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = OVERRIDE.with(|o| {
+        let prev = o.get();
+        o.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+/// Splits `0..n_items` into at most `threads` contiguous ranges of
+/// near-equal length (the first `n_items % t` ranges are one longer).
+fn partition(n_items: usize, threads: usize) -> Vec<Range<usize>> {
+    let t = threads.min(n_items).max(1);
+    let base = n_items / t;
+    let extra = n_items % t;
+    let mut ranges = Vec::with_capacity(t);
+    let mut start = 0;
+    for i in 0..t {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f` over contiguous sub-ranges of `0..n_items`, partitioned across
+/// the pool. `min_per_thread` caps the worker count so tiny problems stay
+/// serial (a worker is only worth spawning for at least that many items).
+///
+/// `f` must only write state disjoint per range (use
+/// [`par_chunks_mut`] when the state is a single output buffer).
+pub fn par_ranges(n_items: usize, min_per_thread: usize, f: impl Fn(Range<usize>) + Sync) {
+    if n_items == 0 {
+        return;
+    }
+    let max_workers = (n_items / min_per_thread.max(1)).max(1);
+    let threads = current_threads().min(max_workers);
+    if threads <= 1 {
+        f(0..n_items);
+        return;
+    }
+    let ranges = partition(n_items, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        // First range runs on the calling thread; the rest are spawned.
+        let (head, tail) = ranges.split_first().expect("partition is non-empty");
+        let handles: Vec<_> = tail
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    f(r);
+                    IN_WORKER.with(|w| w.set(false));
+                })
+            })
+            .collect();
+        IN_WORKER.with(|w| w.set(true));
+        f(head.clone());
+        IN_WORKER.with(|w| w.set(false));
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+/// Partitions `data` into items of `item_len` elements, assigns each worker
+/// a contiguous run of items, and hands it the item range together with an
+/// exclusive borrow of the corresponding sub-slice. This is the natural
+/// primitive for row-blocked GEMM (items = output rows) and batched
+/// convolution (items = samples): the worker sees its whole run at once and
+/// can block over it.
+///
+/// `min_items_per_thread` caps the worker count so tiny problems stay
+/// serial.
+///
+/// # Panics
+///
+/// Panics when `item_len == 0` or `data.len()` is not a multiple of
+/// `item_len`.
+pub fn par_split_mut<T: Send>(
+    data: &mut [T],
+    item_len: usize,
+    min_items_per_thread: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    assert!(item_len > 0, "item length must be positive");
+    assert_eq!(
+        data.len() % item_len,
+        0,
+        "buffer length {} is not a multiple of item length {item_len}",
+        data.len()
+    );
+    let n_items = data.len() / item_len;
+    if n_items == 0 {
+        return;
+    }
+    let max_workers = (n_items / min_items_per_thread.max(1)).max(1);
+    let threads = current_threads().min(max_workers);
+    if threads <= 1 {
+        f(0..n_items, data);
+        return;
+    }
+    let ranges = partition(n_items, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (mine, tail) = rest.split_at_mut((r.end - r.start) * item_len);
+            rest = tail;
+            let r = r.clone();
+            handles.push(scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                f(r, mine);
+                IN_WORKER.with(|w| w.set(false));
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+/// Partitions `data` into consecutive chunks of `chunk_len` elements and
+/// processes each chunk through the pool; `f` receives the chunk index and
+/// an exclusive borrow of that chunk. Chunks are distributed as contiguous
+/// runs, so worker boundaries never split a chunk.
+///
+/// `min_chunks_per_thread` caps the worker count the same way
+/// [`par_ranges`]'s `min_per_thread` does.
+///
+/// # Panics
+///
+/// Panics when `chunk_len == 0` or `data.len()` is not a multiple of
+/// `chunk_len`.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    min_chunks_per_thread: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    par_split_mut(data, chunk_len, min_chunks_per_thread, |items, slice| {
+        for (offset, chunk) in slice.chunks_mut(chunk_len).enumerate() {
+            f(items.start + offset, chunk);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        for n in [0usize, 1, 5, 7, 16, 100] {
+            for t in [1usize, 2, 3, 7, 8] {
+                let ranges = partition(n, t);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                if n > 0 {
+                    assert_eq!(next, n);
+                    assert!(ranges.len() <= t);
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(max - min <= 1, "uneven partition {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_ranges_visits_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counters: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            par_ranges(97, 1, |r| {
+                for i in r {
+                    counters[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial() {
+        let compute = |threads: usize| {
+            let mut out = vec![0.0f32; 13 * 7];
+            with_threads(threads, || {
+                par_chunks_mut(&mut out, 7, 1, |idx, chunk| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (idx * 31 + j) as f32 * 0.5;
+                    }
+                });
+            });
+            out
+        };
+        let serial = compute(1);
+        for t in [2, 3, 5, 8] {
+            assert_eq!(compute(t), serial, "thread count {t}");
+        }
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        with_threads(4, || {
+            par_ranges(4, 1, |_outer| {
+                // Inside a worker the pool must report a single thread.
+                assert_eq!(current_threads(), 1);
+                par_ranges(8, 1, |r| {
+                    // And nested dispatch covers the full range serially.
+                    assert_eq!(r, 0..8);
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    fn env_override_is_honoured() {
+        // Serial-only sanity check of the env path; the scoped override
+        // wins over the environment.
+        std::env::set_var("QCN_NUM_THREADS", "1");
+        assert_eq!(current_threads(), 1);
+        with_threads(2, || assert_eq!(current_threads(), 2));
+        std::env::remove_var("QCN_NUM_THREADS");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn par_chunks_mut_rejects_ragged_buffers() {
+        let mut data = vec![0.0f32; 10];
+        par_chunks_mut(&mut data, 3, 1, |_, _| {});
+    }
+}

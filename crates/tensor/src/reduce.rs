@@ -72,6 +72,10 @@ impl Tensor {
     }
 
     /// Generic keepdim reduction along one axis.
+    ///
+    /// Each output element folds its axis run in ascending-index order, so
+    /// the result is independent of the loop schedule below (which streams
+    /// contiguous rows for vectorization instead of striding per element).
     fn reduce_axis_keepdim(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert!(
             axis < self.rank(),
@@ -81,19 +85,29 @@ impl Tensor {
         let out_shape = self.shape().keep_axis(axis);
         let mut out = Tensor::full(out_shape.clone(), init);
         let extent = self.shape().dim(axis);
-        let strides = self.shape().strides();
-        let axis_stride = strides[axis];
         // Split iteration into (outer, axis, inner) index components.
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let outer: usize = self.dims()[..axis].iter().product();
-        for o in 0..outer {
-            for i in 0..inner {
-                let base = o * extent * inner + i;
-                let mut acc = init;
+        let src = self.data();
+        let dst = out.data_mut();
+        if inner == 1 {
+            // Axis runs are contiguous: fold each run directly.
+            for (o, slot) in dst.iter_mut().enumerate() {
+                *slot = src[o * extent..(o + 1) * extent]
+                    .iter()
+                    .fold(init, |acc, &x| f(acc, x));
+            }
+        } else {
+            // Stream one contiguous `inner`-row per axis step; every output
+            // lane still accumulates in ascending axis order.
+            for o in 0..outer {
+                let dst_row = &mut dst[o * inner..(o + 1) * inner];
                 for a in 0..extent {
-                    acc = f(acc, self.data()[base + a * axis_stride]);
+                    let src_row = &src[(o * extent + a) * inner..(o * extent + a + 1) * inner];
+                    for (d, &x) in dst_row.iter_mut().zip(src_row) {
+                        *d = f(*d, x);
+                    }
                 }
-                out.data_mut()[o * inner + i] = acc;
             }
         }
         out
@@ -159,9 +173,52 @@ impl Tensor {
 ///
 /// Panics when `t`'s shape cannot broadcast to `shape`.
 pub fn expand_to(t: &Tensor, shape: &Shape) -> Tensor {
-    let ones = Tensor::zeros(shape.clone());
-    t.zip_broadcast(&ones, |a, _| a)
-        .unwrap_or_else(|e| panic!("expand_to: {e}"))
+    if t.shape() == shape {
+        return t.clone();
+    }
+    if t.rank() != shape.rank() {
+        // Rank-extending broadcast: rare, keep the generic walk.
+        let ones = Tensor::zeros(shape.clone());
+        return t
+            .zip_broadcast(&ones, |a, _| a)
+            .unwrap_or_else(|e| panic!("expand_to: {e}"));
+    }
+    // Same-rank (keepdim-style) broadcast: tile axis by axis from the
+    // innermost out, so every copy is a contiguous block.
+    let dims = shape.dims();
+    let tdims = t.dims();
+    for (axis, (&td, &od)) in tdims.iter().zip(dims).enumerate() {
+        assert!(
+            td == od || td == 1,
+            "expand_to: axis {axis} extent {td} cannot broadcast to {od}"
+        );
+    }
+    let mut buf = t.data().to_vec();
+    let mut block = 1usize; // contiguous run length already materialized
+    for axis in (0..dims.len()).rev() {
+        let od = dims[axis];
+        if tdims[axis] == od {
+            block *= od;
+        } else if block == 1 {
+            // Innermost broadcast: splat each scalar.
+            let mut next = Vec::with_capacity(buf.len() * od);
+            for &v in &buf {
+                next.resize(next.len() + od, v);
+            }
+            buf = next;
+            block = od;
+        } else {
+            let mut next = Vec::with_capacity(buf.len() * od);
+            for chunk in buf.chunks(block) {
+                for _ in 0..od {
+                    next.extend_from_slice(chunk);
+                }
+            }
+            buf = next;
+            block *= od;
+        }
+    }
+    Tensor::from_vec(buf, dims.to_vec()).expect("expand_to produces the target shape")
 }
 
 #[cfg(test)]

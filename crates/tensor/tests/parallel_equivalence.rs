@@ -1,0 +1,131 @@
+//! Property-based equivalence suite for the parallel kernels: every hot
+//! path must produce **bit-identical** results for every thread count
+//! (serial fallback included), across random shapes that straddle the tile
+//! boundaries — non-divisible row/batch counts and degenerate extent-1
+//! dimensions included. This is the determinism contract the Q-CapsNets
+//! accuracy search relies on.
+
+use proptest::prelude::*;
+use qcn_tensor::conv::{conv2d, conv2d_backward_input, conv2d_backward_weight, Conv2dSpec};
+use qcn_tensor::parallel::with_threads;
+use qcn_tensor::Tensor;
+
+/// Thread counts exercised against the serial baseline: even/odd splits
+/// plus a count larger than most test shapes (forcing uneven and empty
+/// partitions).
+const THREADS: [usize; 2] = [2, 7];
+
+fn filled(dims: &[usize], salt: u64) -> Tensor {
+    let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    Tensor::from_fn(dims.to_vec(), |_| {
+        // SplitMix64-style scramble: deterministic, sign-mixed values.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        ((z % 2001) as i64 - 1000) as f32 / 250.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// matmul: serial and parallel agree bitwise for arbitrary (m, k, n),
+    /// including extent-1 dimensions and sizes indivisible by the tile and
+    /// thread counts.
+    #[test]
+    fn matmul_bit_identical_across_threads(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        salt in 0u64..1000,
+    ) {
+        let a = filled(&[m, k], salt);
+        let b = filled(&[k, n], salt.wrapping_add(1));
+        let serial = with_threads(1, || a.matmul(&b));
+        for t in THREADS {
+            let par = with_threads(t, || a.matmul(&b));
+            prop_assert_eq!(par.data(), serial.data(), "({}, {}, {}) threads {}", m, k, n, t);
+        }
+    }
+
+    /// bmm: batch-partitioned product agrees bitwise with the serial
+    /// fallback, for batch counts that do not divide evenly.
+    #[test]
+    fn bmm_bit_identical_across_threads(
+        b in 1usize..12,
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        salt in 0u64..1000,
+    ) {
+        let lhs = filled(&[b, m, k], salt);
+        let rhs = filled(&[b, k, n], salt.wrapping_add(2));
+        let serial = with_threads(1, || lhs.bmm(&rhs));
+        for t in THREADS {
+            let par = with_threads(t, || lhs.bmm(&rhs));
+            prop_assert_eq!(par.data(), serial.data(), "({}, {}, {}, {}) threads {}", b, m, k, n, t);
+        }
+    }
+
+    /// conv2d forward + both backward passes: the batch·row-blocked GEMM
+    /// dispatch is bitwise thread-count invariant.
+    #[test]
+    fn conv2d_bit_identical_across_threads(
+        b in 1usize..5,
+        ci in 1usize..4,
+        co in 1usize..5,
+        side in 3usize..9,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        salt in 0u64..1000,
+    ) {
+        let spec = Conv2dSpec::new(3, 3, stride, padding);
+        let input = filled(&[b, ci, side, side], salt);
+        let weight = filled(&[co, ci, 3, 3], salt.wrapping_add(3));
+        let bias = filled(&[co], salt.wrapping_add(4));
+
+        let (f1, gi1, gw1) = with_threads(1, || {
+            let out = conv2d(&input, &weight, Some(&bias), spec);
+            let grad = filled(out.dims(), salt.wrapping_add(5));
+            (
+                out,
+                conv2d_backward_input(&grad, &weight, spec, side, side),
+                conv2d_backward_weight(&input, &grad, spec),
+            )
+        });
+        for t in THREADS {
+            let (f, gi, gw) = with_threads(t, || {
+                let out = conv2d(&input, &weight, Some(&bias), spec);
+                let grad = filled(out.dims(), salt.wrapping_add(5));
+                (
+                    out,
+                    conv2d_backward_input(&grad, &weight, spec, side, side),
+                    conv2d_backward_weight(&input, &grad, spec),
+                )
+            });
+            prop_assert_eq!(f.data(), f1.data(), "forward threads {}", t);
+            prop_assert_eq!(gi.data(), gi1.data(), "grad-input threads {}", t);
+            prop_assert_eq!(gw.data(), gw1.data(), "grad-weight threads {}", t);
+        }
+    }
+
+    /// transpose / last-two-axes permute: blocked strip dispatch agrees
+    /// bitwise with the serial walk.
+    #[test]
+    fn transpose_and_permute_bit_identical_across_threads(
+        b in 1usize..4,
+        r in 1usize..40,
+        c in 1usize..40,
+        salt in 0u64..1000,
+    ) {
+        let mat = filled(&[r, c], salt);
+        let cube = filled(&[b, r, c], salt.wrapping_add(6));
+        let t_serial = with_threads(1, || mat.transpose());
+        let p_serial = with_threads(1, || cube.permute(&[0, 2, 1]));
+        for t in THREADS {
+            prop_assert_eq!(with_threads(t, || mat.transpose()).data(), t_serial.data());
+            prop_assert_eq!(with_threads(t, || cube.permute(&[0, 2, 1])).data(), p_serial.data());
+        }
+    }
+}

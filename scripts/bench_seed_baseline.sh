@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Rebuilds the repository's seed commit (the pre-optimisation kernels) in
+# target/seed-baseline and times the same kernel shapes bench_report uses,
+# writing target/seed-baseline/seed_kernels.tsv. Run this once, then
+# `cargo run --release -p qcn-bench --bin bench_report` picks the TSV up
+# and adds speedup-vs-seed columns to BENCH_kernels.json.
+#
+# The seed crates are built against the vendored `rand` shim (API-compatible
+# with the rand 0.8 surface they use), so this works fully offline.
+set -euo pipefail
+
+root=$(git rev-parse --show-toplevel)
+seed=$(git -C "$root" rev-list --max-parents=0 HEAD)
+dir="$root/target/seed-baseline"
+
+echo "seed commit: $seed"
+rm -rf "$dir"
+mkdir -p "$dir"
+git -C "$root" archive "$seed" \
+    crates/tensor crates/autograd crates/fixed crates/datasets crates/capsnet \
+    | tar -x -C "$dir"
+
+# The vendored rand shim needs explicit f32 literal annotations the real
+# rand 0.8 could infer; overlay the current tree's copies of the two
+# affected dataset files (annotation-only diffs — no timed code changes).
+cp "$root/crates/datasets/src/synth.rs" "$dir/crates/datasets/src/synth.rs"
+cp "$root/crates/datasets/src/augment.rs" "$dir/crates/datasets/src/augment.rs"
+
+cat > "$dir/Cargo.toml" <<EOF
+[workspace]
+members = [
+    "crates/tensor", "crates/autograd", "crates/fixed",
+    "crates/datasets", "crates/capsnet", "seedbench",
+]
+resolver = "2"
+
+[workspace.package]
+version = "0.1.0"
+edition = "2021"
+license = "MIT OR Apache-2.0"
+repository = "https://github.com/qcapsnets/qcapsnets"
+authors = ["Q-CapsNets reproduction contributors"]
+
+[workspace.dependencies]
+qcn-tensor = { path = "crates/tensor" }
+qcn-autograd = { path = "crates/autograd" }
+qcn-fixed = { path = "crates/fixed" }
+qcn-datasets = { path = "crates/datasets" }
+qcn-capsnet = { path = "crates/capsnet" }
+rand = { path = "$root/vendor/rand" }
+proptest = { path = "$root/vendor/proptest" }
+
+[profile.release]
+opt-level = 3
+EOF
+
+mkdir -p "$dir/seedbench/src"
+cat > "$dir/seedbench/Cargo.toml" <<'EOF'
+[package]
+name = "seedbench"
+version.workspace = true
+edition.workspace = true
+license.workspace = true
+repository.workspace = true
+authors.workspace = true
+
+[dependencies]
+qcn-tensor.workspace = true
+qcn-capsnet.workspace = true
+qcn-fixed.workspace = true
+rand.workspace = true
+EOF
+
+cat > "$dir/seedbench/src/main.rs" <<'EOF'
+//! Times the seed commit's kernels on the shapes bench_report uses and
+//! prints `name<TAB>median_ms` lines.
+
+use qcn_capsnet::layers::{caps_votes_infer, CapsFc};
+use qcn_capsnet::{LayerQuant, QuantCtx};
+use qcn_fixed::RoundingScheme;
+use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let est = probe.elapsed().as_secs_f64();
+    let iters = ((0.005 / est.max(1e-9)).ceil() as usize).clamp(1, 10_000);
+    (0..15)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e3 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let ma = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    let mb = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
+    let ba = Tensor::rand_uniform([16, 64, 64], -1.0, 1.0, &mut rng);
+    let bb = Tensor::rand_uniform([16, 64, 64], -1.0, 1.0, &mut rng);
+    let conv_in = Tensor::rand_uniform([8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    let conv_w = Tensor::rand_uniform([32, 16, 3, 3], -1.0, 1.0, &mut rng);
+    let conv_b = Tensor::rand_uniform([32], -1.0, 1.0, &mut rng);
+    let spec = Conv2dSpec::new(3, 3, 1, 1);
+    let votes_in = Tensor::rand_uniform([16, 128, 4], -1.0, 1.0, &mut rng);
+    let votes_w = Tensor::rand_uniform([128, 10, 4, 8], -1.0, 1.0, &mut rng);
+    let layer = CapsFc::new(128, 4, 10, 8, 3, &mut rng);
+    let caps_in = Tensor::rand_uniform([16, 128, 4], -0.5, 0.5, &mut rng).squash_axis(2);
+    let fp = LayerQuant::full_precision();
+
+    let rows = [
+        ("matmul 256x256x256 blocked", measure(|| {
+            black_box(black_box(&ma).matmul(black_box(&mb)));
+        })),
+        ("bmm 16x64x64x64", measure(|| {
+            black_box(black_box(&ba).bmm(black_box(&bb)));
+        })),
+        ("conv2d 8x16x16x16 -> 32ch 3x3", measure(|| {
+            black_box(conv2d(black_box(&conv_in), black_box(&conv_w), Some(&conv_b), spec));
+        })),
+        ("caps_votes 16x128x4 -> 10x8", measure(|| {
+            black_box(caps_votes_infer(black_box(&votes_in), black_box(&votes_w)));
+        })),
+        ("caps_fc routing fp32 (3 iters)", measure(|| {
+            let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
+            black_box(layer.infer(black_box(&caps_in), &fp, &mut ctx));
+        })),
+    ];
+    for (name, ms) in rows {
+        println!("{name}\t{ms:.4}");
+    }
+}
+EOF
+
+cd "$dir"
+cargo build --release -p seedbench
+./target/release/seedbench | tee seed_kernels.tsv
+echo "wrote $dir/seed_kernels.tsv"

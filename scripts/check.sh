@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green. Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo bench --no-run

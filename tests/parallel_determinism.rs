@@ -1,0 +1,98 @@
+//! End-to-end determinism of the parallel compute backend: a full
+//! ShallowCaps forward pass (conv stem → PrimaryCaps → dynamic routing)
+//! must be bit-identical regardless of how many threads the tensor kernels
+//! use — the contract that keeps the Q-CapsNets accuracy search
+//! reproducible across machines and `QCN_NUM_THREADS` settings.
+
+use qcn_repro::capsnet::{
+    CapsNet, LayerQuant, ModelQuant, QuantCtx, ShallowCaps, ShallowCapsConfig,
+};
+use qcn_repro::datasets::SynthKind;
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::tensor::parallel::with_threads;
+
+fn model_and_batch() -> (ShallowCaps, qcn_repro::tensor::Tensor) {
+    let config = ShallowCapsConfig {
+        conv_channels: 8,
+        primary_types: 3,
+        digit_dim: 4,
+        ..ShallowCapsConfig::small(1)
+    };
+    let model = ShallowCaps::new(config, 5);
+    let ds = SynthKind::Mnist.generate(6, 5);
+    let (images, _) = ds.batch(&[0, 1, 2, 3, 4, 5]);
+    (model, images)
+}
+
+/// The acceptance check: the same forward pass under `QCN_NUM_THREADS=1`
+/// and `QCN_NUM_THREADS=8` produces bitwise-equal output capsules.
+///
+/// The environment variable is the user-facing control, read per kernel
+/// dispatch; this test owns it exclusively (no other test in this binary
+/// touches it) to avoid races.
+#[test]
+fn shallowcaps_forward_bit_identical_env_1_vs_8() {
+    let (model, images) = model_and_batch();
+    let fp = ModelQuant::full_precision(3);
+
+    std::env::set_var("QCN_NUM_THREADS", "1");
+    let serial = model.infer(&images, &fp, &mut QuantCtx::from_config(&fp));
+    std::env::set_var("QCN_NUM_THREADS", "8");
+    let parallel = model.infer(&images, &fp, &mut QuantCtx::from_config(&fp));
+    std::env::remove_var("QCN_NUM_THREADS");
+
+    assert_eq!(
+        serial.data(),
+        parallel.data(),
+        "forward pass must not depend on the thread count"
+    );
+}
+
+/// Same property across every rounding scheme (including stochastic, whose
+/// per-sample RNG streams are forked deterministically), via the scoped
+/// thread-count override.
+#[test]
+fn quantized_inference_bit_identical_across_thread_counts() {
+    let (model, images) = model_and_batch();
+    for scheme in [
+        RoundingScheme::Truncation,
+        RoundingScheme::RoundToNearest,
+        RoundingScheme::Stochastic,
+    ] {
+        let config = ModelQuant {
+            layers: vec![LayerQuant::uniform(6); 3],
+            scheme,
+            seed: 11,
+        };
+        let qmodel = model.with_quantized_weights(&config);
+        let baseline =
+            with_threads(1, || qmodel.infer(&images, &config, &mut QuantCtx::from_config(&config)));
+        for threads in [2, 3, 8] {
+            let run = with_threads(threads, || {
+                qmodel.infer(&images, &config, &mut QuantCtx::from_config(&config))
+            });
+            assert_eq!(
+                run.data(),
+                baseline.data(),
+                "{scheme:?} inference diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Weight quantization itself (Qw rounding at model build time) must also
+/// be thread-count invariant so quantized copies agree everywhere.
+#[test]
+fn weight_quantization_bit_identical_across_thread_counts() {
+    let (model, _) = model_and_batch();
+    let config = ModelQuant {
+        layers: vec![LayerQuant::uniform(4); 3],
+        scheme: RoundingScheme::Stochastic,
+        seed: 7,
+    };
+    let a = with_threads(1, || model.with_quantized_weights(&config));
+    let b = with_threads(8, || model.with_quantized_weights(&config));
+    for (pa, pb) in a.params().iter().zip(b.params()) {
+        assert_eq!(pa.data(), pb.data());
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API used by this workspace's
+//! benches: [`Criterion::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros, and [`BatchSize`]. Measurement is a simple
+//! median-of-samples wall-clock estimate: each sample runs enough
+//! iterations to cover a minimum measurement window, and the per-iteration
+//! median over `sample_size` samples is reported on stdout.
+//!
+//! A positional command-line argument acts as a substring filter on bench
+//! names (matching `cargo bench <filter>` behaviour); flag arguments are
+//! ignored.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; accepted for API compatibility (the
+/// measurement strategy does not change with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness handle passed to bench functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    min_sample_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            sample_size: 10,
+            min_sample_time: Duration::from_millis(20),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            min_sample_time: self.min_sample_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    min_sample_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` called back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + iteration-count calibration.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_sample_time || iters_per_sample > (1 << 20) {
+                break;
+            }
+            let factor = (self.min_sample_time.as_secs_f64()
+                / elapsed.as_secs_f64().max(1e-9))
+            .ceil() as u64;
+            iters_per_sample = (iters_per_sample * factor.clamp(2, 100)).min(1 << 20);
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with one timed call.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters_per_sample = (self.min_sample_time.as_secs_f64() / once.as_secs_f64())
+            .ceil()
+            .clamp(1.0, 1e6) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_samples_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // Fast routine: calibration must terminate and produce samples.
+        c.bench_function("noop-add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched-sum", |b| {
+            b.iter_batched(
+                || vec![1.0f32; 64],
+                |v| v.iter().sum::<f32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}
