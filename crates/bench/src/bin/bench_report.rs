@@ -8,10 +8,10 @@
 //! argument). The checked-in copy of that file documents the measured
 //! speedups quoted in `docs/performance.md`.
 
-use qcn_capsnet::layers::{caps_votes_infer, CapsFc};
+use qcn_capsnet::layers::{caps_votes_infer, caps_votes_infer_fused, CapsFc};
 use qcn_capsnet::{LayerQuant, QuantCtx};
-use qcn_fixed::RoundingScheme;
-use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
 use qcn_tensor::parallel::{current_threads, with_threads};
 use qcn_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -64,6 +64,18 @@ struct Entry {
     name: &'static str,
     serial_ms: f64,
     parallel_ms: f64,
+}
+
+/// A fused-epilogue quantization comparison: the same kernel + rounding
+/// work, once as compute-then-sequential-round (the pre-fusion
+/// composition: one extra memory pass, per-element scheme dispatch and
+/// constant recomputation), once with the rounding fused into the kernel's
+/// writeback epilogue. Both paths produce bit-identical results for
+/// deterministic schemes (see `tests/fused_quantization.rs`).
+struct FusedEntry {
+    name: &'static str,
+    round_after_ms: f64,
+    fused_ms: f64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -174,7 +186,89 @@ fn main() {
                 parallel_ms: p,
             }
         },
+        {
+            let lq = LayerQuant {
+                weight_frac: Some(8),
+                act_frac: Some(6),
+                dr_frac: Some(5),
+            };
+            let (s, p) = pair(&|| {
+                let mut ctx = QuantCtx::new(RoundingScheme::Stochastic, 0);
+                black_box(layer.infer(black_box(&caps_in), &lq, &mut ctx));
+            });
+            Entry {
+                name: "caps_fc routing SR a6/dr5 (3 iters)",
+                serial_ms: s,
+                parallel_ms: p,
+            }
+        },
     ];
+
+    // Fused-epilogue rounding vs the compute-then-round composition, at the
+    // default thread count. The round-after baseline rounds element-by-
+    // element with `RoundingScheme::round` — the sequential second pass the
+    // quantized inference paths used before the epilogues existed.
+    let q6 = QFormat::with_frac(6);
+    let round_after = |t: &mut Tensor, scheme: RoundingScheme| {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in t.data_mut() {
+            *v = scheme.round(*v, q6, &mut rng);
+        }
+    };
+    let fused_entries: Vec<FusedEntry> = [
+        RoundingScheme::RoundToNearest,
+        RoundingScheme::Stochastic,
+    ]
+    .iter()
+    .flat_map(|&scheme| {
+        let fq = Quantizer::new(q6, scheme).fused(0x5EED);
+        let conv_ra = measure(|| {
+            let mut out = conv2d(black_box(&conv_in), black_box(&conv_w), Some(&conv_b), spec);
+            round_after(&mut out, scheme);
+            black_box(out);
+        });
+        let conv_fused = measure(|| {
+            let epi = |off: usize, row: &mut [f32]| fq.apply(off, row);
+            black_box(conv2d_fused(
+                black_box(&conv_in),
+                black_box(&conv_w),
+                Some(&conv_b),
+                spec,
+                Some(&epi),
+            ));
+        });
+        let votes_ra = measure(|| {
+            let mut out = caps_votes_infer(black_box(&votes_in), black_box(&votes_w));
+            round_after(&mut out, scheme);
+            black_box(out);
+        });
+        let votes_fused = measure(|| {
+            black_box(caps_votes_infer_fused(
+                black_box(&votes_in),
+                black_box(&votes_w),
+                Some(&fq),
+            ));
+        });
+        [
+            FusedEntry {
+                name: match scheme {
+                    RoundingScheme::RoundToNearest => "conv2d 8x16x16x16 -> 32ch 3x3 + Qa RTN",
+                    _ => "conv2d 8x16x16x16 -> 32ch 3x3 + Qa SR",
+                },
+                round_after_ms: conv_ra,
+                fused_ms: conv_fused,
+            },
+            FusedEntry {
+                name: match scheme {
+                    RoundingScheme::RoundToNearest => "caps_votes 16x128x4 -> 10x8 + Q_DR RTN",
+                    _ => "caps_votes 16x128x4 -> 10x8 + Q_DR SR",
+                },
+                round_after_ms: votes_ra,
+                fused_ms: votes_fused,
+            },
+        ]
+    })
+    .collect();
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -203,6 +297,18 @@ fn main() {
             e.parallel_ms,
             speedup,
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"fused_quantization\": [\n");
+    for (i, e) in fused_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"round_after_ms\": {:.4}, \"fused_ms\": {:.4}, \"speedup\": {:.2} }}{}\n",
+            json_escape(e.name),
+            e.round_after_ms,
+            e.fused_ms,
+            e.round_after_ms / e.fused_ms,
+            if i + 1 < fused_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

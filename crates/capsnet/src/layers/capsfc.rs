@@ -132,11 +132,13 @@ impl CapsFc {
     pub fn infer(&self, x: &Tensor, lq: &LayerQuant, ctx: &mut QuantCtx) -> Tensor {
         let b = x.dims()[0];
         let dr = lq.effective_dr_frac();
-        // Votes û quantized at Q_DR, viewed as [b, I, J, Dj, 1] so the
-        // shared routing loop (spatial axis S = 1) applies.
-        let votes = crate::layers::caps_votes_infer(x, &self.weight);
-        let votes = ctx
-            .apply(votes, dr)
+        // Votes û quantized at Q_DR inside the vote kernel's writeback
+        // epilogue (each panel rounded by the worker that produced it),
+        // viewed as [b, I, J, Dj, 1] so the shared routing loop (spatial
+        // axis S = 1) applies.
+        let fq = ctx.fused(dr);
+        let votes = crate::layers::caps_votes_infer_fused(x, &self.weight, fq.as_ref());
+        let votes = votes
             .reshape([b, self.in_caps, self.out_caps, self.out_dim, 1])
             .expect("votes reshape to routing layout");
         let v = crate::layers::route_per_sample(&votes, self.routing_iters, lq, ctx);

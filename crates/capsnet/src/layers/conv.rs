@@ -2,7 +2,7 @@
 
 use crate::quant::{LayerQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
-use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
 use qcn_tensor::Tensor;
 use rand::Rng;
 
@@ -102,14 +102,34 @@ impl Conv2dLayer {
 
     /// Inference with optional activation quantization (`Qa` applied to the
     /// layer output, per paper Fig. 9).
+    ///
+    /// When quantized, activation and rounding run inside the convolution's
+    /// writeback epilogue: each output row is biased, activated, and rounded
+    /// by the worker that produced it, while still cache-hot. The epilogue's
+    /// stochastic stream is keyed by element position, so results are
+    /// bit-identical to the separate conv → activation → round passes for
+    /// every thread count.
     pub fn infer(&self, x: &Tensor, lq: &LayerQuant, ctx: &mut QuantCtx) -> Tensor {
+        if let Some(fq) = ctx.fused(lq.act_frac) {
+            let act = self.activation;
+            let epi = move |off: usize, row: &mut [f32]| {
+                match act {
+                    Activation::None => {}
+                    Activation::Relu => row.iter_mut().for_each(|v| *v = v.max(0.0)),
+                    Activation::BoundedRelu => {
+                        row.iter_mut().for_each(|v| *v = v.clamp(0.0, 1.0));
+                    }
+                }
+                fq.apply(off, row);
+            };
+            return conv2d_fused(x, &self.weight, Some(&self.bias), self.spec, Some(&epi));
+        }
         let y = conv2d(x, &self.weight, Some(&self.bias), self.spec);
-        let y = match self.activation {
+        match self.activation {
             Activation::None => y,
             Activation::Relu => y.relu(),
             Activation::BoundedRelu => y.map(|v| v.clamp(0.0, 1.0)),
-        };
-        ctx.apply(y, lq.act_frac)
+        }
     }
 
     /// Rounds the stored weights onto the `frac`-bit grid (framework weight

@@ -4,7 +4,7 @@
 
 use crate::quant::{LayerQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
-use qcn_tensor::conv::{conv2d, Conv2dSpec};
+use qcn_tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
 use qcn_tensor::Tensor;
 use rand::Rng;
 
@@ -91,16 +91,37 @@ impl ConvCaps {
     }
 
     /// Inference with optional activation quantization after the squash.
+    ///
+    /// Without a squash the `Qa` rounding runs inside the convolution's
+    /// writeback epilogue; with a squash it is fused into the per-capsule
+    /// squash loop. Both are bit-identical to computing the full tensor and
+    /// rounding it afterwards, for every thread count.
     pub fn infer(&self, x: &Tensor, lq: &LayerQuant, ctx: &mut QuantCtx) -> Tensor {
         let (b, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
         let (oh, ow) = self.spec.output_hw(h, w);
+        let fq = ctx.fused(lq.act_frac);
+        if !self.squash {
+            return match fq {
+                Some(fq) => {
+                    let epi = move |off: usize, row: &mut [f32]| fq.apply(off, row);
+                    conv2d_fused(x, &self.weight, Some(&self.bias), self.spec, Some(&epi))
+                }
+                None => conv2d(x, &self.weight, Some(&self.bias), self.spec),
+            };
+        }
         let y = conv2d(x, &self.weight, Some(&self.bias), self.spec);
-        let out = if self.squash {
-            squash_packed(&y, b, self.out_types, self.out_dim, oh, ow)
-        } else {
-            y
-        };
-        ctx.apply(out, lq.act_frac)
+        let mut grouped = y
+            .reshape([b, self.out_types, self.out_dim, oh * ow])
+            .expect("packed layout matches capsule grouping");
+        crate::layers::squash_blocks_fused(
+            grouped.data_mut(),
+            self.out_dim,
+            oh * ow,
+            fq.as_ref(),
+        );
+        grouped
+            .reshape([b, self.out_types * self.out_dim, oh, ow])
+            .expect("squashed capsules repack")
     }
 
     /// Rounds the stored weights onto the `frac`-bit grid.
@@ -124,22 +145,6 @@ impl ConvCaps {
     pub fn out_channels(&self) -> usize {
         self.out_types * self.out_dim
     }
-}
-
-/// Squashes a packed `[b, types·dim, h, w]` tensor along the capsule dim.
-pub(crate) fn squash_packed(
-    y: &Tensor,
-    b: usize,
-    types: usize,
-    dim: usize,
-    h: usize,
-    w: usize,
-) -> Tensor {
-    y.reshape([b, types, dim, h * w])
-        .expect("packed layout matches capsule grouping")
-        .squash_axis(2)
-        .reshape([b, types * dim, h, w])
-        .expect("squashed capsules repack")
 }
 
 /// The DeepCaps routing capsule layer: per-input-type convolutions produce
@@ -271,7 +276,10 @@ impl ConvCapsRouting {
         let (oh, ow) = self.spec.output_hw(h, w);
         let s_spatial = oh * ow;
         let dr = lq.effective_dr_frac();
-        // Build votes [b, Ti, To, Do, S] by stacking per-type convs.
+        // Build votes [b, Ti, To, Do, S] by stacking per-type convs. Each
+        // per-type conv rounds its outputs at Q_DR in its own writeback
+        // epilogue (one decorrelated stream per type), so the assembled
+        // votes are already quantized.
         let mut votes = Tensor::zeros([b, self.in_types, self.out_types, self.out_dim, s_spatial]);
         for ti in 0..self.in_types {
             let x_t = x.slice_axis(1, ti * self.in_dim, self.in_dim);
@@ -285,7 +293,14 @@ impl ConvCapsRouting {
                     self.spec.kw,
                 ])
                 .expect("per-type kernel reshape");
-            let v_t = conv2d(&x_t, &w_t, None, self.spec); // [b, To·Do, oh, ow]
+            // [b, To·Do, oh, ow]
+            let v_t = match ctx.fused(dr) {
+                Some(fq) => {
+                    let epi = move |off: usize, row: &mut [f32]| fq.apply(off, row);
+                    conv2d_fused(&x_t, &w_t, None, self.spec, Some(&epi))
+                }
+                None => conv2d(&x_t, &w_t, None, self.spec),
+            };
             for bi in 0..b {
                 let src = &v_t.data()[bi * self.out_types * self.out_dim * s_spatial
                     ..(bi + 1) * self.out_types * self.out_dim * s_spatial];
@@ -294,7 +309,6 @@ impl ConvCapsRouting {
                 votes.data_mut()[dst_base..dst_base + src.len()].copy_from_slice(src);
             }
         }
-        let votes = ctx.apply(votes, dr);
         // Route each sample independently through the thread pool (shared
         // loop with CapsFc; bit-identical for every thread count).
         let v = crate::layers::route_per_sample(&votes, self.routing_iters, lq, ctx);

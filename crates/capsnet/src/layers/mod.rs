@@ -18,11 +18,10 @@ mod primary;
 pub use capsfc::CapsFc;
 pub use conv::{Activation, Conv2dLayer};
 pub use convcaps::{ConvCaps, ConvCapsRouting};
-pub(crate) use convcaps::squash_packed;
 pub use primary::PrimaryCaps;
 
 use crate::quant::{LayerQuant, QuantCtx};
-use qcn_tensor::reduce::expand_to;
+use qcn_fixed::FusedQuant;
 use qcn_tensor::{parallel, Tensor};
 
 /// Inference-path capsule vote computation:
@@ -39,6 +38,24 @@ use qcn_tensor::{parallel, Tensor};
 ///
 /// Panics on rank or dimension mismatches.
 pub fn caps_votes_infer(input: &Tensor, weight: &Tensor) -> Tensor {
+    caps_votes_infer_fused(input, weight, None)
+}
+
+/// [`caps_votes_infer`] with an optional fused quantization epilogue: each
+/// finished `û[b,i,·,·]` panel is rounded in place by the worker that
+/// produced it, while still cache-hot. The epilogue's stochastic stream is
+/// keyed by global element position, so the result is bit-identical to
+/// [`caps_votes_infer`] followed by a sequential
+/// [`FusedQuant::quantize_inplace`] pass, for every thread count.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn caps_votes_infer_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    fq: Option<&FusedQuant>,
+) -> Tensor {
     assert_eq!(input.rank(), 3, "caps votes input must be [b, i, di]");
     assert_eq!(weight.rank(), 4, "caps votes weight must be [i, j, di, dj]");
     let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
@@ -70,7 +87,116 @@ pub fn caps_votes_infer(input: &Tensor, weight: &Tensor) -> Tensor {
                 }
             }
         }
+        if let Some(fq) = fq {
+            fq.apply(item * nj * dj, panel);
+        }
     });
+    out
+}
+
+/// Squashes contiguous `[d, s]` blocks of `data` in place — the packed
+/// layouts used by [`PrimaryCaps`] capsule lists (`s = 1`), [`ConvCaps`]
+/// feature maps (`s = h·w`), and the routing preactivations (`s` = spatial
+/// positions). Per block: `n²[sp] = Σ_d x[d,sp]²` folded `d`-ascending, then
+/// every element is scaled by `n²/(1+n²)/√(n²+ε)` — exactly the expression
+/// and fold order of [`Tensor::squash_axis`], so results are bitwise
+/// identical to the tensor-op composition.
+///
+/// When `fq` is set, each finished block is additionally rounded through
+/// the position-keyed fused epilogue before the next block is touched.
+///
+/// # Panics
+///
+/// Panics when `data` does not divide into `[d, s]` blocks.
+pub(crate) fn squash_blocks_fused(data: &mut [f32], d: usize, s: usize, fq: Option<&FusedQuant>) {
+    let block = d * s;
+    assert!(block > 0, "squash block must be non-empty");
+    assert_eq!(data.len() % block, 0, "data must divide into [d, s] blocks");
+    let mut n2 = vec![0.0f32; s];
+    let mut scale = vec![0.0f32; s];
+    for (bi, blk) in data.chunks_mut(block).enumerate() {
+        n2.iter_mut().for_each(|v| *v = 0.0);
+        for row in blk.chunks(s) {
+            for (acc, &x) in n2.iter_mut().zip(row) {
+                *acc += x * x;
+            }
+        }
+        for (sc, &n2) in scale.iter_mut().zip(&n2) {
+            *sc = n2 / (1.0 + n2) / (n2 + qcn_tensor::nn::EPS).sqrt();
+        }
+        for row in blk.chunks_mut(s) {
+            for (x, &sc) in row.iter_mut().zip(&scale) {
+                *x *= sc;
+            }
+        }
+        if let Some(fq) = fq {
+            fq.apply(bi * block, blk);
+        }
+    }
+}
+
+/// Routing step 4, `s[b,·,j,·,·] = Σ_i c[b,i,j]·û[b,i,j,·,·]`, with the
+/// Q_DR rounding applied to each `[Do, S]` output row as soon as it is
+/// complete. Accumulation is zero-initialised and `i`-ascending and rows
+/// finish in memory order, so both the arithmetic and the stochastic draw
+/// sequence are bitwise identical to the tensor-op composition
+/// `ctx.apply((votes * expand_to(c)).sum_axis_keepdim(1), dr)` — without
+/// materialising the vote-sized product.
+fn weighted_sum_rounded(
+    votes: &Tensor,
+    c: &Tensor,
+    dr: Option<u8>,
+    ctx: &mut QuantCtx,
+) -> Tensor {
+    let d = votes.dims();
+    let (b, ti, to, dd, s) = (d[0], d[1], d[2], d[3], d[4]);
+    let mut out = Tensor::zeros([b, 1, to, dd, s]);
+    let (v, cdat, o) = (votes.data(), c.data(), out.data_mut());
+    let row = dd * s;
+    for bi in 0..b {
+        for j in 0..to {
+            let orow = &mut o[(bi * to + j) * row..(bi * to + j + 1) * row];
+            for i in 0..ti {
+                let idx = (bi * ti + i) * to + j;
+                let vrow = &v[idx * row..(idx + 1) * row];
+                let crow = &cdat[idx * s..(idx + 1) * s];
+                for k in 0..dd {
+                    for sp in 0..s {
+                        orow[k * s + sp] += vrow[k * s + sp] * crow[sp];
+                    }
+                }
+            }
+            ctx.round_slice(orow, dr);
+        }
+    }
+    out
+}
+
+/// Routing step 6, `a[b,i,j,·,·] = Σ_d û[b,i,j,d,·]·v[b,·,j,d,·]`, with the
+/// Q_DR rounding applied to each finished `[To, S]` agreement row in memory
+/// order — bitwise identical to
+/// `ctx.apply((votes * expand_to(v)).sum_axis_keepdim(3), dr)`.
+fn agreement_rounded(votes: &Tensor, v: &Tensor, dr: Option<u8>, ctx: &mut QuantCtx) -> Tensor {
+    let d = votes.dims();
+    let (b, ti, to, dd, s) = (d[0], d[1], d[2], d[3], d[4]);
+    let mut out = Tensor::zeros([b, ti, to, 1, s]);
+    let (vo, vd, o) = (votes.data(), v.data(), out.data_mut());
+    for bi in 0..b {
+        for i in 0..ti {
+            let obase = (bi * ti + i) * to * s;
+            for j in 0..to {
+                let vote = &vo[((bi * ti + i) * to + j) * dd * s..];
+                let vrow = &vd[(bi * to + j) * dd * s..];
+                let orow = &mut o[obase + j * s..obase + (j + 1) * s];
+                for k in 0..dd {
+                    for sp in 0..s {
+                        orow[sp] += vote[k * s + sp] * vrow[k * s + sp];
+                    }
+                }
+            }
+            ctx.round_slice(&mut o[obase..obase + to * s], dr);
+        }
+    }
     out
 }
 
@@ -93,16 +219,17 @@ pub(crate) fn dynamic_routing(
     for iter in 0..iters {
         // c = softmax(b) — both operand and result at Q_DR.
         let c = ctx.apply(logits.softmax_axis(2), dr);
-        // s = Σ_i c·û, quantized at Q_DR *before* the squash unit.
-        let weighted = votes * &expand_to(&c, votes.shape());
-        let s_pre = ctx.apply(weighted.sum_axis_keepdim(1), dr);
+        // s = Σ_i c·û, quantized at Q_DR *before* the squash unit; the
+        // fused loop rounds each row as it leaves the accumulator.
+        let mut s_pre = weighted_sum_rounded(votes, &c, dr, ctx);
         let last = iter + 1 == iters;
         // Intermediate v stays at Q_DR; the final output is the layer
         // activation and uses Qa.
-        v = ctx.apply(s_pre.squash_axis(3), if last { lq.act_frac } else { dr });
+        squash_blocks_fused(s_pre.data_mut(), dd, s, None);
+        ctx.round_slice(s_pre.data_mut(), if last { lq.act_frac } else { dr });
+        v = s_pre;
         if !last {
-            let prod = votes * &expand_to(&v, votes.shape());
-            let agreement = ctx.apply(prod.sum_axis_keepdim(3), dr);
+            let agreement = agreement_rounded(votes, &v, dr, ctx);
             logits = ctx.apply(&logits + &agreement, dr);
         }
     }

@@ -93,18 +93,24 @@ impl PrimaryCaps {
 
     /// Inference with optional activation quantization (applied to the
     /// squashed capsule output).
+    ///
+    /// The squash and the `Qa` rounding run fused, one capsule block at a
+    /// time; the rounding stream is position-keyed, so the result is
+    /// bit-identical to squashing the whole tensor and rounding it in a
+    /// second pass.
     pub fn infer(&self, x: &Tensor, lq: &LayerQuant, ctx: &mut QuantCtx) -> Tensor {
         let (b, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
         let (oh, ow) = self.spec.output_hw(h, w);
         let y = conv2d(x, &self.weight, Some(&self.bias), self.spec);
-        let caps = y
+        let mut caps = y
             .reshape([b, self.caps_types, self.caps_dim, oh * ow])
             .expect("conv output matches capsule grouping")
             .permute(&[0, 1, 3, 2])
             .reshape([b, self.caps_types * oh * ow, self.caps_dim])
             .expect("permuted capsules match flat shape");
-        let squashed = caps.squash_axis(2);
-        ctx.apply(squashed, lq.act_frac)
+        let fq = ctx.fused(lq.act_frac);
+        crate::layers::squash_blocks_fused(caps.data_mut(), self.caps_dim, 1, fq.as_ref());
+        caps
     }
 
     /// Rounds the stored weights onto the `frac`-bit grid.

@@ -3,7 +3,7 @@
 //! carrying a dynamic-routing skip branch), and a fully-connected capsule
 //! output layer with routing.
 
-use crate::layers::{flatten_caps, flatten_caps_graph, squash_packed, Activation, CapsFc, Conv2dLayer, ConvCaps, ConvCapsRouting};
+use crate::layers::{flatten_caps, flatten_caps_graph, Activation, CapsFc, Conv2dLayer, ConvCaps, ConvCapsRouting};
 use crate::model::{CapsNet, GroupInfo};
 use crate::quant::{LayerQuant, ModelQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
@@ -254,8 +254,16 @@ impl DeepCaps {
         };
         let sum = &m2 + &skip;
         let (b, h, w) = (sum.dims()[0], sum.dims()[2], sum.dims()[3]);
-        let out = squash_packed(&sum, b, block.types, block.dim, h, w);
-        ctx.apply(out, lq.act_frac)
+        // Block-output squash with the Qa rounding fused into the same
+        // per-capsule loop (bit-identical to squash-then-round).
+        let mut grouped = sum
+            .reshape([b, block.types, block.dim, h * w])
+            .expect("packed layout matches capsule grouping");
+        let fq = ctx.fused(lq.act_frac);
+        crate::layers::squash_blocks_fused(grouped.data_mut(), block.dim, h * w, fq.as_ref());
+        grouped
+            .reshape([b, block.types * block.dim, h, w])
+            .expect("squashed capsules repack")
     }
 
     fn block_params(block: &Block) -> Vec<&Tensor> {

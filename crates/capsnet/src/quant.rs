@@ -5,7 +5,7 @@
 //! paper Fig. 9: weights at `Qw`, layer outputs at `Qa`, and dynamic-routing
 //! intermediates (û, b, c, s, a) at the more aggressive `Q_DR`.
 
-use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_fixed::{FusedQuant, QFormat, Quantizer, RoundingScheme};
 use qcn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -173,15 +173,37 @@ impl QuantCtx {
     /// Quantizes `t` to `frac` fractional bits (1 integer bit) when `frac`
     /// is set; returns `t` unchanged otherwise.
     pub fn apply(&mut self, t: Tensor, frac: Option<u8>) -> Tensor {
-        match frac {
-            None => t,
-            Some(frac) => {
-                let mut out = t;
-                Quantizer::new(QFormat::with_frac(frac), self.scheme)
-                    .quantize_inplace(&mut out, &mut self.rng);
-                out
-            }
+        let mut out = t;
+        self.round_slice(out.data_mut(), frac);
+        out
+    }
+
+    /// Rounds a just-computed slice in place with the context's sequential
+    /// stream (one draw per element for SR, in slice order); a no-op when
+    /// `frac` is `None`. The fused routing loops call this on each finished
+    /// output row so rounding happens while the row is cache-hot, with
+    /// exactly the draws a whole-tensor [`apply`](QuantCtx::apply) in memory
+    /// order would consume.
+    pub fn round_slice(&mut self, values: &mut [f32], frac: Option<u8>) {
+        if let Some(frac) = frac {
+            self.scheme
+                .round_slice(values, QFormat::with_frac(frac), &mut self.rng);
         }
+    }
+
+    /// Binds a [`FusedQuant`] writeback epilogue for a kernel dispatch that
+    /// quantizes to `frac` fractional bits, or `None` in full precision.
+    ///
+    /// The epilogue's stochastic stream is keyed the same way as
+    /// [`fork`](QuantCtx::fork): one [`fork_base`](QuantCtx::fork_base) draw
+    /// on the calling thread, then golden-ratio element streams — so the
+    /// kernel can round each output element wherever (and on whatever
+    /// thread) it is produced, bit-identically to a sequential round-after
+    /// pass with the same epilogue.
+    pub fn fused(&mut self, frac: Option<u8>) -> Option<FusedQuant> {
+        frac.map(|frac| {
+            Quantizer::new(QFormat::with_frac(frac), self.scheme).fused(self.fork_base())
+        })
     }
 }
 

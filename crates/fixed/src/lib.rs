@@ -34,6 +34,6 @@ mod units;
 
 pub use format::QFormat;
 pub use fx::Fx;
-pub use quantize::{QuantizationStats, Quantizer};
-pub use rounding::RoundingScheme;
+pub use quantize::{FusedQuant, QuantizationStats, Quantizer};
+pub use rounding::{sr_uniform, RoundingScheme};
 pub use units::{fx_softmax, fx_squash};

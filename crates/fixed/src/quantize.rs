@@ -7,6 +7,7 @@
 //! wordlength (guaranteed here for N ≤ 24 — the framework searches N ≤ 32
 //! for weights but accuracy-relevant formats are far below 24 bits).
 
+use crate::rounding::sr_uniform;
 use crate::{QFormat, RoundingScheme};
 use qcn_tensor::Tensor;
 use rand::Rng;
@@ -62,6 +63,60 @@ impl Quantizer {
     pub fn quantize_inplace(&self, t: &mut Tensor, rng: &mut impl Rng) {
         self.scheme.round_slice(t.data_mut(), self.format, rng);
     }
+
+    /// Binds this recipe to a position-keyed stochastic stream, producing
+    /// the epilogue the fused kernels apply at writeback time.
+    pub fn fused(&self, sr_base: u64) -> FusedQuant {
+        FusedQuant {
+            quantizer: *self,
+            sr_base,
+        }
+    }
+}
+
+/// A quantization recipe bound to a *position-keyed* stochastic stream:
+/// element `i` of the output tensor always draws [`sr_uniform`]`(sr_base, i)`,
+/// no matter which worker thread, tile, or pass produces it.
+///
+/// This is what makes fusing rounding into the blocked kernels safe: the
+/// kernel calls [`FusedQuant::apply`] on each finished row with the row's
+/// global element offset, and the result is bit-identical to
+/// [`FusedQuant::quantize_inplace`] — a sequential round-after pass over the
+/// whole tensor — for every rounding scheme and thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedQuant {
+    quantizer: Quantizer,
+    sr_base: u64,
+}
+
+impl FusedQuant {
+    /// Creates an epilogue from a recipe and a stream key (callers usually
+    /// go through [`Quantizer::fused`]).
+    pub fn new(quantizer: Quantizer, sr_base: u64) -> Self {
+        quantizer.fused(sr_base)
+    }
+
+    /// The underlying recipe.
+    pub fn quantizer(&self) -> Quantizer {
+        self.quantizer
+    }
+
+    /// Rounds a finished slice whose first element is global output element
+    /// `offset`. Kernels call this once per completed row/tile while the
+    /// data is still cache-hot.
+    #[inline]
+    pub fn apply(&self, offset: usize, values: &mut [f32]) {
+        let base = self.sr_base;
+        self.quantizer.scheme.round_slice_with(values, self.quantizer.format, |i| {
+            sr_uniform(base, (offset + i) as u64)
+        })
+    }
+
+    /// The round-after reference: one separate pass over the whole tensor,
+    /// bit-identical to applying [`FusedQuant::apply`] tile by tile.
+    pub fn quantize_inplace(&self, t: &mut Tensor) {
+        self.apply(0, t.data_mut());
+    }
 }
 
 /// Summary statistics of the error introduced by quantizing `original` to
@@ -95,17 +150,20 @@ impl QuantizationStats {
             "stats require matching shapes"
         );
         assert!(!original.is_empty(), "stats of empty tensors");
-        let n = original.len() as f32;
-        let mut bias = 0.0f32;
-        let mut mse = 0.0f32;
-        let mut max_abs = 0.0f32;
-        let mut signal = 0.0f32;
+        // Accumulate in f64: f32 running sums lose the small per-element
+        // errors against a large partial sum, visibly biasing SQNR on big
+        // tensors (the §IV-C rounding-scheme comparison relies on these).
+        let n = original.len() as f64;
+        let mut bias = 0.0f64;
+        let mut mse = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut signal = 0.0f64;
         for (&x, &xq) in original.data().iter().zip(quantized.data()) {
-            let e = xq - x;
+            let e = xq as f64 - x as f64;
             bias += e;
             mse += e * e;
             max_abs = max_abs.max(e.abs());
-            signal += x * x;
+            signal += x as f64 * x as f64;
         }
         bias /= n;
         mse /= n;
@@ -113,12 +171,12 @@ impl QuantizationStats {
         let sqnr_db = if mse == 0.0 {
             f32::INFINITY
         } else {
-            10.0 * (signal / mse).log10()
+            (10.0 * (signal / mse).log10()) as f32
         };
         QuantizationStats {
-            bias,
-            mse,
-            max_abs_error: max_abs,
+            bias: bias as f32,
+            mse: mse as f32,
+            max_abs_error: max_abs as f32,
             sqnr_db,
         }
     }
@@ -205,6 +263,73 @@ mod tests {
         }
         // Each extra bit is worth ~6 dB; 4 bits apart ⇒ > 20 dB apart.
         assert!(last > 40.0);
+    }
+
+    #[test]
+    fn fused_tilewise_apply_matches_whole_tensor_pass() {
+        // Splitting the tensor into arbitrary tiles and applying the fused
+        // epilogue with the right offsets must reproduce the single-pass
+        // reference bit for bit — the contract the blocked kernels rely on.
+        let t = Tensor::rand_uniform([257], -1.5, 1.5, &mut rng());
+        for scheme in RoundingScheme::EXTENDED {
+            let fq = Quantizer::new(QFormat::with_frac(5), scheme).fused(0xABCD);
+            let mut reference = t.clone();
+            fq.quantize_inplace(&mut reference);
+            let mut tiled = t.clone();
+            let data = tiled.data_mut();
+            for start in (0..data.len()).step_by(37) {
+                let end = (start + 37).min(data.len());
+                fq.apply(start, &mut data[start..end]);
+            }
+            assert_eq!(tiled, reference, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn fused_deterministic_schemes_match_rng_quantizer() {
+        // For TRN/RTN/RTNE the positional stream is irrelevant: the fused
+        // epilogue must agree exactly with the rng-driven Quantizer.
+        let t = Tensor::rand_uniform([128], -1.2, 1.2, &mut rng());
+        for scheme in [
+            RoundingScheme::Truncation,
+            RoundingScheme::RoundToNearest,
+            RoundingScheme::RoundToNearestEven,
+        ] {
+            let quant = Quantizer::new(QFormat::with_frac(4), scheme);
+            let reference = quant.quantize(&t, &mut rng());
+            let mut fused = t.clone();
+            quant.fused(99).quantize_inplace(&mut fused);
+            assert_eq!(fused, reference, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn fused_stochastic_depends_on_base_but_not_tiling() {
+        let quant = Quantizer::new(QFormat::with_frac(3), RoundingScheme::Stochastic);
+        let t = Tensor::rand_uniform([512], -0.9, 0.9, &mut rng());
+        let (mut a, mut b) = (t.clone(), t.clone());
+        quant.fused(1).quantize_inplace(&mut a);
+        quant.fused(2).quantize_inplace(&mut b);
+        assert_ne!(a, b, "different bases must give different SR draws");
+        for &v in a.data() {
+            assert!(quant.format().is_representable(v));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_in_f64() {
+        // 1 << 20 elements with a constant error of 2^-12: an f32
+        // accumulator stalls once the partial sum dwarfs the addend, biasing
+        // the mean error low. The f64 path recovers it exactly.
+        let n = 1 << 20;
+        let orig = Tensor::from_vec(vec![0.5f32; n], [n]).unwrap();
+        let quant = Tensor::from_vec(vec![0.5f32 + 2.44140625e-4; n], [n]).unwrap();
+        let stats = QuantizationStats::measure(&orig, &quant);
+        assert!(
+            (stats.bias - 2.44140625e-4).abs() < 1e-9,
+            "bias {}",
+            stats.bias
+        );
     }
 
     #[test]

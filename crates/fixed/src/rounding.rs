@@ -72,33 +72,39 @@ impl RoundingScheme {
     /// Rounds `x` onto the grid of `format` and clamps into its range.
     ///
     /// For [`RoundingScheme::Stochastic`] the provided `rng` decides the
-    /// rounding direction; the other schemes ignore it.
+    /// rounding direction; the other schemes ignore it. NaN propagates
+    /// unchanged and ±∞ saturates to the grid's range.
     pub fn round(&self, x: f32, format: QFormat, rng: &mut impl Rng) -> f32 {
-        let eps = format.precision();
-        let scaled = (x / eps) as f64;
-        let raw = match self {
-            RoundingScheme::Truncation => scaled.floor() as i64,
-            RoundingScheme::RoundToNearest => (scaled + 0.5).floor() as i64,
-            RoundingScheme::RoundToNearestEven => {
-                let floor = scaled.floor();
-                let frac = scaled - floor;
-                let floor = floor as i64;
-                match frac.partial_cmp(&0.5).expect("frac is finite") {
-                    std::cmp::Ordering::Greater => floor + 1,
-                    std::cmp::Ordering::Less => floor,
-                    // Exactly half-way: round to the even neighbour.
-                    std::cmp::Ordering::Equal => floor + (floor % 2 != 0) as i64,
-                }
-            }
-            RoundingScheme::Stochastic => {
-                let floor = scaled.floor();
-                let frac = scaled - floor;
-                let p: f64 = rng.gen_range(0.0..1.0);
-                floor as i64 + i64::from(p < frac)
-            }
+        let u = match self {
+            RoundingScheme::Stochastic => rng.gen_range(0.0..1.0),
+            _ => 0.0,
         };
-        let raw = raw.clamp(format.min_raw(), format.max_raw());
-        raw as f32 * eps
+        self.round_raw(x, format, u)
+    }
+
+    /// Slice-free rounding core: rounds `x` onto the grid of `format` with
+    /// the caller-supplied uniform draw `u ∈ [0, 1)` deciding stochastic
+    /// half-way direction (ignored by the deterministic schemes).
+    ///
+    /// This is the entry point the fused kernel epilogues inline: it takes
+    /// no RNG state, so a deterministic per-element stream (see
+    /// [`sr_uniform`]) can be supplied regardless of which worker thread
+    /// produced the element. Scaling happens in `f64` (`x as f64 / ε`, the
+    /// division is an exact power-of-two rebias) so exact half-way points
+    /// are classified without a second rounding step. NaN propagates; ±∞
+    /// saturates.
+    #[inline]
+    pub fn round_raw(&self, x: f32, format: QFormat, u: f64) -> f32 {
+        let eps = format.precision();
+        round_value(
+            *self,
+            x,
+            eps,
+            (eps as f64).recip(),
+            format.min_raw(),
+            format.max_raw(),
+            u,
+        )
     }
 
     /// Rounds a whole slice in place. Equivalent to calling [`round`] on
@@ -107,10 +113,109 @@ impl RoundingScheme {
     ///
     /// [`round`]: RoundingScheme::round
     pub fn round_slice(&self, values: &mut [f32], format: QFormat, rng: &mut impl Rng) {
-        for v in values {
-            *v = self.round(*v, format, rng);
+        match self {
+            RoundingScheme::Stochastic => {
+                self.round_slice_with(values, format, |_| rng.gen_range(0.0..1.0));
+            }
+            _ => self.round_slice_with(values, format, |_| 0.0),
         }
     }
+
+    /// Rounds a slice in place with caller-supplied stochastic draws:
+    /// `draw(i)` must return the uniform in `[0, 1)` for element `i` of the
+    /// slice. Only [`RoundingScheme::Stochastic`] calls `draw`; the grid
+    /// constants are hoisted out of the loop so this is the fast path the
+    /// kernel epilogues use on freshly written rows.
+    pub fn round_slice_with(
+        &self,
+        values: &mut [f32],
+        format: QFormat,
+        mut draw: impl FnMut(usize) -> f64,
+    ) {
+        let eps = format.precision();
+        let inv_eps = (eps as f64).recip();
+        let (lo, hi) = (format.min_raw(), format.max_raw());
+        match self {
+            RoundingScheme::Stochastic => {
+                for (i, v) in values.iter_mut().enumerate() {
+                    *v = round_value(*self, *v, eps, inv_eps, lo, hi, draw(i));
+                }
+            }
+            scheme => {
+                for v in values.iter_mut() {
+                    *v = round_value(*scheme, *v, eps, inv_eps, lo, hi, 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic uniform draw in `[0, 1)` for output element `index` of a
+/// stochastic-rounding stream keyed by `base`.
+///
+/// The element key uses the same golden-ratio stride as `QuantCtx::fork`
+/// (`base + index · 0x9E3779B97F4A7C15`), finalized with the SplitMix64
+/// mixer, so consecutive elements get decorrelated draws while any element
+/// can be drawn independently of the others — the property that lets a
+/// tiled, multi-threaded kernel epilogue reproduce the exact bits of a
+/// sequential round-after pass.
+#[inline]
+pub fn sr_uniform(base: u64, index: u64) -> f64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = base.wrapping_add(index.wrapping_mul(GOLDEN)).wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 high bits → uniform on the f64-representable grid of [0, 1).
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The shared scalar core behind [`RoundingScheme::round`],
+/// [`RoundingScheme::round_raw`] and the slice paths. `inv_eps` must be
+/// `1/eps` (exact — every grid step is a power of two), `lo`/`hi` the raw
+/// clamp range, and `u` the stochastic draw.
+#[inline(always)]
+fn round_value(
+    scheme: RoundingScheme,
+    x: f32,
+    eps: f32,
+    inv_eps: f64,
+    lo: i64,
+    hi: i64,
+    u: f64,
+) -> f32 {
+    if x.is_nan() {
+        return x;
+    }
+    // Widen *before* scaling: multiplying by the power-of-two 1/ε in f64 is
+    // exact, so half-way points reach the classifier unperturbed. (±∞ stays
+    // ±∞ here and saturates through the i64 cast + clamp below.)
+    let scaled = x as f64 * inv_eps;
+    let raw = match scheme {
+        RoundingScheme::Truncation => scaled.floor() as i64,
+        RoundingScheme::RoundToNearest => (scaled + 0.5).floor() as i64,
+        RoundingScheme::RoundToNearestEven => {
+            let floor = scaled.floor();
+            let frac = scaled - floor;
+            let floor = floor as i64;
+            if frac > 0.5 {
+                floor + 1
+            } else if frac == 0.5 {
+                // Exact half-way rounds to the even neighbour.
+                floor + i64::from(floor % 2 != 0)
+            } else {
+                // Also the ±∞ path: frac is then NaN, both tests fail, and
+                // the saturated floor clamps to the range below.
+                floor
+            }
+        }
+        RoundingScheme::Stochastic => {
+            let floor = scaled.floor();
+            let frac = scaled - floor;
+            floor as i64 + i64::from(u < frac)
+        }
+    };
+    raw.clamp(lo, hi) as f32 * eps
 }
 
 impl fmt::Display for RoundingScheme {
@@ -286,6 +391,129 @@ mod tests {
             RoundingScheme::RoundToNearest.complexity()
                 < RoundingScheme::Stochastic.complexity()
         );
+    }
+
+    #[test]
+    fn halfway_values_round_exactly_at_high_frac_widths() {
+        // Regression for the f32 pre-scaling bug: x/ε must be formed in f64
+        // so exact half-way points stay half-way at large NF. ε is 2^-NF,
+        // so x = (k + 0.5)·ε is representable and must round per scheme.
+        let mut r = rng();
+        for frac in [12u8, 20, 23] {
+            let q = QFormat::with_frac(frac);
+            let eps = q.precision();
+            for k in [0i64, 1, 2, 5, -1, -2, -6, 1001] {
+                let x = (k as f64 + 0.5) as f32 * eps;
+                let up = (k + 1) as f32 * eps;
+                let down = k as f32 * eps;
+                let even = if k % 2 == 0 { down } else { up };
+                assert_eq!(
+                    RoundingScheme::RoundToNearest.round(x, q, &mut r),
+                    up,
+                    "RTN NF={frac} k={k}"
+                );
+                assert_eq!(
+                    RoundingScheme::RoundToNearestEven.round(x, q, &mut r),
+                    even,
+                    "RTNE NF={frac} k={k}"
+                );
+                assert_eq!(
+                    RoundingScheme::Truncation.round(x, q, &mut r),
+                    down,
+                    "TRN NF={frac} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_every_scheme() {
+        // Regression: `scaled.floor() as i64` saturating-casts NaN to 0, so
+        // a NaN activation used to quantize silently to 0.0.
+        let q = QFormat::with_frac(4);
+        let mut r = rng();
+        for scheme in RoundingScheme::EXTENDED {
+            assert!(
+                scheme.round(f32::NAN, q, &mut r).is_nan(),
+                "{scheme} erased NaN"
+            );
+            assert!(scheme.round_raw(f32::NAN, q, 0.3).is_nan());
+        }
+        let mut vals = vec![0.3, f32::NAN, -0.6];
+        RoundingScheme::RoundToNearest.round_slice(&mut vals, q, &mut r);
+        assert_eq!(vals[0], 0.3125);
+        assert!(vals[1].is_nan());
+        assert_eq!(vals[2], -0.625);
+    }
+
+    #[test]
+    fn infinities_saturate_to_range() {
+        let q = QFormat::with_frac(3);
+        let mut r = rng();
+        for scheme in RoundingScheme::EXTENDED {
+            assert_eq!(scheme.round(f32::INFINITY, q, &mut r), q.max_value(), "{scheme}");
+            assert_eq!(scheme.round(f32::NEG_INFINITY, q, &mut r), q.min_value(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn round_raw_matches_round_for_deterministic_schemes() {
+        let mut r = rng();
+        for frac in 2u8..10 {
+            let q = QFormat::with_frac(frac);
+            for scheme in [
+                RoundingScheme::Truncation,
+                RoundingScheme::RoundToNearest,
+                RoundingScheme::RoundToNearestEven,
+            ] {
+                for i in -40..40 {
+                    let x = i as f32 * 0.031;
+                    assert_eq!(scheme.round(x, q, &mut r), scheme.round_raw(x, q, 0.99));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_raw_stochastic_direction_follows_draw() {
+        let q = QFormat::with_frac(2); // ε = 0.25
+        let sr = RoundingScheme::Stochastic;
+        // 0.3125 sits 1/4 of the way from 0.25 to 0.5: frac = 0.25.
+        assert_eq!(sr.round_raw(0.3125, q, 0.10), 0.5); // u < frac → up
+        assert_eq!(sr.round_raw(0.3125, q, 0.60), 0.25); // u ≥ frac → down
+        // Grid points never move regardless of the draw.
+        assert_eq!(sr.round_raw(0.75, q, 0.0), 0.75);
+    }
+
+    #[test]
+    fn sr_uniform_is_deterministic_and_in_range() {
+        for base in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for idx in 0..257u64 {
+                let u = sr_uniform(base, idx);
+                assert_eq!(u, sr_uniform(base, idx));
+                assert!((0.0..1.0).contains(&u), "u={u}");
+            }
+        }
+        // Neighbouring elements get decorrelated draws.
+        let a = sr_uniform(7, 0);
+        let b = sr_uniform(7, 1);
+        assert!((a - b).abs() > 1e-6);
+    }
+
+    #[test]
+    fn round_slice_with_matches_sequential_rounds() {
+        let q = QFormat::with_frac(5);
+        let vals: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.017).collect();
+        for scheme in RoundingScheme::EXTENDED {
+            let mut fused = vals.clone();
+            scheme.round_slice_with(&mut fused, q, |i| sr_uniform(11, i as u64));
+            let reference: Vec<f32> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| scheme.round_raw(x, q, sr_uniform(11, i as u64)))
+                .collect();
+            assert_eq!(fused, reference, "{scheme}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! kernel — so every result is bit-identical for every thread count.
 
 use crate::linalg::{gemm, gemm_serial_with, pack_matrix_panel, panel_scratch, transpose_block};
-use crate::{parallel, Tensor};
+use crate::{parallel, RowEpilogue, Tensor};
 
 /// Static description of a 2-D convolution (kernel geometry and padding).
 ///
@@ -346,7 +346,10 @@ fn pack_input_panel(
 /// across batches); the logical right operand `B(batch)` (`k × n`) is
 /// supplied panel-wise by `pack(batch, l0, l1, j, w, bpack)`. Each output
 /// row is computed by exactly one worker with the serial kernel, so the
-/// result is thread-count invariant.
+/// result is thread-count invariant. `per_row` runs once per finished row
+/// with the row's *global* item index (`batch · m + row`, so `idx % m`
+/// recovers the within-batch row and `idx · n` the element offset) — the
+/// hook bias folding and the fused quantization epilogues share.
 #[allow(clippy::type_complexity)]
 fn batched_gemm_shared_lhs(
     lhs: &[f32],
@@ -382,7 +385,7 @@ fn batched_gemm_shared_lhs(
                 &mut |l0, l1, j, w, wpad, bpack| pack(batch, l0, l1, j, w, wpad, bpack),
             );
             for r in 0..nrows {
-                per_row(r0 + r, &mut out_rows[r * n..(r + 1) * n]);
+                per_row(batch * m + r0 + r, &mut out_rows[r * n..(r + 1) * n]);
             }
             idx += nrows;
             off += nrows;
@@ -404,6 +407,26 @@ fn batched_gemm_shared_lhs(
 ///
 /// Panics on rank or channel-count mismatches.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    conv2d_fused(input, weight, bias, spec, None)
+}
+
+/// [`conv2d`] with an optional fused writeback epilogue: each output row
+/// (`oh·ow` elements of one `(batch, channel)` plane, global element offset
+/// `(batch·co + channel)·oh·ow`) is handed to the epilogue exactly once, in
+/// the same pass that folds the bias in, while it is still cache-hot.
+/// Quantized inference uses this to round (and activate) conv outputs as
+/// they are stored. See [`RowEpilogue`] for the determinism contract.
+///
+/// # Panics
+///
+/// Panics on rank or channel-count mismatches.
+pub fn conv2d_fused(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    epilogue: Option<RowEpilogue>,
+) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be NCHW");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [co, ci, kh, kw]");
     let (b, ci, h, w) = (
@@ -451,12 +474,15 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
                 spec,
             );
         },
-        |row, out_row| {
+        |idx, out_row| {
             if let Some(bd) = bias_data {
-                let bv = bd[row];
+                let bv = bd[idx % co];
                 for v in out_row.iter_mut() {
                     *v += bv;
                 }
+            }
+            if let Some(epi) = epilogue {
+                epi(idx * ncols, out_row);
             }
         },
     );
@@ -552,6 +578,7 @@ pub fn conv2d_backward_weight(input: &Tensor, grad: &Tensor, spec: Conv2dSpec) -
             ncols,
             rows,
             false,
+            None,
         );
     }
     acc.reshape([co, ci, spec.kh, spec.kw])

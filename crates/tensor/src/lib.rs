@@ -39,6 +39,7 @@ pub mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use linalg::RowEpilogue;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -10,6 +10,19 @@
 
 use crate::{parallel, Shape, Tensor};
 
+/// A fused writeback epilogue for the blocked kernels: called once per
+/// finished contiguous region of the output with `(offset, region)`, where
+/// `offset` is the region's global element offset into the output buffer.
+///
+/// The kernels guarantee every output element is passed to the epilogue
+/// exactly once, after its reduction is complete, by the worker that
+/// produced it — while the region is still cache-hot. An epilogue must
+/// derive anything stateful (e.g. stochastic rounding draws) from `offset`
+/// alone, never from call order, so results stay bit-identical for every
+/// thread count and tiling; quantized inference uses this to round
+/// activations as they are stored instead of in a second pass.
+pub type RowEpilogue<'a> = &'a (dyn Fn(usize, &mut [f32]) + Sync);
+
 /// Register-tile width (output columns held in accumulators at once).
 /// Four 16-lane vectors per row: each `a` broadcast feeds four FMAs,
 /// keeping the kernel FMA-bound instead of load-port-bound.
@@ -232,11 +245,14 @@ pub(crate) fn panel_scratch() -> Vec<f32> {
 }
 
 /// `out += a[m,k] × b[k,n]` (`out = a × b` when `store`), parallelized
-/// over contiguous row blocks.
+/// over contiguous row blocks, with an optional fused writeback epilogue
+/// applied to each worker's finished row block (offset `rows.start × n`).
 ///
 /// Each output row is produced by exactly one worker running
 /// [`gemm_serial`] on its block, so the result is bit-identical to the
-/// single-threaded product.
+/// single-threaded product — including the epilogue, which only ever sees
+/// completed rows and position-derived state.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     a: &[f32],
     b: &[f32],
@@ -245,6 +261,7 @@ pub(crate) fn gemm(
     k: usize,
     n: usize,
     store: bool,
+    epilogue: Option<RowEpilogue>,
 ) {
     if m == 0 || n == 0 {
         return;
@@ -255,6 +272,9 @@ pub(crate) fn gemm(
         let a_rows = &a[rows.start * k..rows.end * k];
         let mut scratch = panel_scratch();
         gemm_serial(a_rows, b, out_rows, rows.len(), k, n, store, &mut scratch);
+        if let Some(epi) = epilogue {
+            epi(rows.start * n, out_rows);
+        }
     });
 }
 
@@ -310,13 +330,21 @@ impl Tensor {
     /// # Ok::<(), qcn_tensor::TensorError>(())
     /// ```
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.matmul_fused(rhs, None)
+    }
+
+    /// [`Tensor::matmul`] with an optional fused writeback epilogue: each
+    /// finished block of output rows is handed to `epilogue` exactly once,
+    /// cache-hot, before the product returns. See [`RowEpilogue`] for the
+    /// determinism contract.
+    pub fn matmul_fused(&self, rhs: &Tensor, epilogue: Option<RowEpilogue>) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
         assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2, got {}", rhs.shape());
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        gemm(self.data(), rhs.data(), &mut out, m, k, n, true);
+        gemm(self.data(), rhs.data(), &mut out, m, k, n, true, epilogue);
         Tensor::from_vec(out, [m, n]).expect("matmul output shape is consistent")
     }
 
@@ -329,6 +357,13 @@ impl Tensor {
     /// Panics when either operand is not rank 3, the batch sizes differ, or
     /// the inner dimensions disagree.
     pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        self.bmm_fused(rhs, None)
+    }
+
+    /// [`Tensor::bmm`] with an optional fused writeback epilogue, applied
+    /// to each finished batch product (offset `batch × m × n`) while it is
+    /// still cache-hot. See [`RowEpilogue`] for the determinism contract.
+    pub fn bmm_fused(&self, rhs: &Tensor, epilogue: Option<RowEpilogue>) -> Tensor {
         assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
         assert_eq!(rhs.rank(), 3, "bmm rhs must be rank 3, got {}", rhs.shape());
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
@@ -343,16 +378,20 @@ impl Tensor {
             parallel::par_split_mut(&mut out, m * n, 1, |batches, out_block| {
                 let mut scratch = panel_scratch();
                 for (off, batch) in batches.clone().enumerate() {
+                    let block = &mut out_block[off * m * n..(off + 1) * m * n];
                     gemm_serial(
                         &lhs_data[batch * m * k..(batch + 1) * m * k],
                         &rhs_data[batch * k * n..(batch + 1) * k * n],
-                        &mut out_block[off * m * n..(off + 1) * m * n],
+                        block,
                         m,
                         k,
                         n,
                         true,
                         &mut scratch,
                     );
+                    if let Some(epi) = epilogue {
+                        epi(batch * m * n, block);
+                    }
                 }
             });
         }

@@ -1,0 +1,282 @@
+//! Bit-identity of the fused quantization epilogues (paper Fig. 9's Qa /
+//! Qw / Q_DR rounding points executed inside the blocked kernels) against
+//! the reference round-after-compute composition.
+//!
+//! The contract under test: for every rounding scheme — including
+//! stochastic rounding, whose draw stream is keyed by global element
+//! position — a kernel with a [`FusedQuant`] writeback epilogue produces
+//! exactly the bytes of the unfused kernel followed by a sequential
+//! whole-tensor rounding pass, for every thread count.
+
+use proptest::prelude::*;
+use qcn_repro::capsnet::layers::{
+    caps_votes_infer, caps_votes_infer_fused, Activation, CapsFc, Conv2dLayer, PrimaryCaps,
+};
+use qcn_repro::capsnet::{LayerQuant, QuantCtx};
+use qcn_repro::fixed::{FusedQuant, QFormat, Quantizer, RoundingScheme};
+use qcn_repro::tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
+use qcn_repro::tensor::parallel::with_threads;
+use qcn_repro::tensor::reduce::expand_to;
+use qcn_repro::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCHEMES: [RoundingScheme; 4] = [
+    RoundingScheme::Truncation,
+    RoundingScheme::RoundToNearest,
+    RoundingScheme::RoundToNearestEven,
+    RoundingScheme::Stochastic,
+];
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn any_scheme() -> impl Strategy<Value = RoundingScheme> {
+    prop_oneof![
+        Just(RoundingScheme::Truncation),
+        Just(RoundingScheme::RoundToNearest),
+        Just(RoundingScheme::RoundToNearestEven),
+        Just(RoundingScheme::Stochastic),
+    ]
+}
+
+fn fused(frac: u8, scheme: RoundingScheme, base: u64) -> FusedQuant {
+    FusedQuant::new(Quantizer::new(QFormat::with_frac(frac), scheme), base)
+}
+
+/// Reference: compute unfused, then round the whole tensor in one
+/// sequential pass with the *same* position-keyed stream.
+fn round_after(t: &Tensor, fq: &FusedQuant) -> Tensor {
+    let mut out = t.clone();
+    fq.quantize_inplace(&mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// matmul with a fused rounding epilogue ≡ matmul then round, bitwise,
+    /// across schemes and thread counts (row blocks land on different
+    /// workers at different thread counts).
+    #[test]
+    fn matmul_fused_bit_identical_to_round_after(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..80,
+        frac in 1u8..12,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let fq = fused(frac, scheme, seed ^ 0xABCD);
+        let reference = round_after(&a.matmul(&b), &fq);
+        for t in THREADS {
+            let got = with_threads(t, || {
+                let epi = |off: usize, row: &mut [f32]| fq.apply(off, row);
+                a.matmul_fused(&b, Some(&epi))
+            });
+            prop_assert_eq!(got.data(), reference.data(), "{:?}, {} threads", scheme, t);
+        }
+    }
+
+    /// conv2d with a fused rounding epilogue (bias + rounding in the
+    /// writeback hook) ≡ conv2d then round, bitwise.
+    #[test]
+    fn conv2d_fused_bit_identical_to_round_after(
+        b in 1usize..3,
+        ci in 1usize..4,
+        co in 1usize..6,
+        hw in 4usize..9,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        frac in 1u8..12,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let spec = Conv2dSpec::new(3, 3, stride, pad);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform([b, ci, hw, hw], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([co, ci, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = Tensor::rand_uniform([co], -0.25, 0.25, &mut rng);
+        let fq = fused(frac, scheme, seed ^ 0x1234);
+        let reference = round_after(&conv2d(&x, &w, Some(&bias), spec), &fq);
+        for t in THREADS {
+            let got = with_threads(t, || {
+                let epi = |off: usize, row: &mut [f32]| fq.apply(off, row);
+                conv2d_fused(&x, &w, Some(&bias), spec, Some(&epi))
+            });
+            prop_assert_eq!(got.data(), reference.data(), "{:?}, {} threads", scheme, t);
+        }
+    }
+
+    /// Capsule votes û with the fused Q_DR epilogue ≡ votes then round,
+    /// bitwise (each (batch, capsule) panel is rounded by its worker).
+    #[test]
+    fn caps_votes_fused_bit_identical_to_round_after(
+        b in 1usize..3,
+        ni in 1usize..12,
+        di in 1usize..5,
+        nj in 1usize..6,
+        dj in 1usize..6,
+        frac in 1u8..12,
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = Tensor::rand_uniform([b, ni, di], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([ni, nj, di, dj], -1.0, 1.0, &mut rng);
+        let fq = fused(frac, scheme, seed ^ 0x77);
+        let reference = round_after(&caps_votes_infer(&u, &w), &fq);
+        for t in THREADS {
+            let got = with_threads(t, || caps_votes_infer_fused(&u, &w, Some(&fq)));
+            prop_assert_eq!(got.data(), reference.data(), "{:?}, {} threads", scheme, t);
+        }
+    }
+}
+
+/// A ShallowCaps-shaped stack (conv stem → PrimaryCaps → CapsFc) built from
+/// the public layer types, with every quantization point active.
+struct Stack {
+    conv: Conv2dLayer,
+    primary: PrimaryCaps,
+    capsfc: CapsFc,
+    lq: LayerQuant,
+}
+
+impl Stack {
+    fn new(scheme: RoundingScheme) -> Self {
+        let mut rng = StdRng::seed_from_u64(7);
+        let conv = Conv2dLayer::new(1, 6, Conv2dSpec::new(3, 3, 1, 1), Activation::BoundedRelu, &mut rng);
+        let primary = PrimaryCaps::new(6, 2, 4, Conv2dSpec::new(3, 3, 2, 0), &mut rng);
+        // 12×12 input → conv (s1 p1) 12×12 → primary (s2 p0) 5×5 → 50 caps.
+        let capsfc = CapsFc::new(50, 4, 5, 6, 3, &mut rng);
+        let lq = LayerQuant {
+            weight_frac: Some(8),
+            act_frac: Some(6),
+            dr_frac: Some(5),
+        };
+        let mut stack = Stack { conv, primary, capsfc, lq };
+        let mut wctx = QuantCtx::new(scheme, 3);
+        stack.conv.quantize_weights(stack.lq.weight_frac, &mut wctx);
+        stack.primary.quantize_weights(stack.lq.weight_frac, &mut wctx);
+        stack.capsfc.quantize_weights(stack.lq.weight_frac, &mut wctx);
+        stack
+    }
+
+    fn infer(&self, x: &Tensor, scheme: RoundingScheme, seed: u64) -> Tensor {
+        let mut ctx = QuantCtx::new(scheme, seed);
+        let y = self.conv.infer(x, &self.lq, &mut ctx);
+        let y = self.primary.infer(&y, &self.lq, &mut ctx);
+        self.capsfc.infer(&y, &self.lq, &mut ctx)
+    }
+}
+
+fn batch() -> Tensor {
+    let mut rng = StdRng::seed_from_u64(99);
+    Tensor::rand_uniform([3, 1, 12, 12], 0.0, 1.0, &mut rng)
+}
+
+/// Rounds with a deterministic scheme (no stream needed).
+fn roundq(t: &Tensor, frac: Option<u8>, scheme: RoundingScheme) -> Tensor {
+    match frac {
+        Some(f) => round_after(t, &fused(f, scheme, 0)),
+        None => t.clone(),
+    }
+}
+
+/// Full quantized forward pass through the fused layer paths ≡ the unfused
+/// tensor-op composition of paper Fig. 9, bitwise, for every deterministic
+/// scheme. This pins the fused conv epilogue, the fused squash, the fused
+/// vote epilogue, and the fused routing accumulators all at once.
+#[test]
+fn quantized_stack_matches_tensor_op_reference() {
+    let x = batch();
+    for scheme in [
+        RoundingScheme::Truncation,
+        RoundingScheme::RoundToNearest,
+        RoundingScheme::RoundToNearestEven,
+    ] {
+        let stack = Stack::new(scheme);
+        let lq = stack.lq;
+        let (wq, aq, dr) = (lq.weight_frac, lq.act_frac, lq.effective_dr_frac());
+
+        // Reference: round-after-compute at every Fig. 9 point, using only
+        // unfused public tensor ops.
+        let conv_w = stack.conv.params()[0].clone();
+        let conv_b = stack.conv.params()[1].clone();
+        assert_eq!(&roundq(&conv_w, wq, scheme), &conv_w, "weights already on grid");
+        let y = conv2d(&x, &conv_w, Some(&conv_b), Conv2dSpec::new(3, 3, 1, 1));
+        let y = roundq(&y.map(|v| v.clamp(0.0, 1.0)), aq, scheme);
+
+        let prim_w = stack.primary.params()[0].clone();
+        let prim_b = stack.primary.params()[1].clone();
+        let y2 = conv2d(&y, &prim_w, Some(&prim_b), Conv2dSpec::new(3, 3, 2, 0));
+        let caps = y2
+            .reshape([3, 2, 4, 25])
+            .unwrap()
+            .permute(&[0, 1, 3, 2])
+            .reshape([3, 50, 4])
+            .unwrap();
+        let caps = roundq(&caps.squash_axis(2), aq, scheme);
+
+        let fc_w = stack.capsfc.params()[0].clone();
+        let votes = roundq(&caps_votes_infer(&caps, &fc_w), dr, scheme)
+            .reshape([3, 50, 5, 6, 1])
+            .unwrap();
+        let mut logits = Tensor::zeros([3, 50, 5, 1, 1]);
+        let mut v = Tensor::zeros([3, 1, 5, 6, 1]);
+        for iter in 0..3 {
+            let c = roundq(&logits.softmax_axis(2), dr, scheme);
+            let weighted = &votes * &expand_to(&c, votes.shape());
+            let s = roundq(&weighted.sum_axis_keepdim(1), dr, scheme);
+            let last = iter == 2;
+            v = roundq(&s.squash_axis(3), if last { aq } else { dr }, scheme);
+            if !last {
+                let prod = &votes * &expand_to(&v, votes.shape());
+                let agreement = roundq(&prod.sum_axis_keepdim(3), dr, scheme);
+                logits = roundq(&(&logits + &agreement), dr, scheme);
+            }
+        }
+        let reference = v.reshape([3, 5, 6]).unwrap();
+
+        for t in THREADS {
+            let got = with_threads(t, || stack.infer(&x, scheme, 42));
+            assert_eq!(got.data(), reference.data(), "{scheme:?}, {t} threads");
+        }
+    }
+}
+
+/// Stochastic rounding through the fused stack: bit-identical for every
+/// thread count and reproducible from the seed — the determinism contract
+/// of the position-keyed epilogue streams at model scale.
+#[test]
+fn stochastic_stack_is_thread_invariant_and_seed_deterministic() {
+    let x = batch();
+    let stack = Stack::new(RoundingScheme::Stochastic);
+    let serial = with_threads(1, || stack.infer(&x, RoundingScheme::Stochastic, 42));
+    for t in [2, 7] {
+        let par = with_threads(t, || stack.infer(&x, RoundingScheme::Stochastic, 42));
+        assert_eq!(par.data(), serial.data(), "{t} threads");
+    }
+    let again = stack.infer(&x, RoundingScheme::Stochastic, 42);
+    assert_eq!(again.data(), serial.data(), "same seed must reproduce");
+    let other = stack.infer(&x, RoundingScheme::Stochastic, 43);
+    assert_ne!(other.data(), serial.data(), "different seed must differ");
+}
+
+/// Every scheme's fused stack output lands on the Qa grid — the stored-as-
+/// rounded property the epilogues exist to guarantee.
+#[test]
+fn fused_stack_output_is_on_the_activation_grid() {
+    let x = batch();
+    let format = QFormat::with_frac(6);
+    for scheme in SCHEMES {
+        let stack = Stack::new(scheme);
+        let out = stack.infer(&x, scheme, 11);
+        assert!(
+            out.data().iter().all(|&v| format.is_representable(v)),
+            "{scheme:?} output off the Q1.6 grid"
+        );
+    }
+}
