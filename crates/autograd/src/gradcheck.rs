@@ -28,11 +28,7 @@ use qcn_tensor::Tensor;
 /// assert!(err < 1e-2);
 /// # Ok::<(), qcn_tensor::TensorError>(())
 /// ```
-pub fn max_grad_error(
-    input: &Tensor,
-    step: f32,
-    build: impl Fn(&mut Graph, Var) -> Var,
-) -> f32 {
+pub fn max_grad_error(input: &Tensor, step: f32, build: impl Fn(&mut Graph, Var) -> Var) -> f32 {
     // Analytic gradient.
     let mut g = Graph::new();
     let v = g.input(input.clone());

@@ -338,10 +338,7 @@ impl Graph {
     /// Panics when the range exceeds the axis extent.
     pub fn slice_axis(&mut self, input: Var, axis: usize, start: usize, len: usize) -> Var {
         let value = slice_axis_forward(self.value(input), axis, start, len);
-        self.push(
-            value,
-            Op::SliceAxis { input, axis, start },
-        )
+        self.push(value, Op::SliceAxis { input, axis, start })
     }
 
     /// Concatenates tensors along `axis`.
@@ -406,8 +403,14 @@ impl Graph {
                 (*b, Tensor::reduce_to_shape(&-grad, &shape_of(*b))),
             ],
             Op::Mul(a, b) => vec![
-                (*a, Tensor::reduce_to_shape(&(grad * val(*b)), &shape_of(*a))),
-                (*b, Tensor::reduce_to_shape(&(grad * val(*a)), &shape_of(*b))),
+                (
+                    *a,
+                    Tensor::reduce_to_shape(&(grad * val(*b)), &shape_of(*a)),
+                ),
+                (
+                    *b,
+                    Tensor::reduce_to_shape(&(grad * val(*a)), &shape_of(*b)),
+                ),
             ],
             Op::Neg(a) => vec![(*a, -grad)],
             Op::ScalarMul(a, c) => vec![(*a, grad * *c)],

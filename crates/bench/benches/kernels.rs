@@ -90,6 +90,7 @@ fn bench_dynamic_routing(c: &mut Criterion) {
         weight_frac: Some(6),
         act_frac: Some(6),
         dr_frac: Some(3),
+        ..LayerQuant::full_precision()
     };
     c.bench_function("caps_fc routing fp32 (3 iters)", |b| {
         b.iter_batched(

@@ -54,14 +54,21 @@ fn main() {
     };
 
     // Stage 1: uniform width everywhere (traditional DNN quantization).
-    let (uniform, frac) =
-        binary_search_uniform(&mut eval, &fp, ParamDomain::Both, 23, target);
-    show(&format!("1. uniform (step 1): {frac} frac bits"), &uniform, &mut eval);
+    let (uniform, frac) = binary_search_uniform(&mut eval, &fp, ParamDomain::Both, 23, target);
+    show(
+        &format!("1. uniform (step 1): {frac} frac bits"),
+        &uniform,
+        &mut eval,
+    );
 
     // Stage 2: decreasing weight profile (Eq. 6 at the memory this
     // uniform solution uses; emulated by Algorithm 2 on weights).
     let weights_lw = layerwise(&mut eval, &uniform, ParamDomain::Weights, target);
-    show("2. + layer-wise weights (Eq. 6 direction)", &weights_lw, &mut eval);
+    show(
+        "2. + layer-wise weights (Eq. 6 direction)",
+        &weights_lw,
+        &mut eval,
+    );
 
     // Stage 3: layer-wise activations.
     let acts_lw = layerwise(&mut eval, &weights_lw, ParamDomain::Activations, target);
@@ -69,7 +76,11 @@ fn main() {
 
     // Stage 4: dynamic-routing specialisation.
     let full = dr_quant(&mut eval, &acts_lw, target);
-    show("4. + DR quantization (step 4A, full framework)", &full, &mut eval);
+    show(
+        "4. + DR quantization (step 4A, full framework)",
+        &full,
+        &mut eval,
+    );
 
     // Stage 5: the paper's Algorithm-1 ordering from the same weight
     // budget — Eq. 6 structured profile first, then activations with only
@@ -89,7 +100,11 @@ fn main() {
         },
     );
     if let qcapsnets::Outcome::Satisfied(r) = &paper.outcome {
-        show("5. Algorithm-1 ordering at the same budget", &r.config, &mut eval);
+        show(
+            "5. Algorithm-1 ordering at the same budget",
+            &r.config,
+            &mut eval,
+        );
         let describe = |c: &ModelQuant| {
             c.layers
                 .iter()

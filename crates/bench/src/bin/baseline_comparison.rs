@@ -23,12 +23,8 @@ fn main() {
     );
     // Baseline at a few SQNR operating points.
     for sqnr in [20.0f32, 30.0, 40.0] {
-        let config = statistical_quantization(
-            &pair.model,
-            sqnr,
-            16,
-            RoundingScheme::RoundToNearest,
-        );
+        let config =
+            statistical_quantization(&pair.model, sqnr, 16, RoundingScheme::RoundToNearest);
         let qmodel = pair.model.with_quantized_weights(&config);
         let acc = accuracy(&qmodel, &pair.test_set, &config, 50);
         println!(

@@ -8,9 +8,16 @@
 //! argument). The checked-in copy of that file documents the measured
 //! speedups quoted in `docs/performance.md`.
 
+use qcapsnets::export::pack_model;
 use qcn_capsnet::layers::{caps_votes_infer, caps_votes_infer_fused, CapsFc};
-use qcn_capsnet::{LayerQuant, QuantCtx};
+use qcn_capsnet::{
+    CapsNet, DeepCaps, DeepCapsConfig, LayerQuant, ModelQuant, QuantCtx, ShallowCaps,
+    ShallowCapsConfig,
+};
 use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
+use qcn_hwmodel::archstats;
+use qcn_hwmodel::latency::Accelerator;
+use qcn_intinfer::{IntModel, UnitMode};
 use qcn_tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
 use qcn_tensor::parallel::{current_threads, with_threads};
 use qcn_tensor::Tensor;
@@ -76,6 +83,58 @@ struct FusedEntry {
     name: &'static str,
     round_after_ms: f64,
     fused_ms: f64,
+}
+
+/// A full-network comparison of the three execution paths for one packed
+/// model: the fake-quant f32 reference, the integer engine with
+/// float-exact units (bit-identical by construction — `bit_exact` records
+/// the measured check), and the pure-integer engine. `capsacc_latency_us`
+/// is the CapsAcc analytical latency of the architecture from the
+/// hardware model, tying the software timings to the accelerator the
+/// wordlength blob targets.
+struct IntInferEntry {
+    name: String,
+    fake_quant_ms: f64,
+    float_exact_ms: f64,
+    integer_ms: f64,
+    bit_exact: bool,
+    capsacc_latency_us: f64,
+}
+
+/// Times one model through the three paths under `config` (RTN so timing
+/// excludes RNG cost differences) on an on-grid input batch.
+fn int_infer_entry<M: CapsNet>(
+    name: String,
+    model: &M,
+    desc: &qcn_capsnet::descriptor::ModelDesc,
+    config: &ModelQuant,
+    x: &Tensor,
+    in_frac: u8,
+    capsacc_latency_us: f64,
+) -> IntInferEntry {
+    let qmodel = model.with_quantized_weights(config);
+    let engine = IntModel::load(desc, &pack_model(model, config)).expect("config fully quantized");
+    let mut ctx = QuantCtx::from_config(config);
+    let want = qmodel.infer(x, config, &mut ctx);
+    let got = engine.infer(x, in_frac, UnitMode::FloatExact);
+    let fake_quant_ms = measure(|| {
+        let mut ctx = QuantCtx::from_config(config);
+        black_box(qmodel.infer(black_box(x), config, &mut ctx));
+    });
+    let float_exact_ms = measure(|| {
+        black_box(engine.infer(black_box(x), in_frac, UnitMode::FloatExact));
+    });
+    let integer_ms = measure(|| {
+        black_box(engine.infer(black_box(x), in_frac, UnitMode::Integer));
+    });
+    IntInferEntry {
+        name,
+        fake_quant_ms,
+        float_exact_ms,
+        integer_ms,
+        bit_exact: got.data() == want.data(),
+        capsacc_latency_us,
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -157,7 +216,12 @@ fn main() {
         },
         {
             let (s, p) = pair(&|| {
-                black_box(conv2d(black_box(&conv_in), black_box(&conv_w), Some(&conv_b), spec));
+                black_box(conv2d(
+                    black_box(&conv_in),
+                    black_box(&conv_w),
+                    Some(&conv_b),
+                    spec,
+                ));
             });
             Entry {
                 name: "conv2d 8x16x16x16 -> 32ch 3x3",
@@ -191,6 +255,7 @@ fn main() {
                 weight_frac: Some(8),
                 act_frac: Some(6),
                 dr_frac: Some(5),
+                ..LayerQuant::full_precision()
             };
             let (s, p) = pair(&|| {
                 let mut ctx = QuantCtx::new(RoundingScheme::Stochastic, 0);
@@ -215,60 +280,110 @@ fn main() {
             *v = scheme.round(*v, q6, &mut rng);
         }
     };
-    let fused_entries: Vec<FusedEntry> = [
-        RoundingScheme::RoundToNearest,
-        RoundingScheme::Stochastic,
-    ]
-    .iter()
-    .flat_map(|&scheme| {
-        let fq = Quantizer::new(q6, scheme).fused(0x5EED);
-        let conv_ra = measure(|| {
-            let mut out = conv2d(black_box(&conv_in), black_box(&conv_w), Some(&conv_b), spec);
-            round_after(&mut out, scheme);
-            black_box(out);
-        });
-        let conv_fused = measure(|| {
-            let epi = |off: usize, row: &mut [f32]| fq.apply(off, row);
-            black_box(conv2d_fused(
-                black_box(&conv_in),
-                black_box(&conv_w),
-                Some(&conv_b),
-                spec,
-                Some(&epi),
-            ));
-        });
-        let votes_ra = measure(|| {
-            let mut out = caps_votes_infer(black_box(&votes_in), black_box(&votes_w));
-            round_after(&mut out, scheme);
-            black_box(out);
-        });
-        let votes_fused = measure(|| {
-            black_box(caps_votes_infer_fused(
-                black_box(&votes_in),
-                black_box(&votes_w),
-                Some(&fq),
-            ));
-        });
-        [
-            FusedEntry {
-                name: match scheme {
-                    RoundingScheme::RoundToNearest => "conv2d 8x16x16x16 -> 32ch 3x3 + Qa RTN",
-                    _ => "conv2d 8x16x16x16 -> 32ch 3x3 + Qa SR",
-                },
-                round_after_ms: conv_ra,
-                fused_ms: conv_fused,
-            },
-            FusedEntry {
-                name: match scheme {
-                    RoundingScheme::RoundToNearest => "caps_votes 16x128x4 -> 10x8 + Q_DR RTN",
-                    _ => "caps_votes 16x128x4 -> 10x8 + Q_DR SR",
-                },
-                round_after_ms: votes_ra,
-                fused_ms: votes_fused,
-            },
+    let fused_entries: Vec<FusedEntry> =
+        [RoundingScheme::RoundToNearest, RoundingScheme::Stochastic]
+            .iter()
+            .flat_map(|&scheme| {
+                let fq = Quantizer::new(q6, scheme).fused(0x5EED);
+                let conv_ra = measure(|| {
+                    let mut out =
+                        conv2d(black_box(&conv_in), black_box(&conv_w), Some(&conv_b), spec);
+                    round_after(&mut out, scheme);
+                    black_box(out);
+                });
+                let conv_fused = measure(|| {
+                    let epi = |off: usize, row: &mut [f32]| fq.apply(off, row);
+                    black_box(conv2d_fused(
+                        black_box(&conv_in),
+                        black_box(&conv_w),
+                        Some(&conv_b),
+                        spec,
+                        Some(&epi),
+                    ));
+                });
+                let votes_ra = measure(|| {
+                    let mut out = caps_votes_infer(black_box(&votes_in), black_box(&votes_w));
+                    round_after(&mut out, scheme);
+                    black_box(out);
+                });
+                let votes_fused = measure(|| {
+                    black_box(caps_votes_infer_fused(
+                        black_box(&votes_in),
+                        black_box(&votes_w),
+                        Some(&fq),
+                    ));
+                });
+                [
+                    FusedEntry {
+                        name: match scheme {
+                            RoundingScheme::RoundToNearest => {
+                                "conv2d 8x16x16x16 -> 32ch 3x3 + Qa RTN"
+                            }
+                            _ => "conv2d 8x16x16x16 -> 32ch 3x3 + Qa SR",
+                        },
+                        round_after_ms: conv_ra,
+                        fused_ms: conv_fused,
+                    },
+                    FusedEntry {
+                        name: match scheme {
+                            RoundingScheme::RoundToNearest => {
+                                "caps_votes 16x128x4 -> 10x8 + Q_DR RTN"
+                            }
+                            _ => "caps_votes 16x128x4 -> 10x8 + Q_DR SR",
+                        },
+                        round_after_ms: votes_ra,
+                        fused_ms: votes_fused,
+                    },
+                ]
+            })
+            .collect();
+
+    // Whole-network integer inference vs the fake-quant reference, on the
+    // CPU-scale model variants the integration suites train. Inputs are
+    // snapped to the Q1.5 deployment grid so the two paths see identical
+    // operands.
+    let grid_input = |dims: [usize; 4], seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tensor::rand_uniform(dims, 0.0, 1.0, &mut rng);
+        for v in t.data_mut() {
+            *v = (*v * 32.0).round() / 32.0;
+        }
+        t
+    };
+    let int_entries: Vec<IntInferEntry> = {
+        let shallow = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+        let mut sconfig = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+        for lq in &mut sconfig.layers {
+            lq.dr_frac = Some(4);
+        }
+        let deep = DeepCaps::new(DeepCapsConfig::small(1), 9);
+        let mut dconfig = ModelQuant::uniform(4, 5, RoundingScheme::RoundToNearest);
+        for lq in &mut dconfig.layers {
+            lq.dr_frac = Some(4);
+            lq.stream_frac = Some(5);
+        }
+        let capsacc = Accelerator::capsacc();
+        vec![
+            int_infer_entry(
+                "ShallowCaps-S b8 uniform Q1.5 / dr Q1.4".to_string(),
+                &shallow,
+                &shallow.descriptor(),
+                &sconfig,
+                &grid_input([8, 1, 16, 16], 7),
+                5,
+                capsacc.latency_us(&archstats::shallow_caps()),
+            ),
+            int_infer_entry(
+                "DeepCaps-S b4 uniform Q1.5 / dr Q1.4 / stream Q1.5".to_string(),
+                &deep,
+                &deep.descriptor(),
+                &dconfig,
+                &grid_input([4, 1, 16, 16], 8),
+                5,
+                capsacc.latency_us(&archstats::deep_caps(1)),
+            ),
         ]
-    })
-    .collect();
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -285,10 +400,12 @@ fn main() {
         let seed = seed_ms
             .iter()
             .find(|(name, _)| name == e.name)
-            .map(|&(_, ms)| format!(
-                ", \"seed_ms\": {ms:.4}, \"speedup_vs_seed\": {:.2}",
-                ms / e.parallel_ms.min(e.serial_ms)
-            ))
+            .map(|&(_, ms)| {
+                format!(
+                    ", \"seed_ms\": {ms:.4}, \"speedup_vs_seed\": {:.2}",
+                    ms / e.parallel_ms.min(e.serial_ms)
+                )
+            })
             .unwrap_or_default();
         json.push_str(&format!(
             "    {{ \"name\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"speedup\": {:.2}{seed} }}{}\n",
@@ -309,6 +426,20 @@ fn main() {
             e.fused_ms,
             e.round_after_ms / e.fused_ms,
             if i + 1 < fused_entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"integer_inference\": [\n");
+    for (i, e) in int_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"fake_quant_ms\": {:.4}, \"float_exact_ms\": {:.4}, \"integer_ms\": {:.4}, \"bit_exact\": {}, \"capsacc_latency_us\": {:.2} }}{}\n",
+            json_escape(&e.name),
+            e.fake_quant_ms,
+            e.float_exact_ms,
+            e.integer_ms,
+            e.bit_exact,
+            e.capsacc_latency_us,
+            if i + 1 < int_entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

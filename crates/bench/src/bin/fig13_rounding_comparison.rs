@@ -20,7 +20,10 @@ fn main() {
         let pair = zoo::shallow(kind, epochs::SHALLOW);
         let groups = pair.model.groups();
         let total_w: u64 = groups.iter().map(|g| g.weight_count as u64).sum();
-        println!("\n== Fig. 13: rounding schemes on {} ==\n", pair.dataset_name);
+        println!(
+            "\n== Fig. 13: rounding schemes on {} ==\n",
+            pair.dataset_name
+        );
         println!(
             "{:>16} {:>10} {:>10} {:>10}",
             "budget (b/wt)", "TRN acc", "RTN acc", "SR acc"

@@ -8,7 +8,10 @@ use qcn_hwmodel::HwUnit;
 
 fn main() {
     println!("== Fig. 2: fixed-point MAC unit cost vs wordlength ==\n");
-    println!("{:>10} {:>14} {:>14}", "wordlength", "energy (pJ)", "area (µm²)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "wordlength", "energy (pJ)", "area (µm²)"
+    );
     let mac = HwUnit::mac();
     for bits in (4..=32u8).step_by(4) {
         println!(

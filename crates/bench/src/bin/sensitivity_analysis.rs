@@ -49,12 +49,16 @@ fn main() {
         println!(
             "  {}: {} ({} weights)",
             g.name,
-            f.map_or("never (≥0 bits fine)".to_string(), |b| format!("{b} frac bits")),
+            f.map_or("never (≥0 bits fine)".to_string(), |b| format!(
+                "{b} frac bits"
+            )),
             g.weight_count
         );
     }
-    println!("\nEq. 6 context: the output layer holds {}x the weights of L1, so the",
-        groups.last().unwrap().weight_count / groups[0].weight_count.max(1));
+    println!(
+        "\nEq. 6 context: the output layer holds {}x the weights of L1, so the",
+        groups.last().unwrap().weight_count / groups[0].weight_count.max(1)
+    );
     println!("budget rule assigns it the narrowest words — the sweep above shows the");
     println!("accuracy cost of that choice for each layer in isolation.");
 }

@@ -64,7 +64,11 @@ fn main() {
         }
     }
     // DeepCaps rows.
-    for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+    for kind in [
+        SynthKind::Mnist,
+        SynthKind::FashionMnist,
+        SynthKind::Cifar10,
+    ] {
         let pair = zoo::deep(kind, epochs::DEEP);
         for budget_div in [5u64, 8] {
             cell(&pair.model, &pair.test_set, &pair.dataset_name, budget_div);

@@ -171,7 +171,11 @@ mod tests {
         let pvars: Vec<_> = d.params().iter().map(|p| g.input((*p).clone())).collect();
         let out = d.forward(&mut g, cv, &labels, &pvars);
         assert_eq!(g.value(out).dims(), &[3, 256]);
-        assert!(g.value(out).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(g
+            .value(out)
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -230,7 +234,11 @@ mod tests {
         // Gradient reaches only the labelled capsules.
         let gc = g.grad(cv).unwrap();
         assert!(gc.get(&[0, 2, 0]).abs() + gc.get(&[0, 2, 1]).abs() > 0.0);
-        assert_eq!(gc.get(&[0, 3, 0]), 0.0, "unlabelled capsule must have zero grad");
+        assert_eq!(
+            gc.get(&[0, 3, 0]),
+            0.0,
+            "unlabelled capsule must have zero grad"
+        );
     }
 
     #[test]

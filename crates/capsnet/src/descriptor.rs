@@ -1,0 +1,424 @@
+//! Structural descriptors of the model zoo for external backends.
+//!
+//! The layer structs keep their tensors and geometry private; an execution
+//! backend that consumes exported weight blobs (such as the integer engine
+//! in `qcn-intinfer`) still needs the exact shapes, convolution specs and
+//! parameter registration order of every quantization group. This module
+//! exposes that structure as plain data: [`ShallowCaps::descriptor`] and
+//! [`DeepCaps::descriptor`] produce a [`ModelDesc`] whose per-group
+//! [`LayerDesc`]s list each parameter tensor's shape in the same order the
+//! models register (and `qcapsnets::export` packs) them.
+
+use crate::layers::Activation;
+use crate::models::{DeepCaps, ShallowCaps};
+use qcn_tensor::conv::Conv2dSpec;
+
+/// Geometry of one primitive layer, sufficient to re-execute it from raw
+/// parameter blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerDesc {
+    /// Plain convolution + activation (the conv stem).
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Convolution geometry.
+        spec: Conv2dSpec,
+        /// Post-conv activation.
+        activation: Activation,
+    },
+    /// PrimaryCaps: conv → capsule grouping → squash, emitting a capsule
+    /// list `[b, types·oh·ow, dim]`.
+    PrimaryCaps {
+        /// Input channels.
+        in_channels: usize,
+        /// Capsule types.
+        types: usize,
+        /// Capsule dimensionality.
+        dim: usize,
+        /// Convolution geometry.
+        spec: Conv2dSpec,
+    },
+    /// DeepCaps ConvCaps: conv over the packed `types·dim` layout, with an
+    /// optional squash over the capsule dimension.
+    ConvCaps {
+        /// Packed input channels (`in_types · in_dim`).
+        in_channels: usize,
+        /// Output capsule types.
+        types: usize,
+        /// Output capsule dimensionality.
+        dim: usize,
+        /// Convolution geometry.
+        spec: Conv2dSpec,
+        /// Whether the layer squashes its output (skipped when the output
+        /// is summed with a parallel branch and squashed afterwards).
+        squash: bool,
+    },
+    /// DeepCaps routing skip layer: per-input-type vote convolutions
+    /// followed by dynamic routing across input types.
+    ConvCapsRouting {
+        /// Input capsule types.
+        in_types: usize,
+        /// Input capsule dimensionality.
+        in_dim: usize,
+        /// Output capsule types.
+        out_types: usize,
+        /// Output capsule dimensionality.
+        out_dim: usize,
+        /// Convolution geometry of the per-type vote convs.
+        spec: Conv2dSpec,
+        /// Dynamic-routing iterations.
+        iters: usize,
+    },
+    /// Fully-connected capsule layer with dynamic routing (DigitCaps).
+    CapsFc {
+        /// Input capsule count.
+        in_caps: usize,
+        /// Input capsule dimensionality.
+        in_dim: usize,
+        /// Output capsule count.
+        out_caps: usize,
+        /// Output capsule dimensionality.
+        out_dim: usize,
+        /// Dynamic-routing iterations.
+        iters: usize,
+    },
+}
+
+impl LayerDesc {
+    /// Shapes of this layer's parameter tensors, in registration order
+    /// (the order `CapsNet::params` returns and `qcapsnets::export` packs).
+    pub fn param_shapes(&self) -> Vec<Vec<usize>> {
+        match *self {
+            LayerDesc::Conv2d {
+                in_channels,
+                out_channels,
+                spec,
+                ..
+            } => vec![
+                vec![out_channels, in_channels, spec.kh, spec.kw],
+                vec![out_channels],
+            ],
+            LayerDesc::PrimaryCaps {
+                in_channels,
+                types,
+                dim,
+                spec,
+            } => vec![
+                vec![types * dim, in_channels, spec.kh, spec.kw],
+                vec![types * dim],
+            ],
+            LayerDesc::ConvCaps {
+                in_channels,
+                types,
+                dim,
+                spec,
+                ..
+            } => vec![
+                vec![types * dim, in_channels, spec.kh, spec.kw],
+                vec![types * dim],
+            ],
+            LayerDesc::ConvCapsRouting {
+                in_types,
+                in_dim,
+                out_types,
+                out_dim,
+                spec,
+                ..
+            } => vec![vec![
+                in_types,
+                out_types * out_dim,
+                in_dim,
+                spec.kh,
+                spec.kw,
+            ]],
+            LayerDesc::CapsFc {
+                in_caps,
+                in_dim,
+                out_caps,
+                out_dim,
+                ..
+            } => vec![vec![in_caps, out_caps, in_dim, out_dim]],
+        }
+    }
+
+    /// Total stored weights of this layer.
+    pub fn weight_count(&self) -> usize {
+        self.param_shapes()
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .sum()
+    }
+}
+
+/// One DeepCaps residual block: `out = squash(main2(main1(x)) + skip(x))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDesc {
+    /// First main-branch ConvCaps (strided, squashing).
+    pub main1: LayerDesc,
+    /// Second main-branch ConvCaps (unit stride, no squash).
+    pub main2: LayerDesc,
+    /// Skip branch: plain [`LayerDesc::ConvCaps`] for inner blocks, a
+    /// [`LayerDesc::ConvCapsRouting`] for the last block.
+    pub skip: LayerDesc,
+    /// Capsule types of the block output.
+    pub types: usize,
+    /// Capsule dimensionality of the block output.
+    pub dim: usize,
+}
+
+/// One quantization group: a primitive layer or a DeepCaps block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupDesc {
+    /// A primitive layer.
+    Layer(LayerDesc),
+    /// A DeepCaps residual block.
+    Block(BlockDesc),
+}
+
+impl GroupDesc {
+    /// Shapes of all parameter tensors in the group, in registration order
+    /// (`main1.weight, main1.bias, main2.weight, main2.bias, skip…` for
+    /// blocks).
+    pub fn param_shapes(&self) -> Vec<Vec<usize>> {
+        match self {
+            GroupDesc::Layer(l) => l.param_shapes(),
+            GroupDesc::Block(b) => {
+                let mut shapes = b.main1.param_shapes();
+                shapes.extend(b.main2.param_shapes());
+                shapes.extend(b.skip.param_shapes());
+                shapes
+            }
+        }
+    }
+
+    /// Total stored weights of the group.
+    pub fn weight_count(&self) -> usize {
+        self.param_shapes()
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .sum()
+    }
+}
+
+/// Full structural description of a model: input geometry plus the ordered
+/// quantization groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDesc {
+    /// Architecture name (`"ShallowCaps"` / `"DeepCaps"`).
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input image side length (square inputs).
+    pub image_side: usize,
+    /// Output classes.
+    pub num_classes: usize,
+    /// Quantization groups `(name, structure)`, input to output — same
+    /// order and names as `CapsNet::groups`.
+    pub groups: Vec<(String, GroupDesc)>,
+}
+
+impl ShallowCaps {
+    /// Structural descriptor of this model (groups `L1`, `L2`, `L3`).
+    pub fn descriptor(&self) -> ModelDesc {
+        let c = self.config();
+        let conv_spec = Conv2dSpec::new(c.conv_kernel, c.conv_kernel, 1, 0);
+        let (h1, w1) = conv_spec.output_hw(c.image_side, c.image_side);
+        let primary_spec = Conv2dSpec::new(c.primary_kernel, c.primary_kernel, c.primary_stride, 0);
+        let (oh, ow) = primary_spec.output_hw(h1, w1);
+        ModelDesc {
+            name: "ShallowCaps".into(),
+            in_channels: c.in_channels,
+            image_side: c.image_side,
+            num_classes: c.num_classes,
+            groups: vec![
+                (
+                    "L1".into(),
+                    GroupDesc::Layer(LayerDesc::Conv2d {
+                        in_channels: c.in_channels,
+                        out_channels: c.conv_channels,
+                        spec: conv_spec,
+                        activation: Activation::BoundedRelu,
+                    }),
+                ),
+                (
+                    "L2".into(),
+                    GroupDesc::Layer(LayerDesc::PrimaryCaps {
+                        in_channels: c.conv_channels,
+                        types: c.primary_types,
+                        dim: c.primary_dim,
+                        spec: primary_spec,
+                    }),
+                ),
+                (
+                    "L3".into(),
+                    GroupDesc::Layer(LayerDesc::CapsFc {
+                        in_caps: c.primary_types * oh * ow,
+                        in_dim: c.primary_dim,
+                        out_caps: c.num_classes,
+                        out_dim: c.digit_dim,
+                        iters: c.routing_iters,
+                    }),
+                ),
+            ],
+        }
+    }
+}
+
+impl DeepCaps {
+    /// Structural descriptor of this model (groups `L1`, `B2…`, `L<n>`).
+    pub fn descriptor(&self) -> ModelDesc {
+        let c = self.config();
+        let mut groups = Vec::with_capacity(c.blocks.len() + 2);
+        groups.push((
+            "L1".into(),
+            GroupDesc::Layer(LayerDesc::Conv2d {
+                in_channels: c.in_channels,
+                out_channels: c.conv_channels,
+                spec: Conv2dSpec::new(3, 3, 1, 1),
+                activation: Activation::BoundedRelu,
+            }),
+        ));
+        let mut in_channels = c.conv_channels;
+        let mut in_types_dim = (c.conv_channels, 1);
+        let mut side = c.image_side;
+        for (i, bc) in c.blocks.iter().enumerate() {
+            let last = i + 1 == c.blocks.len();
+            let out_channels = bc.types * bc.dim;
+            let stride_spec = Conv2dSpec::new(3, 3, bc.stride, 1);
+            let unit_spec = Conv2dSpec::new(3, 3, 1, 1);
+            let main1 = LayerDesc::ConvCaps {
+                in_channels,
+                types: bc.types,
+                dim: bc.dim,
+                spec: stride_spec,
+                squash: true,
+            };
+            let main2 = LayerDesc::ConvCaps {
+                in_channels: out_channels,
+                types: bc.types,
+                dim: bc.dim,
+                spec: unit_spec,
+                squash: false,
+            };
+            let skip = if last {
+                let (ti, di) = in_types_dim;
+                LayerDesc::ConvCapsRouting {
+                    in_types: ti,
+                    in_dim: di,
+                    out_types: bc.types,
+                    out_dim: bc.dim,
+                    spec: stride_spec,
+                    iters: c.routing_iters,
+                }
+            } else {
+                LayerDesc::ConvCaps {
+                    in_channels,
+                    types: bc.types,
+                    dim: bc.dim,
+                    spec: stride_spec,
+                    squash: false,
+                }
+            };
+            groups.push((
+                format!("B{}", i + 2),
+                GroupDesc::Block(BlockDesc {
+                    main1,
+                    main2,
+                    skip,
+                    types: bc.types,
+                    dim: bc.dim,
+                }),
+            ));
+            in_channels = out_channels;
+            in_types_dim = (bc.types, bc.dim);
+            side = (side + 2 - 3) / bc.stride + 1;
+        }
+        let last = c.blocks.last().expect("DeepCaps has at least one block");
+        groups.push((
+            format!("L{}", c.blocks.len() + 2),
+            GroupDesc::Layer(LayerDesc::CapsFc {
+                in_caps: last.types * side * side,
+                in_dim: last.dim,
+                out_caps: c.num_classes,
+                out_dim: c.digit_dim,
+                iters: c.routing_iters,
+            }),
+        ));
+        ModelDesc {
+            name: "DeepCaps".into(),
+            in_channels: c.in_channels,
+            image_side: c.image_side,
+            num_classes: c.num_classes,
+            groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CapsNet;
+    use crate::models::{DeepCapsConfig, ShallowCapsConfig};
+
+    #[test]
+    fn shallow_descriptor_matches_group_metadata() {
+        let m = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+        let desc = m.descriptor();
+        let groups = m.groups();
+        assert_eq!(desc.groups.len(), groups.len());
+        for ((name, gd), info) in desc.groups.iter().zip(&groups) {
+            assert_eq!(name, &info.name);
+            assert_eq!(gd.weight_count(), info.weight_count, "group {name}");
+        }
+        // Shapes must also match the registered parameter tensors one-to-one.
+        let shapes: Vec<Vec<usize>> = desc
+            .groups
+            .iter()
+            .flat_map(|(_, g)| g.param_shapes())
+            .collect();
+        let params = m.params();
+        assert_eq!(shapes.len(), params.len());
+        for (shape, p) in shapes.iter().zip(&params) {
+            assert_eq!(shape.as_slice(), p.dims());
+        }
+    }
+
+    #[test]
+    fn deep_descriptor_matches_group_metadata() {
+        let m = DeepCaps::new(DeepCapsConfig::small(1), 0);
+        let desc = m.descriptor();
+        let groups = m.groups();
+        assert_eq!(desc.groups.len(), groups.len());
+        for ((name, gd), info) in desc.groups.iter().zip(&groups) {
+            assert_eq!(name, &info.name);
+            assert_eq!(gd.weight_count(), info.weight_count, "group {name}");
+        }
+        let shapes: Vec<Vec<usize>> = desc
+            .groups
+            .iter()
+            .flat_map(|(_, g)| g.param_shapes())
+            .collect();
+        let params = m.params();
+        assert_eq!(shapes.len(), params.len());
+        for (shape, p) in shapes.iter().zip(&params) {
+            assert_eq!(shape.as_slice(), p.dims());
+        }
+        // The last block's skip branch routes.
+        match &desc.groups[desc.groups.len() - 2].1 {
+            GroupDesc::Block(b) => {
+                assert!(matches!(b.skip, LayerDesc::ConvCapsRouting { .. }))
+            }
+            _ => panic!("second-to-last group must be a block"),
+        }
+    }
+
+    #[test]
+    fn paper_descriptors_are_consistent_too() {
+        let m = DeepCaps::new(DeepCapsConfig::paper(3), 0);
+        let desc = m.descriptor();
+        let total: usize = desc.groups.iter().map(|(_, g)| g.weight_count()).sum();
+        assert_eq!(total, m.total_weights());
+    }
+}

@@ -200,7 +200,11 @@ mod tests {
             let x = input(2);
             let mut g = Graph::new();
             let xv = g.input(x.clone());
-            let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+            let pvars: Vec<_> = layer
+                .params()
+                .iter()
+                .map(|p| g.input((*p).clone()))
+                .collect();
             let y = layer.forward(&mut g, xv, &pvars);
             let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
             let diff = (g.value(y) - &inferred).max_abs();
@@ -220,7 +224,10 @@ mod tests {
         let a = l1.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         let b = l3.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         assert!(b.data().iter().all(|v| v.is_finite()));
-        assert!((&a - &b).max_abs() > 1e-6, "routing iterations had no effect");
+        assert!(
+            (&a - &b).max_abs() > 1e-6,
+            "routing iterations had no effect"
+        );
     }
 
     #[test]
@@ -232,6 +239,7 @@ mod tests {
             weight_frac: None,
             act_frac: None,
             dr_frac: Some(6),
+            ..LayerQuant::full_precision()
         };
         let q = layer.infer(&x, &lq, &mut fp_ctx());
         let diff = (&fp - &q).max_abs();
@@ -262,7 +270,11 @@ mod tests {
         let x = input(2);
         let mut g = Graph::new();
         let xv = g.input(x);
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let sq = g.square(y);
         let loss = g.sum_all(sq);
@@ -282,17 +294,16 @@ mod tests {
             weight_frac: Some(8),
             act_frac: Some(6),
             dr_frac: Some(5),
+            ..LayerQuant::full_precision()
         };
         for scheme in [
             RoundingScheme::Truncation,
             RoundingScheme::RoundToNearest,
             RoundingScheme::Stochastic,
         ] {
-            let serial =
-                with_threads(1, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
+            let serial = with_threads(1, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
             for t in [2, 7, 8] {
-                let par =
-                    with_threads(t, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
+                let par = with_threads(t, || layer.infer(&x, &lq, &mut QuantCtx::new(scheme, 42)));
                 assert_eq!(par.data(), serial.data(), "{scheme:?}, threads {t}");
             }
         }

@@ -165,7 +165,13 @@ mod tests {
 
     fn layer() -> Conv2dLayer {
         let mut rng = StdRng::seed_from_u64(0);
-        Conv2dLayer::new(2, 4, Conv2dSpec::new(3, 3, 1, 1), Activation::BoundedRelu, &mut rng)
+        Conv2dLayer::new(
+            2,
+            4,
+            Conv2dSpec::new(3, 3, 1, 1),
+            Activation::BoundedRelu,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -175,7 +181,11 @@ mod tests {
         let x = Tensor::rand_uniform([2, 2, 6, 6], 0.0, 1.0, &mut rng);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
         let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut ctx);

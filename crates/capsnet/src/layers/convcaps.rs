@@ -42,7 +42,10 @@ impl ConvCaps {
         squash: bool,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(out_types > 0 && out_dim > 0, "capsule geometry must be positive");
+        assert!(
+            out_types > 0 && out_dim > 0,
+            "capsule geometry must be positive"
+        );
         let out_channels = out_types * out_dim;
         let fan_in = in_channels * spec.kh * spec.kw;
         let fan_out = out_channels * spec.kh * spec.kw;
@@ -113,12 +116,7 @@ impl ConvCaps {
         let mut grouped = y
             .reshape([b, self.out_types, self.out_dim, oh * ow])
             .expect("packed layout matches capsule grouping");
-        crate::layers::squash_blocks_fused(
-            grouped.data_mut(),
-            self.out_dim,
-            oh * ow,
-            fq.as_ref(),
-        );
+        crate::layers::squash_blocks_fused(grouped.data_mut(), self.out_dim, oh * ow, fq.as_ref());
         grouped
             .reshape([b, self.out_types * self.out_dim, oh, ow])
             .expect("squashed capsules repack")
@@ -252,7 +250,13 @@ impl ConvCapsRouting {
         }
         let votes = g.concat(&per_type, 1);
         // Dynamic routing across input types at each spatial position.
-        let mut logits = g.constant(Tensor::zeros([b, self.in_types, self.out_types, 1, s_spatial]));
+        let mut logits = g.constant(Tensor::zeros([
+            b,
+            self.in_types,
+            self.out_types,
+            1,
+            s_spatial,
+        ]));
         let mut v = votes;
         for iter in 0..self.routing_iters {
             let c = g.softmax_axis(logits, 2);
@@ -374,7 +378,11 @@ mod tests {
         let x = input(1, 6, 6);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         assert!((g.value(y) - &inferred).max_abs() < 1e-5);
@@ -393,8 +401,7 @@ mod tests {
     #[test]
     fn routing_layer_shapes() {
         let mut rng = StdRng::seed_from_u64(3);
-        let layer =
-            ConvCapsRouting::new(4, 4, 2, 8, Conv2dSpec::new(3, 3, 2, 1), 3, &mut rng);
+        let layer = ConvCapsRouting::new(4, 4, 2, 8, Conv2dSpec::new(3, 3, 2, 1), 3, &mut rng);
         let x = input(2, 16, 8);
         let y = layer.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         assert_eq!(y.dims(), &[2, 16, 4, 4]);
@@ -403,12 +410,15 @@ mod tests {
     #[test]
     fn routing_forward_matches_infer() {
         let mut rng = StdRng::seed_from_u64(4);
-        let layer =
-            ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 3, &mut rng);
+        let layer = ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 3, &mut rng);
         let x = input(1, 8, 5);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         assert!((g.value(y) - &inferred).max_abs() < 1e-5);
@@ -417,12 +427,15 @@ mod tests {
     #[test]
     fn routing_gradients_reach_weights() {
         let mut rng = StdRng::seed_from_u64(5);
-        let layer =
-            ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 2, &mut rng);
+        let layer = ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 2, &mut rng);
         let x = input(1, 8, 4);
         let mut g = Graph::new();
         let xv = g.input(x);
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let sq = g.square(y);
         let loss = g.sum_all(sq);
@@ -434,8 +447,7 @@ mod tests {
     #[test]
     fn routing_dr_quantization_degrades_with_fewer_bits() {
         let mut rng = StdRng::seed_from_u64(6);
-        let layer =
-            ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 3, &mut rng);
+        let layer = ConvCapsRouting::new(2, 4, 2, 4, Conv2dSpec::new(3, 3, 1, 1), 3, &mut rng);
         let x = input(2, 8, 5);
         let fp = layer.infer(&x, &LayerQuant::full_precision(), &mut fp_ctx());
         let err_at = |bits: u8| {

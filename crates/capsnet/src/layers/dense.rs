@@ -36,7 +36,10 @@ impl DenseLayer {
         activation: DenseActivation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dimensions must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dimensions must be positive"
+        );
         DenseLayer {
             weight: Tensor::xavier_uniform(
                 [in_features, out_features],
@@ -111,7 +114,11 @@ mod tests {
         let x = Tensor::rand_uniform([3, 6], -1.0, 1.0, &mut rng);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
         let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut ctx);
@@ -125,7 +132,11 @@ mod tests {
         let x = Tensor::rand_uniform([2, 5], -1.0, 1.0, &mut rng);
         let mut g = Graph::new();
         let xv = g.input(x);
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let sq = g.square(y);
         let loss = g.sum_all(sq);

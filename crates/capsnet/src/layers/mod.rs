@@ -51,11 +51,7 @@ pub fn caps_votes_infer(input: &Tensor, weight: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics on rank or dimension mismatches.
-pub fn caps_votes_infer_fused(
-    input: &Tensor,
-    weight: &Tensor,
-    fq: Option<&FusedQuant>,
-) -> Tensor {
+pub fn caps_votes_infer_fused(input: &Tensor, weight: &Tensor, fq: Option<&FusedQuant>) -> Tensor {
     assert_eq!(input.rank(), 3, "caps votes input must be [b, i, di]");
     assert_eq!(weight.rank(), 4, "caps votes weight must be [i, j, di, dj]");
     let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
@@ -142,12 +138,7 @@ pub(crate) fn squash_blocks_fused(data: &mut [f32], d: usize, s: usize, fq: Opti
 /// sequence are bitwise identical to the tensor-op composition
 /// `ctx.apply((votes * expand_to(c)).sum_axis_keepdim(1), dr)` — without
 /// materialising the vote-sized product.
-fn weighted_sum_rounded(
-    votes: &Tensor,
-    c: &Tensor,
-    dr: Option<u8>,
-    ctx: &mut QuantCtx,
-) -> Tensor {
+fn weighted_sum_rounded(votes: &Tensor, c: &Tensor, dr: Option<u8>, ctx: &mut QuantCtx) -> Tensor {
     let d = votes.dims();
     let (b, ti, to, dd, s) = (d[0], d[1], d[2], d[3], d[4]);
     let mut out = Tensor::zeros([b, 1, to, dd, s]);
@@ -280,7 +271,11 @@ pub(crate) fn route_per_sample(
 /// Panics when the channel count is not divisible by `dim`.
 pub fn flatten_caps(x: &Tensor, dim: usize) -> Tensor {
     let (b, ch, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    assert_eq!(ch % dim, 0, "channels {ch} not divisible by capsule dim {dim}");
+    assert_eq!(
+        ch % dim,
+        0,
+        "channels {ch} not divisible by capsule dim {dim}"
+    );
     let types = ch / dim;
     x.reshape([b, types, dim, h * w])
         .expect("packed layout splits into capsules")
@@ -297,7 +292,11 @@ pub fn flatten_caps_graph(
 ) -> qcn_autograd::Var {
     let dims = g.value(x).dims().to_vec();
     let (b, ch, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    assert_eq!(ch % dim, 0, "channels {ch} not divisible by capsule dim {dim}");
+    assert_eq!(
+        ch % dim,
+        0,
+        "channels {ch} not divisible by capsule dim {dim}"
+    );
     let types = ch / dim;
     let grouped = g.reshape(x, [b, types, dim, h * w]);
     let moved = g.permute(grouped, &[0, 1, 3, 2]);

@@ -34,7 +34,10 @@ impl PrimaryCaps {
         spec: Conv2dSpec,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(caps_types > 0 && caps_dim > 0, "capsule geometry must be positive");
+        assert!(
+            caps_types > 0 && caps_dim > 0,
+            "capsule geometry must be positive"
+        );
         let out_channels = caps_types * caps_dim;
         let fan_in = in_channels * spec.kh * spec.kw;
         let fan_out = out_channels * spec.kh * spec.kw;
@@ -172,7 +175,11 @@ mod tests {
         let x = Tensor::rand_uniform([2, 4, 7, 7], 0.0, 1.0, &mut rng);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = layer.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = layer
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = layer.forward(&mut g, xv, &pvars);
         let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
         let inferred = layer.infer(&x, &LayerQuant::full_precision(), &mut ctx);

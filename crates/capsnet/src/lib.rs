@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod decoder;
+pub mod descriptor;
 pub mod layers;
 mod loss;
 mod metrics;

@@ -168,7 +168,10 @@ mod tests {
         g.backward(loss);
         let grad = g.grad(v).unwrap();
         assert!(grad.get(&[0, 0, 0]) < 0.0, "target capsule should grow");
-        assert!(grad.get(&[0, 1, 0]) > 0.0, "non-target capsule should shrink");
+        assert!(
+            grad.get(&[0, 1, 0]) > 0.0,
+            "non-target capsule should shrink"
+        );
     }
 
     #[test]

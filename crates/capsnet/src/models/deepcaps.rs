@@ -3,7 +3,9 @@
 //! carrying a dynamic-routing skip branch), and a fully-connected capsule
 //! output layer with routing.
 
-use crate::layers::{flatten_caps, flatten_caps_graph, Activation, CapsFc, Conv2dLayer, ConvCaps, ConvCapsRouting};
+use crate::layers::{
+    flatten_caps, flatten_caps_graph, Activation, CapsFc, Conv2dLayer, ConvCaps, ConvCapsRouting,
+};
 use crate::model::{CapsNet, GroupInfo};
 use crate::quant::{LayerQuant, ModelQuant, QuantCtx};
 use qcn_autograd::{Graph, Var};
@@ -58,10 +60,26 @@ impl DeepCapsConfig {
             image_side: 64,
             conv_channels: 128,
             blocks: vec![
-                BlockConfig { types: 32, dim: 4, stride: 2 },
-                BlockConfig { types: 32, dim: 8, stride: 2 },
-                BlockConfig { types: 32, dim: 8, stride: 2 },
-                BlockConfig { types: 32, dim: 8, stride: 2 },
+                BlockConfig {
+                    types: 32,
+                    dim: 4,
+                    stride: 2,
+                },
+                BlockConfig {
+                    types: 32,
+                    dim: 8,
+                    stride: 2,
+                },
+                BlockConfig {
+                    types: 32,
+                    dim: 8,
+                    stride: 2,
+                },
+                BlockConfig {
+                    types: 32,
+                    dim: 8,
+                    stride: 2,
+                },
             ],
             num_classes: 10,
             digit_dim: 32,
@@ -77,8 +95,16 @@ impl DeepCapsConfig {
             image_side: 16,
             conv_channels: 16,
             blocks: vec![
-                BlockConfig { types: 4, dim: 4, stride: 2 },
-                BlockConfig { types: 4, dim: 8, stride: 2 },
+                BlockConfig {
+                    types: 4,
+                    dim: 4,
+                    stride: 2,
+                },
+                BlockConfig {
+                    types: 4,
+                    dim: 8,
+                    stride: 2,
+                },
             ],
             num_classes: 10,
             digit_dim: 8,
@@ -123,7 +149,10 @@ impl DeepCaps {
     /// capsule-typed where routing is required, or the geometry does not
     /// fit the image.
     pub fn new(config: DeepCapsConfig, seed: u64) -> Self {
-        assert!(!config.blocks.is_empty(), "DeepCaps needs at least one block");
+        assert!(
+            !config.blocks.is_empty(),
+            "DeepCaps needs at least one block"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let conv = Conv2dLayer::new(
             config.in_channels,
@@ -240,10 +269,12 @@ impl DeepCaps {
         ctx: &mut QuantCtx,
     ) -> Tensor {
         // Intra-block tensors are streaming datapath values; only the
-        // block output is a stored activation, so only it (and the routing
-        // internals, at Q_DR) are rounded.
+        // block output is a stored activation, so by default only it (and
+        // the routing internals, at Q_DR) are rounded. When `stream_frac`
+        // is set, the streaming tensors are kept on that grid too, so the
+        // whole block is executable on an integer datapath.
         let inner = LayerQuant {
-            act_frac: None,
+            act_frac: lq.stream_frac,
             ..*lq
         };
         let m1 = block.main1.infer(x, &inner, ctx);
@@ -389,7 +420,8 @@ impl CapsNet for DeepCaps {
         );
         let mut ctx = QuantCtx::from_config(config);
         let mut out = self.clone();
-        out.conv.quantize_weights(config.layers[0].weight_frac, &mut ctx);
+        out.conv
+            .quantize_weights(config.layers[0].weight_frac, &mut ctx);
         for (i, block) in out.blocks.iter_mut().enumerate() {
             let frac = config.layers[i + 1].weight_frac;
             block.main1.quantize_weights(frac, &mut ctx);
@@ -400,7 +432,8 @@ impl CapsNet for DeepCaps {
             }
         }
         let last = config.layers.len() - 1;
-        out.fc.quantize_weights(config.layers[last].weight_frac, &mut ctx);
+        out.fc
+            .quantize_weights(config.layers[last].weight_frac, &mut ctx);
         out
     }
 }
@@ -472,11 +505,10 @@ mod tests {
         let loss = g.sum_all(sq);
         g.backward(loss);
         for (i, &pv) in pvars.iter().enumerate() {
-            let grad = g.grad(pv).unwrap_or_else(|| panic!("no grad for param {i}"));
-            assert!(
-                grad.max_abs() > 0.0,
-                "param {i} has an all-zero gradient"
-            );
+            let grad = g
+                .grad(pv)
+                .unwrap_or_else(|| panic!("no grad for param {i}"));
+            assert!(grad.max_abs() > 0.0, "param {i} has an all-zero gradient");
         }
     }
 

@@ -229,7 +229,8 @@ impl CapsNet for ShallowCaps {
         assert_eq!(config.layers.len(), 3, "ShallowCaps has 3 groups");
         let mut ctx = QuantCtx::from_config(config);
         let mut out = self.clone();
-        out.conv.quantize_weights(config.layers[0].weight_frac, &mut ctx);
+        out.conv
+            .quantize_weights(config.layers[0].weight_frac, &mut ctx);
         out.primary
             .quantize_weights(config.layers[1].weight_frac, &mut ctx);
         out.digit
@@ -260,7 +261,10 @@ mod tests {
         assert_eq!(groups[0].weight_count, conv_params);
         assert_eq!(groups[1].weight_count, primary_params);
         assert_eq!(groups[2].weight_count, digit_params);
-        assert_eq!(model.total_weights(), conv_params + primary_params + digit_params);
+        assert_eq!(
+            model.total_weights(),
+            conv_params + primary_params + digit_params
+        );
     }
 
     #[test]
@@ -279,7 +283,11 @@ mod tests {
         let x = Tensor::rand_uniform([2, 1, 16, 16], 0.0, 1.0, &mut rng);
         let mut g = Graph::new();
         let xv = g.input(x.clone());
-        let pvars: Vec<_> = model.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pvars: Vec<_> = model
+            .params()
+            .iter()
+            .map(|p| g.input((*p).clone()))
+            .collect();
         let y = model.forward(&mut g, xv, &pvars);
         let mut ctx = QuantCtx::new(RoundingScheme::Truncation, 0);
         let inferred = model.infer(&x, &ModelQuant::full_precision(3), &mut ctx);
@@ -305,8 +313,14 @@ mod tests {
         let q = model.with_quantized_weights(&config);
         let fmt5 = qcn_fixed::QFormat::with_frac(5);
         let fmt3 = qcn_fixed::QFormat::with_frac(3);
-        assert!(q.params()[0].data().iter().all(|&w| fmt5.is_representable(w)));
-        assert!(q.params()[4].data().iter().all(|&w| fmt3.is_representable(w)));
+        assert!(q.params()[0]
+            .data()
+            .iter()
+            .all(|&w| fmt5.is_representable(w)));
+        assert!(q.params()[4]
+            .data()
+            .iter()
+            .all(|&w| fmt3.is_representable(w)));
         // Original model untouched.
         assert_ne!(model.params()[0], q.params()[0]);
     }

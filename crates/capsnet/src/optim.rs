@@ -76,7 +76,10 @@ impl Adam {
 
     /// The learning rate that the *next* step will use.
     pub fn current_lr(&self) -> f32 {
-        self.lr * self.decay_rate.powf(self.t as f32 / self.decay_steps as f32)
+        self.lr
+            * self
+                .decay_rate
+                .powf(self.t as f32 / self.decay_steps as f32)
     }
 
     /// Number of steps taken.

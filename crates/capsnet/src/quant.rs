@@ -35,6 +35,13 @@ pub struct LayerQuant {
     pub act_frac: Option<u8>,
     /// Fractional bits for dynamic-routing intermediates (`Q_DR`).
     pub dr_frac: Option<u8>,
+    /// Fractional bits for intra-block streaming tensors (DeepCaps block
+    /// internals between `main1`/`main2`/`skip` and the block-output
+    /// squash). `None` keeps those tensors in full precision, matching the
+    /// fake-quant default where only stored activations are rounded;
+    /// setting it puts the whole block datapath on a fixed-point grid,
+    /// which is what a true integer backend executes.
+    pub stream_frac: Option<u8>,
 }
 
 impl LayerQuant {
@@ -49,6 +56,7 @@ impl LayerQuant {
             weight_frac: Some(frac),
             act_frac: Some(frac),
             dr_frac: None,
+            stream_frac: None,
         }
     }
 
@@ -96,7 +104,10 @@ impl ModelQuant {
     /// Returns `true` when no group quantizes anything.
     pub fn is_full_precision(&self) -> bool {
         self.layers.iter().all(|l| {
-            l.weight_frac.is_none() && l.act_frac.is_none() && l.dr_frac.is_none()
+            l.weight_frac.is_none()
+                && l.act_frac.is_none()
+                && l.dr_frac.is_none()
+                && l.stream_frac.is_none()
         })
     }
 }
@@ -116,6 +127,9 @@ impl fmt::Display for ModelQuant {
                 show(l.act_frac),
                 show(l.dr_frac)
             )?;
+            if let Some(s) = l.stream_frac {
+                write!(f, " s:{s}")?;
+            }
         }
         write!(f, "]")
     }
@@ -191,6 +205,20 @@ impl QuantCtx {
         }
     }
 
+    /// One uniform draw in `[0, 1)` from the context's sequential stream.
+    ///
+    /// This is exactly the per-element draw that
+    /// [`round_slice`](QuantCtx::round_slice) consumes for stochastic
+    /// rounding, exposed so that an integer backend (`qcn-intinfer`) can
+    /// make bit-identical rounding decisions on raw fixed-point values
+    /// while sharing this context's RNG state. Callers must mirror the
+    /// reference path's draw discipline: one draw per rounded element, in
+    /// slice order, and only when the scheme is stochastic.
+    pub fn sr_draw(&mut self) -> f64 {
+        use rand::Rng;
+        self.rng.gen_range(0.0..1.0)
+    }
+
     /// Binds a [`FusedQuant`] writeback epilogue for a kernel dispatch that
     /// quantizes to `frac` fractional bits, or `None` in full precision.
     ///
@@ -225,6 +253,7 @@ mod tests {
             weight_frac: Some(8),
             act_frac: Some(6),
             dr_frac: Some(3),
+            ..LayerQuant::full_precision()
         };
         assert_eq!(q.effective_dr_frac(), Some(3));
     }

@@ -279,16 +279,36 @@ mod tests {
         let mut opt = Adam::new(0.01);
         let loss = MarginLoss::default();
         let (first_total, _, first_recon) = train_step_with_reconstruction(
-            &mut model, &mut decoder, &images, &labels, &loss, 0.0005, &mut opt,
+            &mut model,
+            &mut decoder,
+            &images,
+            &labels,
+            &loss,
+            0.0005,
+            &mut opt,
         );
         let mut last = (first_total, 0.0, first_recon);
         for _ in 0..10 {
             last = train_step_with_reconstruction(
-                &mut model, &mut decoder, &images, &labels, &loss, 0.0005, &mut opt,
+                &mut model,
+                &mut decoder,
+                &images,
+                &labels,
+                &loss,
+                0.0005,
+                &mut opt,
             );
         }
-        assert!(last.0 < first_total, "total loss should fall: {first_total} → {}", last.0);
-        assert!(last.2 < first_recon, "reconstruction should improve: {first_recon} → {}", last.2);
+        assert!(
+            last.0 < first_total,
+            "total loss should fall: {first_total} → {}",
+            last.0
+        );
+        assert!(
+            last.2 < first_recon,
+            "reconstruction should improve: {first_recon} → {}",
+            last.2
+        );
     }
 
     #[test]

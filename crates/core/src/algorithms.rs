@@ -132,11 +132,7 @@ pub fn layerwise<S: ConfigScorer>(
 /// loop.
 ///
 /// Returns the refined configuration.
-pub fn dr_quant<S: ConfigScorer>(
-    eval: &mut S,
-    config: &ModelQuant,
-    acc_min: f32,
-) -> ModelQuant {
+pub fn dr_quant<S: ConfigScorer>(eval: &mut S, config: &ModelQuant, acc_min: f32) -> ModelQuant {
     let mut current = config.clone();
     let routing_groups: Vec<usize> = eval
         .groups()
@@ -187,8 +183,7 @@ mod tests {
         let mut eval = Evaluator::new(&model, &ds, 15);
         let base = ModelQuant::full_precision(3);
         // acc_min = 0 is satisfied by any width → minimal width 0.
-        let (config, frac) =
-            binary_search_uniform(&mut eval, &base, ParamDomain::Both, 16, 0.0);
+        let (config, frac) = binary_search_uniform(&mut eval, &base, ParamDomain::Both, 16, 0.0);
         assert_eq!(frac, 0);
         assert!(config.layers.iter().all(|l| l.weight_frac == Some(0)));
     }
@@ -236,7 +231,11 @@ mod tests {
         let base_acc = eval.accuracy(&start);
         let refined = layerwise(&mut eval, &start, ParamDomain::Weights, base_acc);
         // Widths must be non-increasing from layer 1 onward.
-        let w: Vec<u8> = refined.layers.iter().map(|l| l.weight_frac.unwrap()).collect();
+        let w: Vec<u8> = refined
+            .layers
+            .iter()
+            .map(|l| l.weight_frac.unwrap())
+            .collect();
         assert!(w[1] >= w[2], "suffix widths must be monotone: {w:?}");
         // And the result must still meet the target.
         assert!(eval.accuracy(&refined) >= base_acc);

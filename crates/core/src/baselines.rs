@@ -53,8 +53,7 @@ pub fn statistical_quantization<M: CapsNet>(
         // Smallest width meeting the SQNR target.
         let mut chosen = max_frac;
         for frac in 1..=max_frac {
-            let q = Quantizer::new(QFormat::with_frac(frac), scheme)
-                .quantize(&tensor, &mut rng);
+            let q = Quantizer::new(QFormat::with_frac(frac), scheme).quantize(&tensor, &mut rng);
             let stats = QuantizationStats::measure(&tensor, &q);
             if stats.sqnr_db >= sqnr_target_db {
                 chosen = frac;
@@ -65,6 +64,7 @@ pub fn statistical_quantization<M: CapsNet>(
             weight_frac: Some(chosen),
             act_frac: Some(chosen),
             dr_frac: None,
+            ..LayerQuant::full_precision()
         });
     }
     ModelQuant {

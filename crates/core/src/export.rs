@@ -144,6 +144,28 @@ pub fn unpack_weights(packed: &PackedModel) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// Unpacks a [`PackedModel`] into per-group *raw* two's-complement weight
+/// vectors at each group's `weight_frac` fractional bits — the form a true
+/// integer inference engine consumes directly, with no float in the path.
+/// FP32 groups (no `weight_frac`) have no fixed-point raw form and decode
+/// to `None`; callers keep those groups on the f32 fallback from
+/// [`unpack_weights`].
+pub fn unpack_raw_weights(packed: &PackedModel) -> Vec<Option<Vec<i64>>> {
+    packed
+        .groups
+        .iter()
+        .zip(&packed.config.layers)
+        .map(|(group, lq)| {
+            lq.weight_frac.map(|_| {
+                let mut cursor = 0usize;
+                (0..group.count)
+                    .map(|_| read_bits(&group.data, &mut cursor, group.wordlength))
+                    .collect()
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +229,25 @@ mod tests {
         assert_eq!(packed.groups[0].wordlength, 32);
         // Spot-check exact bit patterns.
         assert_eq!(unpacked[0][0], m.params()[0].data()[0]);
+    }
+
+    #[test]
+    fn raw_unpack_is_the_integer_form_of_f32_unpack() {
+        let m = model();
+        let mut config = ModelQuant::uniform(3, 4, RoundingScheme::RoundToNearest);
+        config.layers[1].weight_frac = None; // mixed: one FP32 group
+        let packed = pack_model(&m, &config);
+        let floats = unpack_weights(&packed);
+        let raws = unpack_raw_weights(&packed);
+        assert!(raws[1].is_none(), "FP32 group has no raw form");
+        for (gi, frac) in [(0usize, 4u8), (2, 4)] {
+            let eps = QFormat::with_frac(frac).precision();
+            let raw = raws[gi].as_ref().expect("quantized group decodes raw");
+            assert_eq!(raw.len(), floats[gi].len());
+            for (&r, &f) in raw.iter().zip(&floats[gi]) {
+                assert_eq!(r as f32 * eps, f, "group {gi}");
+            }
+        }
     }
 
     #[test]

@@ -192,15 +192,15 @@ pub fn run<M: CapsNet>(model: &M, eval_set: &Dataset, config: &FrameworkConfig) 
     let outcome = if acc_mm > acc_target {
         // Path A — steps 3A and 4A.
         let acc_min_3a = acc_target + 0.5 * (acc_mm - acc_target);
-        let after_acts = layerwise(&mut eval, &memory_config, ParamDomain::Activations, acc_min_3a);
+        let after_acts = layerwise(
+            &mut eval,
+            &memory_config,
+            ParamDomain::Activations,
+            acc_min_3a,
+        );
         let satisfied = dr_quant(&mut eval, &after_acts, acc_target);
         let acc = eval.accuracy(&satisfied);
-        Outcome::Satisfied(make_result(
-            ResultKind::Satisfied,
-            satisfied,
-            acc,
-            &groups,
-        ))
+        Outcome::Satisfied(make_result(ResultKind::Satisfied, satisfied, acc, &groups))
     } else {
         // Path B — step 3B: uniform then layer-wise weight quantization
         // from the step-1 outcome, honouring only the accuracy target.
@@ -215,12 +215,7 @@ pub fn run<M: CapsNet>(model: &M, eval_set: &Dataset, config: &FrameworkConfig) 
         let acc_accuracy = eval.accuracy(&accuracy_config);
         Outcome::Fallback {
             memory: make_result(ResultKind::Memory, memory_config, acc_mm, &groups),
-            accuracy: make_result(
-                ResultKind::Accuracy,
-                accuracy_config,
-                acc_accuracy,
-                &groups,
-            ),
+            accuracy: make_result(ResultKind::Accuracy, accuracy_config, acc_accuracy, &groups),
         }
     };
 

@@ -83,13 +83,16 @@ pub fn solve_eq6(groups: &[GroupInfo], budget_bits: u64, max_wordlength: u8) -> 
             .sum()
     };
     // N₀ is at most max_wordlength; search down for the largest feasible.
-    (1..=max_wordlength).rev().find(|&n0| cost(n0) <= budget_bits).map(|n0| {
-        groups
-            .iter()
-            .enumerate()
-            .map(|(l, _)| n0.saturating_sub(l as u8).max(1).min(max_wordlength))
-            .collect()
-    })
+    (1..=max_wordlength)
+        .rev()
+        .find(|&n0| cost(n0) <= budget_bits)
+        .map(|n0| {
+            groups
+                .iter()
+                .enumerate()
+                .map(|(l, _)| n0.saturating_sub(l as u8).max(1).min(max_wordlength))
+                .collect()
+        })
 }
 
 #[cfg(test)]
@@ -146,7 +149,7 @@ mod tests {
         let mut config = ModelQuant::full_precision(3);
         config.layers[0] = LayerQuant::uniform(7); // 8-bit
         config.layers[1] = LayerQuant::uniform(3); // 4-bit
-        // layer 2 stays fp32
+                                                   // layer 2 stays fp32
         assert_eq!(
             weight_memory_bits(&g, &config),
             100 * 8 + 400 * 4 + 500 * 32

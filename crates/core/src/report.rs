@@ -20,7 +20,12 @@ pub fn layer_table(groups: &[GroupInfo], result: &QuantResult) -> String {
     );
     let mut out = String::new();
     let show = |b: Option<u8>| b.map_or("fp32".to_string(), |v| format!("{v:>4}"));
-    writeln!(out, "{:<6} {:>8} {:>8} {:>8}", "layer", "W bits", "A bits", "DR bits").unwrap();
+    writeln!(
+        out,
+        "{:<6} {:>8} {:>8} {:>8}",
+        "layer", "W bits", "A bits", "DR bits"
+    )
+    .unwrap();
     for (g, lq) in groups.iter().zip(&result.config.layers) {
         let dr = if g.has_routing {
             show(lq.effective_dr_frac())
@@ -97,6 +102,7 @@ mod tests {
                     weight_frac: Some(6),
                     act_frac: Some(5),
                     dr_frac: Some(3),
+                    ..LayerQuant::full_precision()
                 },
             ],
             scheme: RoundingScheme::Stochastic,

@@ -53,7 +53,14 @@ pub fn run_library<M: CapsNet>(
     let runs: Vec<(RoundingScheme, RunReport)> = schemes
         .iter()
         .map(|&scheme| {
-            let report = run(model, eval_set, &FrameworkConfig { scheme, ..config.clone() });
+            let report = run(
+                model,
+                eval_set,
+                &FrameworkConfig {
+                    scheme,
+                    ..config.clone()
+                },
+            );
             (scheme, report)
         })
         .collect();
@@ -188,11 +195,21 @@ mod tests {
         let runs = vec![
             (
                 RoundingScheme::Truncation,
-                report(Outcome::Satisfied(result(ResultKind::Satisfied, 0.9, 200, 10))),
+                report(Outcome::Satisfied(result(
+                    ResultKind::Satisfied,
+                    0.9,
+                    200,
+                    10,
+                ))),
             ),
             (
                 RoundingScheme::Stochastic,
-                report(Outcome::Satisfied(result(ResultKind::Satisfied, 0.9, 100, 99))),
+                report(Outcome::Satisfied(result(
+                    ResultKind::Satisfied,
+                    0.9,
+                    100,
+                    99,
+                ))),
             ),
         ];
         match select(&runs) {
@@ -209,15 +226,30 @@ mod tests {
         let runs = vec![
             (
                 RoundingScheme::Stochastic,
-                report(Outcome::Satisfied(result(ResultKind::Satisfied, 0.9, 100, 50))),
+                report(Outcome::Satisfied(result(
+                    ResultKind::Satisfied,
+                    0.9,
+                    100,
+                    50,
+                ))),
             ),
             (
                 RoundingScheme::RoundToNearest,
-                report(Outcome::Satisfied(result(ResultKind::Satisfied, 0.9, 100, 50))),
+                report(Outcome::Satisfied(result(
+                    ResultKind::Satisfied,
+                    0.9,
+                    100,
+                    50,
+                ))),
             ),
             (
                 RoundingScheme::Truncation,
-                report(Outcome::Satisfied(result(ResultKind::Satisfied, 0.9, 100, 60))),
+                report(Outcome::Satisfied(result(
+                    ResultKind::Satisfied,
+                    0.9,
+                    100,
+                    60,
+                ))),
             ),
         ];
         match select(&runs) {

@@ -1,0 +1,145 @@
+//! Property tests for the deployment export bit codec: packing a model and
+//! unpacking it (as `f32` grid values or raw integers) must roundtrip
+//! exactly for arbitrary per-group wordlengths from 2 to 32 bits, including
+//! groups whose bit length is not a multiple of 8, and the blob size must
+//! equal the memory accounting's `weight_memory_bits` rounded up per group.
+
+use proptest::prelude::*;
+use qcapsnets::export::{pack_model, unpack_raw_weights, unpack_weights};
+use qcapsnets::memory::weight_memory_bits;
+use qcn_capsnet::{CapsNet, ModelQuant, ShallowCaps, ShallowCapsConfig};
+use qcn_fixed::{QFormat, RoundingScheme};
+
+/// A deliberately tiny ShallowCaps so each proptest case packs fast. The
+/// group weight counts (conv: 84, primary: 444, digitcaps: 1440 for this
+/// geometry) are not multiples of 8, so odd wordlengths exercise packed
+/// groups that end mid-byte.
+fn tiny_model() -> ShallowCaps {
+    let config = ShallowCapsConfig {
+        conv_channels: 3,
+        primary_types: 2,
+        digit_dim: 3,
+        ..ShallowCapsConfig::small(1)
+    };
+    ShallowCaps::new(config, 7)
+}
+
+/// The group's quantized reference weights, flattened in parameter order.
+fn expected_group_weights(qmodel: &ShallowCaps) -> Vec<Vec<f32>> {
+    let params = qmodel.params();
+    let mut iter = params.into_iter();
+    qmodel
+        .groups()
+        .iter()
+        .map(|group| {
+            let mut expected = Vec::with_capacity(group.weight_count);
+            while expected.len() < group.weight_count {
+                let p = iter.next().expect("params cover all groups");
+                expected.extend_from_slice(p.data());
+            }
+            expected
+        })
+        .collect()
+}
+
+/// Strategy: per-group weight fraction — `None` keeps the group in FP32
+/// (32-bit words), `Some(f)` packs `1 + f`-bit words for f in 1..=31,
+/// covering wordlengths 2..=32. Zero maps to the FP32 case so roughly one
+/// group in 32 stays unquantized.
+fn frac_strategy() -> impl Strategy<Value = Option<u8>> {
+    (0u8..=31).prop_map(|f| if f == 0 { None } else { Some(f) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pack_unpack_roundtrips_for_arbitrary_wordlengths(
+        fracs3 in (frac_strategy(), frac_strategy(), frac_strategy()),
+        scheme_idx in 0usize..4,
+    ) {
+        let fracs = [fracs3.0, fracs3.1, fracs3.2];
+        let m = tiny_model();
+        let scheme = RoundingScheme::EXTENDED[scheme_idx];
+        let mut config = ModelQuant::full_precision(3);
+        config.scheme = scheme;
+        for (lq, frac) in config.layers.iter_mut().zip(fracs) {
+            lq.weight_frac = frac;
+        }
+
+        let packed = pack_model(&m, &config);
+        let qmodel = m.with_quantized_weights(&config);
+        let expected = expected_group_weights(&qmodel);
+
+        // f32 unpack reproduces the quantized weights bit-exactly.
+        let unpacked = unpack_weights(&packed);
+        prop_assert_eq!(&unpacked, &expected);
+
+        // Raw unpack is the same data as integers on the group's grid, and
+        // FP32 groups decode to None.
+        let raws = unpack_raw_weights(&packed);
+        for ((raw, frac), floats) in raws.iter().zip(fracs).zip(&unpacked) {
+            match frac {
+                None => prop_assert!(raw.is_none()),
+                Some(f) => {
+                    let eps = QFormat::with_frac(f).precision();
+                    let raw = raw.as_ref().expect("raw form for quantized group");
+                    prop_assert_eq!(raw.len(), floats.len());
+                    let lo = QFormat::with_frac(f).min_raw();
+                    let hi = QFormat::with_frac(f).max_raw();
+                    for (&r, &v) in raw.iter().zip(floats) {
+                        prop_assert!((lo..=hi).contains(&r));
+                        prop_assert_eq!(r as f32 * eps, v);
+                    }
+                }
+            }
+        }
+
+        // Blob size: each group is its bit count rounded up to whole bytes,
+        // and the total agrees with the memory accounting.
+        let mut accounted_bytes = 0usize;
+        for (group, frac) in packed.groups.iter().zip(fracs) {
+            let wordlength = frac.map_or(32usize, |f| 1 + f as usize);
+            let bits = group.count * wordlength;
+            prop_assert_eq!(group.data.len(), bits.div_ceil(8), "group {}", &group.name);
+            accounted_bytes += bits.div_ceil(8);
+        }
+        prop_assert_eq!(packed.total_bytes(), accounted_bytes);
+        let accounted_bits = weight_memory_bits(&m.groups(), &config);
+        let per_group_bits: u64 = packed
+            .groups
+            .iter()
+            .zip(fracs)
+            .map(|(g, frac)| g.count as u64 * frac.map_or(32u64, |f| 1 + f as u64))
+            .sum();
+        prop_assert_eq!(per_group_bits, accounted_bits);
+    }
+
+    #[test]
+    fn non_byte_aligned_groups_end_mid_byte(
+        // Skip fracs giving byte-multiple wordlengths (7, 15, 23, 31): bump
+        // them by one; the next wordlength up is never a multiple of 8.
+        frac in (1u8..=30).prop_map(|f| if (1 + f) % 8 == 0 { f + 1 } else { f }),
+    ) {
+        // With an odd wordlength every group's bit length is checked to be
+        // non-byte-aligned at least once across the weight counts, proving
+        // the codec handles groups that end mid-byte (the trailing bits of
+        // the last byte stay zero and are ignored on decode).
+        let m = tiny_model();
+        let config = ModelQuant::uniform(3, frac, RoundingScheme::Truncation);
+        let packed = pack_model(&m, &config);
+        let wordlength = 1 + frac as usize;
+        let misaligned = packed
+            .groups
+            .iter()
+            .any(|g| (g.count * wordlength) % 8 != 0);
+        prop_assert!(
+            misaligned,
+            "expected at least one group ending mid-byte at wordlength {wordlength}"
+        );
+        prop_assert_eq!(
+            unpack_weights(&packed),
+            expected_group_weights(&m.with_quantized_weights(&config))
+        );
+    }
+}

@@ -58,7 +58,9 @@ pub fn rotate(image: &Tensor, degrees: f32) -> Tensor {
 pub fn hflip(image: &Tensor) -> Tensor {
     assert_eq!(image.rank(), 3, "hflip expects [c, h, w]");
     let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
-    Tensor::from_fn([c, h, w], |idx| image.get(&[idx[0], idx[1], w - 1 - idx[2]]))
+    Tensor::from_fn([c, h, w], |idx| {
+        image.get(&[idx[0], idx[1], w - 1 - idx[2]])
+    })
 }
 
 /// A stochastic augmentation recipe applied independently per image.

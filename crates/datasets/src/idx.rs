@@ -86,7 +86,10 @@ pub fn parse_idx3_images(bytes: &[u8]) -> Result<Tensor, IdxError> {
             bytes.len()
         )));
     }
-    let data: Vec<f32> = bytes[16..expected].iter().map(|&b| b as f32 / 255.0).collect();
+    let data: Vec<f32> = bytes[16..expected]
+        .iter()
+        .map(|&b| b as f32 / 255.0)
+        .collect();
     Tensor::from_vec(data, [n, 1, h, w])
         .map_err(|e| IdxError::Malformed(format!("tensor construction failed: {e}")))
 }
@@ -214,7 +217,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             load_idx(&img_path, &lbl_path, 10),
-            Err(IdxError::CountMismatch { images: 3, labels: 2 })
+            Err(IdxError::CountMismatch {
+                images: 3,
+                labels: 2
+            })
         ));
     }
 

@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn synthetic_datasets_are_balanced_and_in_range() {
-        for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+        for kind in [
+            SynthKind::Mnist,
+            SynthKind::FashionMnist,
+            SynthKind::Cifar10,
+        ] {
             let ds = kind.generate(100, 3);
             let stats = DatasetStats::measure(&ds);
             assert_eq!(stats.imbalance(), 1.0, "{kind}");

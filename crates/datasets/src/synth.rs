@@ -223,7 +223,8 @@ fn render_sample(kind: SynthKind, class: usize, rng: &mut impl Rng) -> Tensor {
             for c in 0..channels {
                 let fgc = if channels == 3 { fg[c] } else { 1.0 };
                 let bgc = if channels == 3 { bg[c] * bg_level } else { 0.0 };
-                let value = bgc * (1.0 - intensity) + fgc * intensity
+                let value = bgc * (1.0 - intensity)
+                    + fgc * intensity
                     + rng.gen_range(-noise_amp..noise_amp);
                 img.set(&[c, py, px], value.clamp(0.0, 1.0));
             }
@@ -279,7 +280,11 @@ mod tests {
 
     #[test]
     fn pixel_values_in_unit_range() {
-        for kind in [SynthKind::Mnist, SynthKind::FashionMnist, SynthKind::Cifar10] {
+        for kind in [
+            SynthKind::Mnist,
+            SynthKind::FashionMnist,
+            SynthKind::Cifar10,
+        ] {
             let ds = kind.generate(30, 1);
             assert!(
                 ds.images().data().iter().all(|&x| (0.0..=1.0).contains(&x)),

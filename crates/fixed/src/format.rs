@@ -41,7 +41,10 @@ impl QFormat {
     /// Panics when `integer_bits == 0` or the total wordlength exceeds
     /// [`QFormat::MAX_WORDLENGTH`].
     pub fn new(integer_bits: u8, frac_bits: u8) -> Self {
-        assert!(integer_bits >= 1, "at least one integer (sign) bit required");
+        assert!(
+            integer_bits >= 1,
+            "at least one integer (sign) bit required"
+        );
         assert!(
             integer_bits + frac_bits <= Self::MAX_WORDLENGTH,
             "wordlength {} exceeds maximum {}",

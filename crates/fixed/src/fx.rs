@@ -32,8 +32,14 @@ pub struct Fx {
 impl Fx {
     /// Quantizes an `f32` by truncation into `format`.
     ///
-    /// Values outside the representable range saturate.
+    /// Values outside the representable range saturate; ±∞ saturates to the
+    /// corresponding range limit and NaN maps to zero (a hardware converter
+    /// has no NaN to propagate, so the choice is made explicit here rather
+    /// than left to the float→int cast).
     pub fn from_f32(x: f32, format: QFormat) -> Self {
+        if x.is_nan() {
+            return Fx::zero(format);
+        }
         let scaled = (x as f64 / format.precision() as f64).floor() as i64;
         Fx {
             raw: scaled.clamp(format.min_raw(), format.max_raw()),
@@ -99,15 +105,33 @@ impl Fx {
     /// Re-quantizes into a (usually narrower) format by truncation, with
     /// saturation — the hardware "wordlength reduction" step the framework
     /// inserts before squash/softmax units (paper Fig. 9).
+    ///
+    /// The shift widens to `i128` before saturating, so moving to a format
+    /// with many more fractional bits cannot overflow the raw `i64` (the
+    /// left shift previously could, for near-range values crossing wide
+    /// format gaps); the right shift is arithmetic, i.e. truncation floors
+    /// toward −∞ for negative values exactly like the f32 reference path.
     pub fn requantize(self, format: QFormat) -> Fx {
         let shift = self.format.frac_bits() as i32 - format.frac_bits() as i32;
-        let raw = if shift >= 0 {
-            self.raw >> shift
+        let widened: i128 = if shift >= 0 {
+            (self.raw as i128) >> shift
         } else {
-            self.raw << -shift
+            (self.raw as i128) << -shift
         };
         Fx {
-            raw: raw.clamp(format.min_raw(), format.max_raw()),
+            raw: widened.clamp(format.min_raw() as i128, format.max_raw() as i128) as i64,
+            format,
+        }
+    }
+
+    /// Re-quantizes into `format` under an explicit [`RoundingScheme`],
+    /// delegating to [`requant_raw`](crate::requant_raw): the scheme-aware
+    /// generalisation of [`requantize`](Fx::requantize) (which is the `u`-
+    /// independent truncation special case). `u` is the stochastic draw in
+    /// `[0, 1)`; deterministic schemes ignore it.
+    pub fn requantize_with(self, format: QFormat, scheme: crate::RoundingScheme, u: f64) -> Fx {
+        Fx {
+            raw: crate::requant_raw(scheme, self.raw, self.format.frac_bits(), format, u),
             format,
         }
     }
@@ -244,6 +268,74 @@ mod tests {
         let small = QFormat::new(1, 4);
         let x = Fx::from_f32(3.0, big);
         assert_eq!(x.requantize(small).to_f32(), small.max_value());
+    }
+
+    #[test]
+    fn from_f32_handles_non_finite_inputs() {
+        let q = QFormat::new(2, 6);
+        assert_eq!(Fx::from_f32(f32::NAN, q).raw(), 0);
+        assert_eq!(Fx::from_f32(f32::INFINITY, q).raw(), q.max_raw());
+        assert_eq!(Fx::from_f32(f32::NEG_INFINITY, q).raw(), q.min_raw());
+        assert_eq!(Fx::from_f32(1e30, q).raw(), q.max_raw());
+        assert_eq!(Fx::from_f32(-1e30, q).raw(), q.min_raw());
+    }
+
+    #[test]
+    fn requantize_wide_gap_saturates_instead_of_overflowing() {
+        // A near-range value crossing from a coarse to a very fine format:
+        // the raw left shift exceeds i64 and must saturate, not wrap.
+        let coarse = QFormat::new(60, 2);
+        let fine = QFormat::new(2, 40);
+        let top = Fx::from_raw(coarse.max_raw(), coarse);
+        assert_eq!(top.requantize(fine).raw(), fine.max_raw());
+        let bottom = Fx::from_raw(coarse.min_raw(), coarse);
+        assert_eq!(bottom.requantize(fine).raw(), fine.min_raw());
+    }
+
+    #[test]
+    fn requantize_negative_values_floor_toward_negative_infinity() {
+        let wide = QFormat::new(2, 8);
+        let narrow = QFormat::new(2, 2);
+        // −0.30078125 on the wide grid truncates to −0.5, not −0.25.
+        let x = Fx::from_f32(-0.3, wide);
+        assert_eq!(x.requantize(narrow).to_f32(), -0.5);
+        // Exactly-representable negatives stay put.
+        let y = Fx::from_f32(-0.25, wide);
+        assert_eq!(y.requantize(narrow).to_f32(), -0.25);
+    }
+
+    #[test]
+    fn requantize_with_matches_truncation_special_case() {
+        use crate::RoundingScheme;
+        let wide = QFormat::new(2, 10);
+        let narrow = QFormat::new(2, 4);
+        for raw in [-700i64, -1, 0, 1, 333, 1023] {
+            let x = Fx::from_raw(raw, wide);
+            assert_eq!(
+                x.requantize_with(narrow, RoundingScheme::Truncation, 0.7),
+                x.requantize(narrow)
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_with_rounds_to_nearest() {
+        use crate::RoundingScheme;
+        let wide = QFormat::new(2, 8);
+        let narrow = QFormat::new(2, 2);
+        // 0.30078125 → nearest on the 0.25 grid is 0.25; 0.449… → 0.5.
+        let x = Fx::from_f32(0.3, wide);
+        assert_eq!(
+            x.requantize_with(narrow, RoundingScheme::RoundToNearest, 0.0)
+                .to_f32(),
+            0.25
+        );
+        let y = Fx::from_f32(0.45, wide);
+        assert_eq!(
+            y.requantize_with(narrow, RoundingScheme::RoundToNearest, 0.0)
+                .to_f32(),
+            0.5
+        );
     }
 
     #[test]

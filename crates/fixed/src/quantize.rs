@@ -54,8 +54,7 @@ impl Quantizer {
     /// Quantizes a tensor, returning a new tensor on the grid.
     pub fn quantize(&self, t: &Tensor, rng: &mut impl Rng) -> Tensor {
         let mut out = t.clone();
-        self.scheme
-            .round_slice(out.data_mut(), self.format, rng);
+        self.scheme.round_slice(out.data_mut(), self.format, rng);
         out
     }
 
@@ -107,9 +106,11 @@ impl FusedQuant {
     #[inline]
     pub fn apply(&self, offset: usize, values: &mut [f32]) {
         let base = self.sr_base;
-        self.quantizer.scheme.round_slice_with(values, self.quantizer.format, |i| {
-            sr_uniform(base, (offset + i) as u64)
-        })
+        self.quantizer
+            .scheme
+            .round_slice_with(values, self.quantizer.format, |i| {
+                sr_uniform(base, (offset + i) as u64)
+            })
     }
 
     /// The round-after reference: one separate pass over the whole tensor,
@@ -209,7 +210,10 @@ mod tests {
             let t = Tensor::rand_uniform([128], -2.0, 2.0, &mut rng());
             let q = quant.quantize(&t, &mut rng());
             for &v in q.data() {
-                assert!(format.is_representable(v), "{v} not representable ({scheme})");
+                assert!(
+                    format.is_representable(v),
+                    "{v} not representable ({scheme})"
+                );
             }
         }
     }
@@ -322,14 +326,11 @@ mod tests {
         // accumulator stalls once the partial sum dwarfs the addend, biasing
         // the mean error low. The f64 path recovers it exactly.
         let n = 1 << 20;
+        let err = 1.0f32 / 4096.0; // 2^-12, exactly representable
         let orig = Tensor::from_vec(vec![0.5f32; n], [n]).unwrap();
-        let quant = Tensor::from_vec(vec![0.5f32 + 2.44140625e-4; n], [n]).unwrap();
+        let quant = Tensor::from_vec(vec![0.5f32 + err; n], [n]).unwrap();
         let stats = QuantizationStats::measure(&orig, &quant);
-        assert!(
-            (stats.bias - 2.44140625e-4).abs() < 1e-9,
-            "bias {}",
-            stats.bias
-        );
+        assert!((stats.bias - err).abs() < 1e-9, "bias {}", stats.bias);
     }
 
     #[test]

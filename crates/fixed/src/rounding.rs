@@ -162,7 +162,9 @@ impl RoundingScheme {
 #[inline]
 pub fn sr_uniform(base: u64, index: u64) -> f64 {
     const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-    let mut z = base.wrapping_add(index.wrapping_mul(GOLDEN)).wrapping_add(GOLDEN);
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(GOLDEN))
+        .wrapping_add(GOLDEN);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -384,12 +386,10 @@ mod tests {
     #[test]
     fn complexity_ordering() {
         assert!(
-            RoundingScheme::Truncation.complexity()
-                < RoundingScheme::RoundToNearest.complexity()
+            RoundingScheme::Truncation.complexity() < RoundingScheme::RoundToNearest.complexity()
         );
         assert!(
-            RoundingScheme::RoundToNearest.complexity()
-                < RoundingScheme::Stochastic.complexity()
+            RoundingScheme::RoundToNearest.complexity() < RoundingScheme::Stochastic.complexity()
         );
     }
 
@@ -451,8 +451,16 @@ mod tests {
         let q = QFormat::with_frac(3);
         let mut r = rng();
         for scheme in RoundingScheme::EXTENDED {
-            assert_eq!(scheme.round(f32::INFINITY, q, &mut r), q.max_value(), "{scheme}");
-            assert_eq!(scheme.round(f32::NEG_INFINITY, q, &mut r), q.min_value(), "{scheme}");
+            assert_eq!(
+                scheme.round(f32::INFINITY, q, &mut r),
+                q.max_value(),
+                "{scheme}"
+            );
+            assert_eq!(
+                scheme.round(f32::NEG_INFINITY, q, &mut r),
+                q.min_value(),
+                "{scheme}"
+            );
         }
     }
 
@@ -481,7 +489,7 @@ mod tests {
         // 0.3125 sits 1/4 of the way from 0.25 to 0.5: frac = 0.25.
         assert_eq!(sr.round_raw(0.3125, q, 0.10), 0.5); // u < frac → up
         assert_eq!(sr.round_raw(0.3125, q, 0.60), 0.25); // u ≥ frac → down
-        // Grid points never move regardless of the draw.
+                                                         // Grid points never move regardless of the draw.
         assert_eq!(sr.round_raw(0.75, q, 0.0), 0.75);
     }
 

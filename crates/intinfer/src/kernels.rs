@@ -1,0 +1,209 @@
+//! Integer linear kernels: quantized convolution and capsule-vote GEMM
+//! with `i64` accumulators.
+//!
+//! Both kernels accumulate exact integer partial sums (products of raw
+//! values at `x.frac + w_frac` fractional bits — integer addition is
+//! associative, so any loop order gives the same accumulator) and hand
+//! each finished output row to a writeback epilogue keyed by the row's
+//! global element offset. Parallelism therefore cannot change a single
+//! bit: the epilogue key depends only on the position, never the thread.
+
+use crate::tensor::IntTensor;
+use qcn_tensor::conv::Conv2dSpec;
+use qcn_tensor::parallel;
+
+/// A writeback epilogue: called with the global element offset of a
+/// finished output row and the row itself (same contract as the f32
+/// kernels' `RowEpilogue`).
+pub(crate) type RowEpi = dyn Fn(usize, &mut [i64]) + Sync;
+
+/// Direct integer 2-D convolution over `[b, ci, h, w]` with zero padding.
+///
+/// `weight` is a flat `[co, ci, kh, kw]` blob of raw values; `bias` (at the
+/// weight's fractional width) is widened by `x.frac` so it lands on the
+/// accumulator grid exactly. Each output row `[oh·ow]` of each `(batch,
+/// channel)` pair is produced by one worker and passed to `epi` with the
+/// row's global offset — the same `(b·co + ch)·oh·ow` keying as the f32
+/// reference's fused conv epilogue.
+///
+/// The result's raw values sit at `x.frac + w_frac` fractional bits unless
+/// `epi` requantized them; `out_frac` labels whatever the epilogue leaves
+/// behind.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_raw(
+    x: &IntTensor,
+    weight: &[i64],
+    bias: Option<&[i64]>,
+    co: usize,
+    spec: Conv2dSpec,
+    out_frac: u8,
+    epi: Option<&RowEpi>,
+) -> IntTensor {
+    assert_eq!(x.rank(), 4, "conv input must be [b, ci, h, w]");
+    let (b, ci, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert_eq!(
+        weight.len(),
+        co * ci * spec.kh * spec.kw,
+        "conv weight count mismatch"
+    );
+    if let Some(bias) = bias {
+        assert_eq!(bias.len(), co, "conv bias count mismatch");
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let ncols = oh * ow;
+    let mut out = IntTensor::zeros(vec![b, co, oh, ow], out_frac);
+    if ncols == 0 || b * co == 0 {
+        return out;
+    }
+    let xd = x.data();
+    let bias_shift = x.frac() as u32;
+    // Same work-granularity heuristic as the f32 implicit GEMM: aim for a
+    // few tens of thousands of multiply-accumulates per dispatched item.
+    let min_rows = (65_536 / (ci * spec.kh * spec.kw * ncols).max(1)).max(1);
+    parallel::par_chunks_mut(out.data_mut(), ncols, min_rows, |idx, row| {
+        let (bi, ch) = (idx / co, idx % co);
+        let init = bias.map_or(0, |bv| bv[ch] << bias_shift);
+        row.iter_mut().for_each(|v| *v = init);
+        let wbase = ch * ci * spec.kh * spec.kw;
+        for c in 0..ci {
+            let plane = &xd[(bi * ci + c) * h * w..(bi * ci + c + 1) * h * w];
+            for ki in 0..spec.kh {
+                for kj in 0..spec.kw {
+                    let wv = weight[wbase + (c * spec.kh + ki) * spec.kw + kj];
+                    for oi in 0..oh {
+                        let iy = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src = iy as usize * w;
+                        let dst = oi * ow;
+                        for oj in 0..ow {
+                            let ix = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            row[dst + oj] += wv * plane[src + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(epi) = epi {
+            epi(idx * ncols, row);
+        }
+    });
+    out
+}
+
+/// Integer capsule-vote kernel: `û[b,i,j,·] = u[b,i,·] · W[i,j,·,·]` on raw
+/// values, mirroring `qcn_capsnet::layers::caps_votes_infer_fused`.
+///
+/// `weight` is a flat `[ni, nj, di, dj]` blob. Each `(batch, input
+/// capsule)` panel of `nj·dj` outputs is produced by one worker and passed
+/// to `epi` keyed by `item·nj·dj` — the reference's exact epilogue offset.
+/// The output is `[b, ni, nj, dj]` at whatever precision `epi` leaves
+/// (`out_frac`).
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub(crate) fn caps_votes_raw(
+    input: &IntTensor,
+    weight: &[i64],
+    nj: usize,
+    dj: usize,
+    out_frac: u8,
+    epi: &RowEpi,
+) -> IntTensor {
+    assert_eq!(input.rank(), 3, "caps votes input must be [b, i, di]");
+    let (b, ni, di) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(
+        weight.len(),
+        ni * nj * di * dj,
+        "caps votes weight count mismatch"
+    );
+    let mut out = IntTensor::zeros(vec![b, ni, nj, dj], out_frac);
+    if nj * dj == 0 || b * ni == 0 {
+        return out;
+    }
+    let inp = input.data();
+    let min_items = (16_384 / (di * nj * dj).max(1)).max(1);
+    parallel::par_chunks_mut(out.data_mut(), nj * dj, min_items, |item, panel| {
+        let (bi, ii) = (item / ni, item % ni);
+        let u = &inp[(bi * ni + ii) * di..(bi * ni + ii + 1) * di];
+        for jj in 0..nj {
+            let w_base = (ii * nj + jj) * di * dj;
+            let o_row = &mut panel[jj * dj..(jj + 1) * dj];
+            for (d, &ud) in u.iter().enumerate() {
+                let w_row = &weight[w_base + d * dj..w_base + (d + 1) * dj];
+                for (o, &wv) in o_row.iter_mut().zip(w_row) {
+                    *o += ud * wv;
+                }
+            }
+        }
+        epi(item * nj * dj, panel);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::raw_to_f32;
+    use qcn_capsnet::layers::caps_votes_infer;
+    use qcn_tensor::conv::conv2d;
+    use qcn_tensor::Tensor;
+
+    fn as_f32(t: &IntTensor) -> Tensor {
+        t.to_f32()
+    }
+
+    #[test]
+    fn conv_matches_f32_reference_on_grid_values() {
+        let x = IntTensor::from_raw(
+            (0..2 * 3 * 5 * 5).map(|i| (i % 17) - 8).collect(),
+            vec![2, 3, 5, 5],
+            4,
+        );
+        let weight: Vec<i64> = (0..4 * 3 * 3 * 3).map(|i| ((i * 7) % 13) - 6).collect();
+        let bias: Vec<i64> = (0..4).map(|i| i - 2).collect();
+        let spec = Conv2dSpec::new(3, 3, 2, 1);
+        let got = conv2d_raw(&x, &weight, Some(&bias), 4, spec, 8, None);
+        let xf = as_f32(&x);
+        let wf = Tensor::from_vec(
+            weight.iter().map(|&v| raw_to_f32(v, 4)).collect(),
+            [4, 3, 3, 3],
+        )
+        .unwrap();
+        let bf = Tensor::from_vec(bias.iter().map(|&v| raw_to_f32(v, 4)).collect(), [4]).unwrap();
+        let want = conv2d(&xf, &wf, Some(&bf), spec);
+        assert_eq!(got.dims(), want.dims());
+        assert_eq!(got.frac(), 8);
+        assert_eq!(got.to_f32().data(), want.data());
+    }
+
+    #[test]
+    fn votes_match_f32_reference_on_grid_values() {
+        let input = IntTensor::from_raw(
+            (0..2 * 5 * 3).map(|i| (i % 11) - 5).collect(),
+            vec![2, 5, 3],
+            3,
+        );
+        let weight: Vec<i64> = (0..5 * 4 * 3 * 2).map(|i| ((i * 5) % 9) - 4).collect();
+        let noop = |_: usize, _: &mut [i64]| {};
+        let got = caps_votes_raw(&input, &weight, 4, 2, 6, &noop);
+        let inf = as_f32(&input);
+        let wf = Tensor::from_vec(
+            weight.iter().map(|&v| raw_to_f32(v, 3)).collect(),
+            [5, 4, 3, 2],
+        )
+        .unwrap();
+        let want = caps_votes_infer(&inf, &wf);
+        assert_eq!(got.dims(), want.dims());
+        assert_eq!(got.to_f32().data(), want.data());
+    }
+}

@@ -1,0 +1,580 @@
+//! Loading a packed model into executable integer form and running the
+//! full forward pass.
+
+use crate::epilogue::KeyedRequant;
+use crate::kernels::{caps_votes_raw, conv2d_raw};
+use crate::routing::{route_per_sample_raw, RoutingSpec};
+use crate::tensor::{flatten_caps_raw, IntTensor};
+use crate::units::{squash_blocks_requant, UnitMode};
+use qcapsnets::export::{unpack_raw_weights, PackedModel};
+use qcn_capsnet::descriptor::{BlockDesc, GroupDesc, LayerDesc, ModelDesc};
+use qcn_capsnet::layers::Activation;
+use qcn_capsnet::{ModelQuant, QuantCtx};
+use qcn_tensor::parallel;
+use qcn_tensor::Tensor;
+use std::fmt;
+
+/// Why a [`PackedModel`] could not be loaded into the integer engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The descriptor and the packed blob disagree on the group count.
+    GroupCountMismatch {
+        /// Groups in the descriptor.
+        expected: usize,
+        /// Groups in the packed model.
+        found: usize,
+    },
+    /// A group was packed in full precision (no `weight_frac`): it has no
+    /// raw integer form, so the integer engine cannot execute it.
+    FullPrecisionGroup(String),
+    /// A group is missing a fractional width the integer datapath needs
+    /// (`act_frac` everywhere; `stream_frac` for DeepCaps blocks).
+    MissingWidth {
+        /// Group name.
+        group: String,
+        /// The missing `LayerQuant` field.
+        field: &'static str,
+    },
+    /// A group's packed weight count does not match its descriptor.
+    WeightCountMismatch {
+        /// Group name.
+        group: String,
+        /// Weights the descriptor requires.
+        expected: usize,
+        /// Weights the blob holds.
+        found: usize,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::GroupCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "descriptor has {expected} groups, packed model has {found}"
+                )
+            }
+            LoadError::FullPrecisionGroup(g) => {
+                write!(f, "group {g} is packed in full precision (no integer form)")
+            }
+            LoadError::MissingWidth { group, field } => {
+                write!(
+                    f,
+                    "group {group} has no {field} (required by the integer datapath)"
+                )
+            }
+            LoadError::WeightCountMismatch {
+                group,
+                expected,
+                found,
+            } => write!(
+                f,
+                "group {group}: descriptor needs {expected} weights, blob has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Resolved fractional widths of one loaded group.
+#[derive(Debug, Clone, Copy)]
+struct GroupBits {
+    /// Weight width (`Qw`).
+    weight: u8,
+    /// Stored-activation width (`Qa`).
+    act: u8,
+    /// Explicit routing width, when configured (`Q_DR`).
+    dr: Option<u8>,
+    /// Intra-block streaming width (DeepCaps blocks only).
+    stream: Option<u8>,
+}
+
+/// One executable group: structure, widths, and raw parameter blobs split
+/// per tensor in registration order.
+#[derive(Debug, Clone)]
+struct LoadedGroup {
+    name: String,
+    desc: GroupDesc,
+    bits: GroupBits,
+    params: Vec<Vec<i64>>,
+}
+
+/// A packed model loaded into directly executable integer form.
+///
+/// # Examples
+///
+/// ```
+/// use qcapsnets::export::pack_model;
+/// use qcn_capsnet::{CapsNet, ModelQuant, ShallowCaps, ShallowCapsConfig};
+/// use qcn_fixed::RoundingScheme;
+/// use qcn_intinfer::{IntModel, UnitMode};
+/// use qcn_tensor::Tensor;
+///
+/// let m = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+/// let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+/// for lq in &mut config.layers {
+///     lq.dr_frac = Some(4);
+/// }
+/// let packed = pack_model(&m, &config);
+/// let engine = IntModel::load(&m.descriptor(), &packed).unwrap();
+/// // Inputs must sit on the deployment input grid (here Q1.5).
+/// let x = Tensor::zeros([1, 1, 16, 16]);
+/// let logits = engine.infer(&x, 5, UnitMode::FloatExact);
+/// assert_eq!(logits.dims(), &[1, 10, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntModel {
+    name: String,
+    num_classes: usize,
+    groups: Vec<LoadedGroup>,
+    config: ModelQuant,
+}
+
+impl IntModel {
+    /// Loads `packed` under the structural `desc`, validating that every
+    /// group is fully executable on the integer datapath: quantized
+    /// weights, an activation width, and (for DeepCaps blocks) a streaming
+    /// width. Routing groups fall back to `Qa` when no explicit `Q_DR` is
+    /// set, exactly like the fake-quant reference.
+    pub fn load(desc: &ModelDesc, packed: &PackedModel) -> Result<IntModel, LoadError> {
+        if packed.groups.len() != desc.groups.len()
+            || packed.config.layers.len() != desc.groups.len()
+        {
+            return Err(LoadError::GroupCountMismatch {
+                expected: desc.groups.len(),
+                found: packed.groups.len(),
+            });
+        }
+        let raws = unpack_raw_weights(packed);
+        let mut groups = Vec::with_capacity(desc.groups.len());
+        for (((name, gdesc), lq), raw) in desc.groups.iter().zip(&packed.config.layers).zip(raws) {
+            let weight = lq
+                .weight_frac
+                .ok_or_else(|| LoadError::FullPrecisionGroup(name.clone()))?;
+            let act = lq.act_frac.ok_or(LoadError::MissingWidth {
+                group: name.clone(),
+                field: "act_frac",
+            })?;
+            let stream = lq.stream_frac;
+            if matches!(gdesc, GroupDesc::Block(_)) && stream.is_none() {
+                return Err(LoadError::MissingWidth {
+                    group: name.clone(),
+                    field: "stream_frac",
+                });
+            }
+            let flat = raw.expect("weight_frac set implies raw form");
+            let expected = gdesc.weight_count();
+            if flat.len() != expected {
+                return Err(LoadError::WeightCountMismatch {
+                    group: name.clone(),
+                    expected,
+                    found: flat.len(),
+                });
+            }
+            // Split the flat blob into per-parameter tensors in
+            // registration order.
+            let mut params = Vec::new();
+            let mut offset = 0usize;
+            for shape in gdesc.param_shapes() {
+                let len: usize = shape.iter().product();
+                params.push(flat[offset..offset + len].to_vec());
+                offset += len;
+            }
+            groups.push(LoadedGroup {
+                name: name.clone(),
+                desc: gdesc.clone(),
+                bits: GroupBits {
+                    weight,
+                    act,
+                    dr: lq.dr_frac,
+                    stream,
+                },
+                params,
+            });
+        }
+        Ok(IntModel {
+            name: desc.name.clone(),
+            num_classes: desc.num_classes,
+            groups,
+            config: packed.config.clone(),
+        })
+    }
+
+    /// Architecture name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The quantization configuration the weights were packed under.
+    pub fn config(&self) -> &ModelQuant {
+        &self.config
+    }
+
+    /// Group names, in execution order.
+    pub fn group_names(&self) -> Vec<&str> {
+        self.groups.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    /// Runs the integer forward pass on a batch `[b, c, h, w]` whose
+    /// values lie on the `2^-in_frac` input grid, returning exact-
+    /// dequantized output capsules `[b, classes, dim]`.
+    ///
+    /// A fresh [`QuantCtx`] is seeded from the packed configuration, so
+    /// under stochastic rounding this consumes the same random stream as
+    /// `CapsNet::infer` with the same config — in [`UnitMode::FloatExact`]
+    /// the logits are bit-identical to that reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an input value is off-grid or the batch geometry does
+    /// not match the model.
+    pub fn infer(&self, x: &Tensor, in_frac: u8, mode: UnitMode) -> Tensor {
+        let mut ctx = QuantCtx::from_config(&self.config);
+        self.infer_with_ctx(x, in_frac, mode, &mut ctx)
+    }
+
+    /// [`infer`](IntModel::infer) with a caller-managed context (so one
+    /// stochastic stream can span a multi-batch evaluation, as
+    /// `qcn_capsnet::accuracy` does).
+    pub fn infer_with_ctx(
+        &self,
+        x: &Tensor,
+        in_frac: u8,
+        mode: UnitMode,
+        ctx: &mut QuantCtx,
+    ) -> Tensor {
+        let input = IntTensor::from_f32_on_grid(x, in_frac);
+        self.infer_raw(input, mode, ctx).to_f32()
+    }
+
+    /// The raw-in/raw-out forward pass.
+    pub fn infer_raw(&self, mut cur: IntTensor, mode: UnitMode, ctx: &mut QuantCtx) -> IntTensor {
+        for group in &self.groups {
+            match &group.desc {
+                GroupDesc::Layer(layer) => {
+                    if let LayerDesc::CapsFc { in_dim, .. } = layer {
+                        if cur.rank() == 4 {
+                            cur = flatten_caps_raw(&cur, *in_dim);
+                        }
+                    }
+                    let bits = group.bits;
+                    let dr = bits.dr.unwrap_or(bits.act);
+                    cur = run_layer(
+                        layer,
+                        &group.params,
+                        bits.weight,
+                        bits.act,
+                        dr,
+                        cur,
+                        mode,
+                        ctx,
+                    );
+                }
+                GroupDesc::Block(block) => {
+                    cur = run_block(block, &group.bits, &group.params, cur, mode, ctx);
+                }
+            }
+        }
+        cur
+    }
+
+    /// Classifies a batch on the integer datapath: [`infer`](IntModel::infer)
+    /// followed by the capsule-length argmax of the reference `predict`
+    /// (first maximum wins). The lengths are computed on the exact
+    /// dequantized capsules, so in [`UnitMode::FloatExact`] the
+    /// predictions equal the reference's bit for bit.
+    pub fn predict(&self, x: &Tensor, in_frac: u8, mode: UnitMode) -> Vec<usize> {
+        let mut ctx = QuantCtx::from_config(&self.config);
+        self.predict_with_ctx(x, in_frac, mode, &mut ctx)
+    }
+
+    /// [`predict`](IntModel::predict) with a caller-managed context.
+    pub fn predict_with_ctx(
+        &self,
+        x: &Tensor,
+        in_frac: u8,
+        mode: UnitMode,
+        ctx: &mut QuantCtx,
+    ) -> Vec<usize> {
+        let caps = self.infer_with_ctx(x, in_frac, mode, ctx);
+        let (b, classes, dim) = (caps.dims()[0], caps.dims()[1], caps.dims()[2]);
+        assert!(classes > 0, "predict with zero classes");
+        let mut preds = vec![0usize; b];
+        let data = caps.data();
+        parallel::par_chunks_mut(&mut preds, 1, 64, |s, slot| {
+            let sample = &data[s * classes * dim..(s + 1) * classes * dim];
+            let length = |k: usize| {
+                sample[k * dim..(k + 1) * dim]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    .sqrt()
+            };
+            let mut best = 0usize;
+            let mut best_len = length(0);
+            for k in 1..classes {
+                let len = length(k);
+                if len > best_len {
+                    best = k;
+                    best_len = len;
+                }
+            }
+            slot[0] = best;
+        });
+        preds
+    }
+}
+
+/// Executes one primitive layer. `out_frac` is the width its output is
+/// stored at (`Qa` for standalone layers, the streaming width inside
+/// DeepCaps blocks); `dr` the routing width where applicable. The
+/// `fork_base` draws mirror the reference layer implementations exactly —
+/// conv/ConvCaps bind their epilogue before the kernel, ConvCapsRouting
+/// binds one per input type inside its loop.
+#[allow(clippy::too_many_arguments)]
+fn run_layer(
+    layer: &LayerDesc,
+    params: &[Vec<i64>],
+    w_frac: u8,
+    out_frac: u8,
+    dr: u8,
+    x: IntTensor,
+    mode: UnitMode,
+    ctx: &mut QuantCtx,
+) -> IntTensor {
+    let scheme = ctx.scheme();
+    match layer {
+        LayerDesc::Conv2d {
+            out_channels,
+            spec,
+            activation,
+            ..
+        } => {
+            let acc = x.frac() + w_frac;
+            let rq = KeyedRequant::new(scheme, acc, out_frac, ctx.fork_base());
+            let act = *activation;
+            let one = 1i64 << acc;
+            let epi = move |off: usize, row: &mut [i64]| {
+                match act {
+                    Activation::None => {}
+                    Activation::Relu => row.iter_mut().for_each(|v| *v = (*v).max(0)),
+                    Activation::BoundedRelu => row.iter_mut().for_each(|v| *v = (*v).clamp(0, one)),
+                }
+                rq.apply_raw(off, row);
+            };
+            conv2d_raw(
+                &x,
+                &params[0],
+                Some(&params[1]),
+                *out_channels,
+                *spec,
+                out_frac,
+                Some(&epi),
+            )
+        }
+        LayerDesc::PrimaryCaps {
+            types, dim, spec, ..
+        } => {
+            let (b, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = spec.output_hw(h, w);
+            let acc = x.frac() + w_frac;
+            let y = conv2d_raw(
+                &x,
+                &params[0],
+                Some(&params[1]),
+                types * dim,
+                *spec,
+                acc,
+                None,
+            );
+            let mut caps = y
+                .reshape(vec![b, *types, *dim, oh * ow])
+                .permute(&[0, 1, 3, 2])
+                .reshape(vec![b, types * oh * ow, *dim]);
+            let rq = KeyedRequant::new(scheme, acc, out_frac, ctx.fork_base());
+            squash_blocks_requant(mode, caps.data_mut(), acc, *dim, 1, &rq);
+            caps.set_frac(out_frac);
+            caps
+        }
+        LayerDesc::ConvCaps {
+            types,
+            dim,
+            spec,
+            squash,
+            ..
+        } => {
+            let (b, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = spec.output_hw(h, w);
+            let acc = x.frac() + w_frac;
+            // The reference binds the epilogue before branching on squash.
+            let rq = KeyedRequant::new(scheme, acc, out_frac, ctx.fork_base());
+            if !squash {
+                let epi = move |off: usize, row: &mut [i64]| rq.apply_raw(off, row);
+                return conv2d_raw(
+                    &x,
+                    &params[0],
+                    Some(&params[1]),
+                    types * dim,
+                    *spec,
+                    out_frac,
+                    Some(&epi),
+                );
+            }
+            let y = conv2d_raw(
+                &x,
+                &params[0],
+                Some(&params[1]),
+                types * dim,
+                *spec,
+                acc,
+                None,
+            );
+            let mut grouped = y.reshape(vec![b, *types, *dim, oh * ow]);
+            squash_blocks_requant(mode, grouped.data_mut(), acc, *dim, oh * ow, &rq);
+            grouped.set_frac(out_frac);
+            grouped.reshape(vec![b, types * dim, oh, ow])
+        }
+        LayerDesc::ConvCapsRouting {
+            in_types,
+            in_dim,
+            out_types,
+            out_dim,
+            spec,
+            iters,
+        } => {
+            let (b, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+            let (oh, ow) = spec.output_hw(h, w);
+            let s_spatial = oh * ow;
+            let acc = x.frac() + w_frac;
+            let out_ch = out_types * out_dim;
+            let per_type = out_ch * in_dim * spec.kh * spec.kw;
+            let mut votes =
+                IntTensor::zeros(vec![b, *in_types, *out_types, *out_dim, s_spatial], dr);
+            for ti in 0..*in_types {
+                // One epilogue stream per input type, drawn inside the
+                // loop — same order as the reference's per-type fused conv.
+                let rq = KeyedRequant::new(scheme, acc, dr, ctx.fork_base());
+                let epi = move |off: usize, row: &mut [i64]| rq.apply_raw(off, row);
+                let x_t = x.slice_channels(ti * in_dim, *in_dim);
+                let w_t = &params[0][ti * per_type..(ti + 1) * per_type];
+                let v_t = conv2d_raw(&x_t, w_t, None, out_ch, *spec, dr, Some(&epi));
+                for bi in 0..b {
+                    let src = &v_t.data()[bi * out_ch * s_spatial..(bi + 1) * out_ch * s_spatial];
+                    let dst = (bi * in_types + ti) * out_ch * s_spatial;
+                    votes.data_mut()[dst..dst + src.len()].copy_from_slice(src);
+                }
+            }
+            let routed = route_per_sample_raw(
+                &votes,
+                RoutingSpec {
+                    iters: *iters,
+                    ti: *in_types,
+                    to: *out_types,
+                    dd: *out_dim,
+                    s: s_spatial,
+                    dr,
+                    out_frac,
+                },
+                mode,
+                ctx,
+            );
+            routed.reshape(vec![b, out_ch, oh, ow])
+        }
+        LayerDesc::CapsFc {
+            in_caps,
+            out_caps,
+            out_dim,
+            iters,
+            ..
+        } => {
+            let b = x.dims()[0];
+            let acc = x.frac() + w_frac;
+            let rq = KeyedRequant::new(scheme, acc, dr, ctx.fork_base());
+            let epi = move |off: usize, panel: &mut [i64]| rq.apply_raw(off, panel);
+            let votes = caps_votes_raw(&x, &params[0], *out_caps, *out_dim, dr, &epi)
+                .reshape(vec![b, *in_caps, *out_caps, *out_dim, 1]);
+            let routed = route_per_sample_raw(
+                &votes,
+                RoutingSpec {
+                    iters: *iters,
+                    ti: *in_caps,
+                    to: *out_caps,
+                    dd: *out_dim,
+                    s: 1,
+                    dr,
+                    out_frac,
+                },
+                mode,
+                ctx,
+            );
+            routed.reshape(vec![b, *out_caps, *out_dim])
+        }
+    }
+}
+
+/// Executes one DeepCaps block: `out = squash(main2(main1(x)) + skip(x))`.
+/// The three branch layers stream at `stream_frac`; the residual sum is
+/// exact integer addition on that shared grid; the block-output squash
+/// requantizes to `Qa` through a keyed epilogue — all in the reference's
+/// call order, so the stochastic stream advances identically.
+fn run_block(
+    block: &BlockDesc,
+    bits: &GroupBits,
+    params: &[Vec<i64>],
+    x: IntTensor,
+    mode: UnitMode,
+    ctx: &mut QuantCtx,
+) -> IntTensor {
+    let stream = bits.stream.expect("validated at load");
+    // Inside a block the routing skip falls back to the streaming width,
+    // mirroring the reference's inner LayerQuant (act = stream_frac).
+    let dr = bits.dr.unwrap_or(stream);
+    let m1 = run_layer(
+        &block.main1,
+        &params[0..2],
+        bits.weight,
+        stream,
+        dr,
+        x.clone(),
+        mode,
+        ctx,
+    );
+    let m2 = run_layer(
+        &block.main2,
+        &params[2..4],
+        bits.weight,
+        stream,
+        dr,
+        m1,
+        mode,
+        ctx,
+    );
+    let skip = run_layer(
+        &block.skip,
+        &params[4..],
+        bits.weight,
+        stream,
+        dr,
+        x,
+        mode,
+        ctx,
+    );
+    assert_eq!(m2.dims(), skip.dims(), "block branch shapes diverge");
+    let (b, h, w) = (m2.dims()[0], m2.dims()[2], m2.dims()[3]);
+    let mut sum = m2;
+    for (o, &v) in sum.data_mut().iter_mut().zip(skip.data()) {
+        *o += v;
+    }
+    let mut grouped = sum.reshape(vec![b, block.types, block.dim, h * w]);
+    let rq = KeyedRequant::new(ctx.scheme(), stream, bits.act, ctx.fork_base());
+    squash_blocks_requant(mode, grouped.data_mut(), stream, block.dim, h * w, &rq);
+    grouped.set_frac(bits.act);
+    grouped.reshape(vec![b, block.types * block.dim, h, w])
+}

@@ -1,0 +1,157 @@
+//! The integer dynamic-routing loop (paper Fig. 6 on raw fixed-point),
+//! mirroring `qcn_capsnet::layers::dynamic_routing` site for site.
+//!
+//! Votes enter on the `Q_DR` grid. Per iteration: coupling softmax over
+//! output types (rounded to Q_DR), weighted vote aggregation (products at
+//! `2·Q_DR` fractional bits, requantized per output row to Q_DR as the
+//! accumulator finishes), squash, and a sequential requantization to Q_DR
+//! (or the layer's output width on the last iteration); between
+//! iterations the agreement update accumulates at `2·Q_DR` and the logits
+//! are re-rounded (clamping into Q1 range, as the reference's rounding
+//! does). Every requantization consumes the forked context's sequential
+//! stream in exactly the reference's draw order, so stochastic rounding
+//! is bit-identical too.
+
+use crate::epilogue::seq_requant;
+use crate::tensor::IntTensor;
+use crate::units::{softmax_over_types, squash_routing, UnitMode};
+use qcn_capsnet::QuantCtx;
+use qcn_tensor::parallel;
+
+/// Geometry and precisions of one routing dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RoutingSpec {
+    /// Routing iterations.
+    pub iters: usize,
+    /// Input capsule types `Ti`.
+    pub ti: usize,
+    /// Output capsule types `To`.
+    pub to: usize,
+    /// Output capsule dimensionality `Do`.
+    pub dd: usize,
+    /// Spatial positions `S` (1 for fully-connected routing).
+    pub s: usize,
+    /// `Q_DR` fractional bits of votes and routing intermediates.
+    pub dr: u8,
+    /// Fractional bits of the routed output (`Qa` of the layer).
+    pub out_frac: u8,
+}
+
+/// Routes one sample: votes `[ti, to, dd, s]` at `dr` fractional bits in,
+/// output `[to, dd, s]` at `out_frac` out.
+fn dynamic_routing_raw(
+    votes: &[i64],
+    p: RoutingSpec,
+    mode: UnitMode,
+    ctx: &mut QuantCtx,
+) -> Vec<i64> {
+    let RoutingSpec {
+        iters,
+        ti,
+        to,
+        dd,
+        s,
+        dr,
+        out_frac,
+    } = p;
+    let row = dd * s;
+    debug_assert_eq!(votes.len(), ti * to * row);
+    let acc_frac = 2 * dr;
+    let mut logits = vec![0i64; ti * to * s];
+    let mut v = vec![0i64; to * row];
+    for iter in 0..iters {
+        // c = softmax(b) over output types — operand and result at Q_DR.
+        let mut c = logits.clone();
+        softmax_over_types(mode, &mut c, ti, to, s, dr, ctx);
+        // s = Σ_i c·û: exact integer products at 2·Q_DR, each output row
+        // requantized to Q_DR as it leaves the accumulator.
+        let mut s_pre = vec![0i64; to * row];
+        for j in 0..to {
+            let orow = &mut s_pre[j * row..(j + 1) * row];
+            for i in 0..ti {
+                let idx = i * to + j;
+                let vrow = &votes[idx * row..(idx + 1) * row];
+                let crow = &c[idx * s..(idx + 1) * s];
+                for k in 0..dd {
+                    for sp in 0..s {
+                        orow[k * s + sp] += vrow[k * s + sp] * crow[sp];
+                    }
+                }
+            }
+            seq_requant(ctx, orow, acc_frac, dr);
+        }
+        let last = iter + 1 == iters;
+        // Squash along Do; intermediate v stays at Q_DR, the final output
+        // is the layer activation at Qa.
+        squash_routing(
+            mode,
+            &mut s_pre,
+            dr,
+            dd,
+            s,
+            if last { out_frac } else { dr },
+            ctx,
+        );
+        v = s_pre;
+        if !last {
+            // a = Σ_d û·v at 2·Q_DR, requantized per [to, s] row group.
+            let mut agreement = vec![0i64; ti * to * s];
+            for i in 0..ti {
+                let group = &mut agreement[i * to * s..(i + 1) * to * s];
+                for j in 0..to {
+                    let vote = &votes[(i * to + j) * row..(i * to + j + 1) * row];
+                    let vrow = &v[j * row..(j + 1) * row];
+                    let orow = &mut group[j * s..(j + 1) * s];
+                    for k in 0..dd {
+                        for sp in 0..s {
+                            orow[sp] += vote[k * s + sp] * vrow[k * s + sp];
+                        }
+                    }
+                }
+                seq_requant(ctx, group, acc_frac, dr);
+            }
+            // b += a — the add is exact on the shared grid; the requant
+            // clamps back into Q1.dr range and consumes one draw per
+            // element under SR, exactly like the reference's rounding.
+            for (l, &a) in logits.iter_mut().zip(&agreement) {
+                *l += a;
+            }
+            seq_requant(ctx, &mut logits, dr, dr);
+        }
+    }
+    v
+}
+
+/// Routes each sample of `votes` `[b, ti, to, dd, s]` independently through
+/// the thread pool with per-sample forked contexts — the raw mirror of
+/// `qcn_capsnet::layers::route_per_sample`, sharing its fork discipline so
+/// stochastic rounding is identical for every thread count. Returns
+/// `[b, 1, to, dd, s]` at `p.out_frac`.
+pub(crate) fn route_per_sample_raw(
+    votes: &IntTensor,
+    p: RoutingSpec,
+    mode: UnitMode,
+    ctx: &mut QuantCtx,
+) -> IntTensor {
+    let b = votes.dims()[0];
+    let per_sample = p.ti * p.to * p.dd * p.s;
+    let out_len = p.to * p.dd * p.s;
+    let mut out = IntTensor::zeros(vec![b, 1, p.to, p.dd, p.s], p.out_frac);
+    if out_len == 0 || b == 0 {
+        return out;
+    }
+    let base = ctx.fork_base();
+    let vdata = votes.data();
+    let ctx_ref = &*ctx;
+    parallel::par_chunks_mut(out.data_mut(), out_len, 1, |sample, chunk| {
+        let mut sctx = ctx_ref.fork(base, sample as u64);
+        let v = dynamic_routing_raw(
+            &vdata[sample * per_sample..(sample + 1) * per_sample],
+            p,
+            mode,
+            &mut sctx,
+        );
+        chunk.copy_from_slice(&v);
+    });
+    out
+}

@@ -66,7 +66,10 @@ impl Conv2dSpec {
             self.kw,
             self.padding
         );
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
@@ -156,7 +159,8 @@ fn col2im_batch(
                 for oi in oi_lo..oi_hi {
                     let ii = oi * s + ki - p;
                     let dst_base = (ch * h + ii) * w + (oj_lo * s + kj - p);
-                    let src = &col_batch[row * ncols + oi * ow + oj_lo..row * ncols + oi * ow + oj_hi];
+                    let src =
+                        &col_batch[row * ncols + oi * ow + oj_lo..row * ncols + oi * ow + oj_hi];
                     if s == 1 {
                         let dst = &mut out_batch[dst_base..dst_base + src.len()];
                         for (d, &x) in dst.iter_mut().zip(src) {
@@ -183,7 +187,12 @@ fn col2im_batch(
 ///
 /// Panics when `input` is not rank 4 or the kernel does not fit.
 pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
-    assert_eq!(input.rank(), 4, "im2col expects NCHW, got {}", input.shape());
+    assert_eq!(
+        input.rank(),
+        4,
+        "im2col expects NCHW, got {}",
+        input.shape()
+    );
     let (b, c, h, w) = (
         input.dims()[0],
         input.dims()[1],
@@ -222,7 +231,12 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
 ///
 /// Panics when `cols` is not rank 3-compatible with the given geometry.
 pub fn col2im(cols: &Tensor, spec: Conv2dSpec, c: usize, h: usize, w: usize) -> Tensor {
-    assert_eq!(cols.rank(), 3, "col2im expects rank 3, got {}", cols.shape());
+    assert_eq!(
+        cols.rank(),
+        3,
+        "col2im expects rank 3, got {}",
+        cols.shape()
+    );
     let (oh, ow) = spec.output_hw(h, w);
     let b = cols.dims()[0];
     let rows = c * spec.kh * spec.kw;

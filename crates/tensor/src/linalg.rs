@@ -231,9 +231,18 @@ pub(crate) fn gemm_serial(
     scratch: &mut [f32],
 ) {
     debug_assert!(b.len() >= k * n);
-    gemm_serial_with(a, out, m, k, n, store, scratch, &mut |l0, l1, j, w, wpad, bpack| {
-        pack_matrix_panel(b, n, l0, l1, j, w, wpad, bpack);
-    });
+    gemm_serial_with(
+        a,
+        out,
+        m,
+        k,
+        n,
+        store,
+        scratch,
+        &mut |l0, l1, j, w, wpad, bpack| {
+            pack_matrix_panel(b, n, l0, l1, j, w, wpad, bpack);
+        },
+    );
 }
 
 /// One worker's panel-packing scratch (`KC × NR`): allocate once per
@@ -338,8 +347,18 @@ impl Tensor {
     /// cache-hot, before the product returns. See [`RowEpilogue`] for the
     /// determinism contract.
     pub fn matmul_fused(&self, rhs: &Tensor, epilogue: Option<RowEpilogue>) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {}", self.shape());
-        assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2, got {}", rhs.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "matmul lhs must be rank 2, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            rhs.rank(),
+            2,
+            "matmul rhs must be rank 2, got {}",
+            rhs.shape()
+        );
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims disagree: {k} vs {k2}");
@@ -364,7 +383,12 @@ impl Tensor {
     /// to each finished batch product (offset `batch × m × n`) while it is
     /// still cache-hot. See [`RowEpilogue`] for the determinism contract.
     pub fn bmm_fused(&self, rhs: &Tensor, epilogue: Option<RowEpilogue>) -> Tensor {
-        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            3,
+            "bmm lhs must be rank 3, got {}",
+            self.shape()
+        );
         assert_eq!(rhs.rank(), 3, "bmm rhs must be rank 3, got {}", rhs.shape());
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
@@ -405,7 +429,12 @@ impl Tensor {
     ///
     /// Panics when the tensor is not rank 2.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "transpose requires rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose requires rank 2, got {}",
+            self.shape()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         if m > 0 && n > 0 {
@@ -575,7 +604,9 @@ mod tests {
             (3, 0, 4),
             (3, 4, 0),
         ] {
-            let a = Tensor::from_fn([m, k], |i| ((i[0] * 31 + i[1] * 7) % 13) as f32 * 0.25 - 1.0);
+            let a = Tensor::from_fn([m, k], |i| {
+                ((i[0] * 31 + i[1] * 7) % 13) as f32 * 0.25 - 1.0
+            });
             let b = Tensor::from_fn([k, n], |i| ((i[0] * 17 + i[1] * 3) % 11) as f32 * 0.5 - 2.0);
             let got = a.matmul(&b);
             let want = matmul_naive(&a, &b);
@@ -603,7 +634,9 @@ mod tests {
     #[test]
     fn matmul_is_bit_identical_across_thread_counts() {
         let a = Tensor::from_fn([23, 37], |i| ((i[0] * 13 + i[1]) % 97) as f32 * 0.1 - 4.0);
-        let b = Tensor::from_fn([37, 29], |i| ((i[0] * 7 + i[1] * 5) % 89) as f32 * 0.2 - 8.0);
+        let b = Tensor::from_fn([37, 29], |i| {
+            ((i[0] * 7 + i[1] * 5) % 89) as f32 * 0.2 - 8.0
+        });
         let serial = with_threads(1, || a.matmul(&b));
         for t in [2, 3, 7, 8] {
             let par = with_threads(t, || a.matmul(&b));
@@ -638,11 +671,19 @@ mod tests {
 
     #[test]
     fn bmm_is_bit_identical_across_thread_counts() {
-        let a = Tensor::from_fn([13, 4, 9], |i| ((i[0] * 11 + i[1] * 3 + i[2]) % 23) as f32 * 0.3);
-        let b = Tensor::from_fn([13, 9, 5], |i| ((i[0] * 5 + i[1] * 7 + i[2]) % 19) as f32 * 0.7);
+        let a = Tensor::from_fn([13, 4, 9], |i| {
+            ((i[0] * 11 + i[1] * 3 + i[2]) % 23) as f32 * 0.3
+        });
+        let b = Tensor::from_fn([13, 9, 5], |i| {
+            ((i[0] * 5 + i[1] * 7 + i[2]) % 19) as f32 * 0.7
+        });
         let serial = with_threads(1, || a.bmm(&b));
         for t in [2, 7] {
-            assert_eq!(with_threads(t, || a.bmm(&b)).data(), serial.data(), "threads {t}");
+            assert_eq!(
+                with_threads(t, || a.bmm(&b)).data(),
+                serial.data(),
+                "threads {t}"
+            );
         }
     }
 

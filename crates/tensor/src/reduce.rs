@@ -121,7 +121,12 @@ impl Tensor {
     ///
     /// Panics when the tensor is not rank 2 or has zero columns.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        assert_eq!(self.rank(), 2, "argmax_rows requires rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "argmax_rows requires rank 2, got {}",
+            self.shape()
+        );
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         assert!(cols > 0, "argmax_rows with zero columns");
         (0..rows)
@@ -147,9 +152,7 @@ impl Tensor {
     ///
     /// Panics when `axis >= rank`.
     pub fn norm_axis_keepdim(&self, axis: usize) -> Tensor {
-        self.map(|x| x * x)
-            .sum_axis_keepdim(axis)
-            .map(|s| s.sqrt())
+        self.map(|x| x * x).sum_axis_keepdim(axis).map(|s| s.sqrt())
     }
 
     /// Euclidean norm along `axis`, removing the dimension.
@@ -249,7 +252,15 @@ mod tests {
         let s = t.sum_axis(1);
         assert_eq!(s.dims(), &[2, 2]);
         // Sum over axis 1 of values 0..12 laid out row-major.
-        assert_eq!(s.data(), &[0.0 + 2.0 + 4.0, 1.0 + 3.0 + 5.0, 6.0 + 8.0 + 10.0, 7.0 + 9.0 + 11.0]);
+        assert_eq!(
+            s.data(),
+            &[
+                0.0 + 2.0 + 4.0,
+                1.0 + 3.0 + 5.0,
+                6.0 + 8.0 + 10.0,
+                7.0 + 9.0 + 11.0
+            ]
+        );
     }
 
     #[test]

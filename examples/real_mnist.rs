@@ -32,12 +32,8 @@ fn main() {
         );
         return;
     }
-    let train_full = load_idx(
-        &train_images,
-        dir.join("train-labels-idx1-ubyte"),
-        10,
-    )
-    .expect("parse MNIST training set");
+    let train_full = load_idx(&train_images, dir.join("train-labels-idx1-ubyte"), 10)
+        .expect("parse MNIST training set");
     let test_full = load_idx(
         dir.join("t10k-images-idx3-ubyte"),
         dir.join("t10k-labels-idx1-ubyte"),

@@ -3,7 +3,9 @@
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+cargo test -q --test integer_inference_equivalence
 cargo clippy --workspace -- -D warnings
 cargo bench --no-run

@@ -25,7 +25,12 @@ struct Oracle {
 }
 
 impl Oracle {
-    fn new(weight_coeff: Vec<f32>, act_coeff: Vec<f32>, dr_coeff: Vec<f32>, routing: Vec<bool>) -> Self {
+    fn new(
+        weight_coeff: Vec<f32>,
+        act_coeff: Vec<f32>,
+        dr_coeff: Vec<f32>,
+        routing: Vec<bool>,
+    ) -> Self {
         let groups = routing
             .iter()
             .enumerate()

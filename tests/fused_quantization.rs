@@ -147,7 +147,13 @@ struct Stack {
 impl Stack {
     fn new(scheme: RoundingScheme) -> Self {
         let mut rng = StdRng::seed_from_u64(7);
-        let conv = Conv2dLayer::new(1, 6, Conv2dSpec::new(3, 3, 1, 1), Activation::BoundedRelu, &mut rng);
+        let conv = Conv2dLayer::new(
+            1,
+            6,
+            Conv2dSpec::new(3, 3, 1, 1),
+            Activation::BoundedRelu,
+            &mut rng,
+        );
         let primary = PrimaryCaps::new(6, 2, 4, Conv2dSpec::new(3, 3, 2, 0), &mut rng);
         // 12×12 input → conv (s1 p1) 12×12 → primary (s2 p0) 5×5 → 50 caps.
         let capsfc = CapsFc::new(50, 4, 5, 6, 3, &mut rng);
@@ -155,12 +161,22 @@ impl Stack {
             weight_frac: Some(8),
             act_frac: Some(6),
             dr_frac: Some(5),
+            ..LayerQuant::full_precision()
         };
-        let mut stack = Stack { conv, primary, capsfc, lq };
+        let mut stack = Stack {
+            conv,
+            primary,
+            capsfc,
+            lq,
+        };
         let mut wctx = QuantCtx::new(scheme, 3);
         stack.conv.quantize_weights(stack.lq.weight_frac, &mut wctx);
-        stack.primary.quantize_weights(stack.lq.weight_frac, &mut wctx);
-        stack.capsfc.quantize_weights(stack.lq.weight_frac, &mut wctx);
+        stack
+            .primary
+            .quantize_weights(stack.lq.weight_frac, &mut wctx);
+        stack
+            .capsfc
+            .quantize_weights(stack.lq.weight_frac, &mut wctx);
         stack
     }
 
@@ -205,7 +221,11 @@ fn quantized_stack_matches_tensor_op_reference() {
         // unfused public tensor ops.
         let conv_w = stack.conv.params()[0].clone();
         let conv_b = stack.conv.params()[1].clone();
-        assert_eq!(&roundq(&conv_w, wq, scheme), &conv_w, "weights already on grid");
+        assert_eq!(
+            &roundq(&conv_w, wq, scheme),
+            &conv_w,
+            "weights already on grid"
+        );
         let y = conv2d(&x, &conv_w, Some(&conv_b), Conv2dSpec::new(3, 3, 1, 1));
         let y = roundq(&y.map(|v| v.clamp(0.0, 1.0)), aq, scheme);
 

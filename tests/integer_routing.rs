@@ -26,10 +26,7 @@ fn fx_dynamic_routing(votes: &[Vec<Vec<Fx>>], iters: usize, fmt: QFormat) -> Vec
             for d in 0..dj {
                 let mut acc = Fx::zero(wide);
                 for (i, c_row) in coupling.iter().enumerate() {
-                    acc = acc.mac(
-                        c_row[j].requantize(wide),
-                        votes[i][j][d].requantize(wide),
-                    );
+                    acc = acc.mac(c_row[j].requantize(wide), votes[i][j][d].requantize(wide));
                 }
                 // Wordlength reduction before the squash unit (Fig. 9).
                 output[j][d] = acc.requantize(fmt);
@@ -118,7 +115,11 @@ fn integer_routing_tracks_f32_reference() {
         .collect();
     let votes_f32: Vec<Vec<Vec<f32>>> = votes_fx
         .iter()
-        .map(|a| a.iter().map(|b| b.iter().map(Fx::to_f32).collect()).collect())
+        .map(|a| {
+            a.iter()
+                .map(|b| b.iter().map(Fx::to_f32).collect())
+                .collect()
+        })
         .collect();
     for iters in [1usize, 3] {
         let integer = fx_dynamic_routing(&votes_fx, iters, fmt);

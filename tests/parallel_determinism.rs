@@ -65,8 +65,9 @@ fn quantized_inference_bit_identical_across_thread_counts() {
             seed: 11,
         };
         let qmodel = model.with_quantized_weights(&config);
-        let baseline =
-            with_threads(1, || qmodel.infer(&images, &config, &mut QuantCtx::from_config(&config)));
+        let baseline = with_threads(1, || {
+            qmodel.infer(&images, &config, &mut QuantCtx::from_config(&config))
+        });
         for threads in [2, 3, 8] {
             let run = with_threads(threads, || {
                 qmodel.infer(&images, &config, &mut QuantCtx::from_config(&config))

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use qcn_repro::capsnet::GroupInfo;
+use qcn_repro::capsnet::ModelQuant;
 use qcn_repro::fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_repro::framework::memory::{solve_eq6, weight_memory_bits};
-use qcn_repro::capsnet::ModelQuant;
 use qcn_repro::tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -100,9 +100,8 @@ impl Bencher {
             if elapsed >= self.min_sample_time || iters_per_sample > (1 << 20) {
                 break;
             }
-            let factor = (self.min_sample_time.as_secs_f64()
-                / elapsed.as_secs_f64().max(1e-9))
-            .ceil() as u64;
+            let factor = (self.min_sample_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil() as u64;
             iters_per_sample = (iters_per_sample * factor.clamp(2, 100)).min(1 << 20);
         }
         self.samples_ns.clear();

@@ -98,7 +98,10 @@ pub mod strategy {
     impl<S: Strategy> Union<S> {
         /// Creates a union; panics when `options` is empty.
         pub fn new(options: Vec<S>) -> Self {
-            assert!(!options.is_empty(), "prop_oneof! requires at least one option");
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! requires at least one option"
+            );
             Union { options }
         }
     }
@@ -173,7 +176,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
