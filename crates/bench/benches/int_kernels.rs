@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the raw-integer inference kernels —
+//! the deployment-datapath counterparts of the f32 kernels in
+//! `benches/kernels.rs`, at the same problem sizes so the two reports
+//! read side by side: integer convolution, the capsule-vote GEMM, and
+//! the shift-based requantization epilogue per rounding scheme.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qcn_fixed::RoundingScheme;
+use qcn_intinfer::epilogue::KeyedRequant;
+use qcn_intinfer::kernels::{caps_votes_raw, conv2d_raw};
+use qcn_intinfer::IntTensor;
+use qcn_tensor::conv::Conv2dSpec;
+use std::hint::black_box;
+
+/// Deterministic raw words on a `frac`-bit grid, spread over a few integer
+/// bits so the accumulators exercise realistic magnitudes.
+fn raw_values(n: usize, frac: u8, seed: i64) -> Vec<i64> {
+    let span = 1i64 << (frac + 2);
+    (0..n)
+        .map(|i| (i as i64 * 37 + seed * 11) % span - span / 2)
+        .collect()
+}
+
+fn bench_int_conv2d(c: &mut Criterion) {
+    // Same geometry as "conv2d 8x16x16x16 -> 32ch 3x3" in kernels.rs.
+    let x = IntTensor::from_raw(raw_values(8 * 16 * 16 * 16, 5, 1), vec![8, 16, 16, 16], 5);
+    let weight = raw_values(32 * 16 * 3 * 3, 5, 2);
+    let bias = raw_values(32, 5, 3);
+    let spec = Conv2dSpec::new(3, 3, 1, 1);
+    let acc = x.frac() + 5;
+    c.bench_function("int conv2d 8x16x16x16 -> 32ch 3x3 (no epilogue)", |b| {
+        b.iter(|| {
+            conv2d_raw(
+                black_box(&x),
+                black_box(&weight),
+                Some(&bias),
+                32,
+                spec,
+                acc,
+                None,
+            )
+        })
+    });
+    let rq = KeyedRequant::new(RoundingScheme::RoundToNearest, acc, 5, 0xBEEF);
+    let epi = move |off: usize, row: &mut [i64]| rq.apply_raw(off, row);
+    c.bench_function("int conv2d 8x16x16x16 -> 32ch 3x3 (fused requant)", |b| {
+        b.iter(|| {
+            conv2d_raw(
+                black_box(&x),
+                black_box(&weight),
+                Some(&bias),
+                32,
+                spec,
+                5,
+                Some(&epi),
+            )
+        })
+    });
+}
+
+fn bench_int_caps_votes(c: &mut Criterion) {
+    // Same geometry as "caps_votes 16x128x4 -> 10x8" in kernels.rs.
+    let input = IntTensor::from_raw(raw_values(16 * 128 * 4, 5, 4), vec![16, 128, 4], 5);
+    let weight = raw_values(128 * 10 * 4 * 8, 5, 5);
+    let acc = input.frac() + 5;
+    let rq = KeyedRequant::new(RoundingScheme::RoundToNearest, acc, 4, 0xBEEF);
+    let epi = move |off: usize, panel: &mut [i64]| rq.apply_raw(off, panel);
+    c.bench_function("int caps_votes 16x128x4 -> 10x8 (fused requant)", |b| {
+        b.iter(|| caps_votes_raw(black_box(&input), black_box(&weight), 10, 8, 4, &epi))
+    });
+}
+
+fn bench_shift_requant(c: &mut Criterion) {
+    // Counterpart of "quantize 64k elements" in kernels.rs: the raw
+    // shift-based requantization from 10 to 5 fractional bits.
+    let values = raw_values(65_536, 10, 6);
+    for scheme in RoundingScheme::EXTENDED {
+        let rq = KeyedRequant::new(scheme, 10, 5, 0xBEEF);
+        c.bench_function(&format!("int requant 64k elements ({scheme})"), |b| {
+            b.iter_batched(
+                || values.clone(),
+                |mut vals| {
+                    rq.apply_raw(0, &mut vals);
+                    vals
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = int_kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_int_conv2d, bench_int_caps_votes, bench_shift_requant
+}
+criterion_main!(int_kernels);

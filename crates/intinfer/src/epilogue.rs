@@ -23,7 +23,7 @@ use qcn_fixed::{requant_slice_with, sr_uniform, QFormat, RoundingScheme};
 /// A position-keyed requantization epilogue bound to one kernel dispatch —
 /// the raw-integer counterpart of [`qcn_fixed::FusedQuant`].
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct KeyedRequant {
+pub struct KeyedRequant {
     scheme: RoundingScheme,
     in_frac: u8,
     out: QFormat,
@@ -34,7 +34,7 @@ impl KeyedRequant {
     /// Binds an epilogue for one dispatch: input values at `in_frac`
     /// fractional bits, output on the `Q1.out_frac` grid, stochastic
     /// stream keyed from `base` (a fresh [`QuantCtx::fork_base`] draw).
-    pub(crate) fn new(scheme: RoundingScheme, in_frac: u8, out_frac: u8, base: u64) -> Self {
+    pub fn new(scheme: RoundingScheme, in_frac: u8, out_frac: u8, base: u64) -> Self {
         KeyedRequant {
             scheme,
             in_frac,
@@ -44,13 +44,13 @@ impl KeyedRequant {
     }
 
     /// The output fractional width.
-    pub(crate) fn out_frac(&self) -> u8 {
+    pub fn out_frac(&self) -> u8 {
         self.out.frac_bits()
     }
 
     /// Requantizes raw values whose first element sits at global position
     /// `offset` — same keying as [`qcn_fixed::FusedQuant::apply`].
-    pub(crate) fn apply_raw(&self, offset: usize, values: &mut [i64]) {
+    pub fn apply_raw(&self, offset: usize, values: &mut [i64]) {
         requant_slice_with(self.scheme, values, self.in_frac, self.out, |i| {
             sr_uniform(self.base, (offset + i) as u64)
         });
@@ -60,7 +60,7 @@ impl KeyedRequant {
     /// float-exact unit emulation, whose squash/softmax outputs are not on
     /// any grid before this rounding. Bit-identical to the reference's
     /// `FusedQuant::apply` at the same offset.
-    pub(crate) fn apply_f32(&self, offset: usize, values: &mut [f32]) {
+    pub fn apply_f32(&self, offset: usize, values: &mut [f32]) {
         self.scheme.round_slice_with(values, self.out, |i| {
             sr_uniform(self.base, (offset + i) as u64)
         });

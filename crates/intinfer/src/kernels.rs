@@ -15,7 +15,7 @@ use qcn_tensor::parallel;
 /// A writeback epilogue: called with the global element offset of a
 /// finished output row and the row itself (same contract as the f32
 /// kernels' `RowEpilogue`).
-pub(crate) type RowEpi = dyn Fn(usize, &mut [i64]) + Sync;
+pub type RowEpi = dyn Fn(usize, &mut [i64]) + Sync;
 
 /// Direct integer 2-D convolution over `[b, ci, h, w]` with zero padding.
 ///
@@ -34,7 +34,7 @@ pub(crate) type RowEpi = dyn Fn(usize, &mut [i64]) + Sync;
 ///
 /// Panics on geometry mismatches.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn conv2d_raw(
+pub fn conv2d_raw(
     x: &IntTensor,
     weight: &[i64],
     bias: Option<&[i64]>,
@@ -111,7 +111,7 @@ pub(crate) fn conv2d_raw(
 /// # Panics
 ///
 /// Panics on geometry mismatches.
-pub(crate) fn caps_votes_raw(
+pub fn caps_votes_raw(
     input: &IntTensor,
     weight: &[i64],
     nj: usize,

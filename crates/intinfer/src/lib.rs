@@ -35,9 +35,9 @@
 
 #![warn(missing_docs)]
 
-mod epilogue;
+pub mod epilogue;
 mod evaluator;
-mod kernels;
+pub mod kernels;
 mod model;
 mod routing;
 pub mod tensor;

@@ -44,6 +44,28 @@ pub enum LoadError {
         /// Weights the blob holds.
         found: usize,
     },
+    /// A quantized group's stored wordlength disagrees with its recipe:
+    /// the packer always writes `1 + weight_frac` bits per weight, so a
+    /// different value means the blob and the recipe were mixed up (or
+    /// the field was corrupted in transit).
+    WordlengthMismatch {
+        /// Group name.
+        group: String,
+        /// `1 + weight_frac` from the recipe.
+        expected: u8,
+        /// Wordlength stored in the packed group.
+        found: u8,
+    },
+    /// A group's bit stream is shorter than `count × wordlength` bits:
+    /// unpacking it would read past the end of the blob.
+    TruncatedBlob {
+        /// Group name.
+        group: String,
+        /// Bits the declared count and wordlength require.
+        needed_bits: usize,
+        /// Bits actually present in the blob.
+        have_bits: usize,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -71,6 +93,22 @@ impl fmt::Display for LoadError {
             } => write!(
                 f,
                 "group {group}: descriptor needs {expected} weights, blob has {found}"
+            ),
+            LoadError::WordlengthMismatch {
+                group,
+                expected,
+                found,
+            } => write!(
+                f,
+                "group {group}: recipe implies a {expected}-bit wordlength, blob stores {found}"
+            ),
+            LoadError::TruncatedBlob {
+                group,
+                needed_bits,
+                have_bits,
+            } => write!(
+                f,
+                "group {group}: blob holds {have_bits} bits but {needed_bits} are declared"
             ),
         }
     }
@@ -138,6 +176,11 @@ impl IntModel {
     /// weights, an activation width, and (for DeepCaps blocks) a streaming
     /// width. Routing groups fall back to `Qa` when no explicit `Q_DR` is
     /// set, exactly like the fake-quant reference.
+    ///
+    /// Every structural claim the blob makes — weight count, wordlength,
+    /// bit-stream length — is checked *before* any unpacking, so a
+    /// truncated or corrupted blob yields a typed [`LoadError`] instead of
+    /// an out-of-bounds panic inside the bit reader.
     pub fn load(desc: &ModelDesc, packed: &PackedModel) -> Result<IntModel, LoadError> {
         if packed.groups.len() != desc.groups.len()
             || packed.config.layers.len() != desc.groups.len()
@@ -146,6 +189,42 @@ impl IntModel {
                 expected: desc.groups.len(),
                 found: packed.groups.len(),
             });
+        }
+        // `unpack_raw_weights` trusts each group's `count` and
+        // `wordlength` and indexes the stream unchecked, so validate the
+        // geometry of every blob first.
+        for (((name, gdesc), lq), pg) in desc
+            .groups
+            .iter()
+            .zip(&packed.config.layers)
+            .zip(&packed.groups)
+        {
+            if let Some(weight) = lq.weight_frac {
+                if pg.wordlength != 1 + weight {
+                    return Err(LoadError::WordlengthMismatch {
+                        group: name.clone(),
+                        expected: 1 + weight,
+                        found: pg.wordlength,
+                    });
+                }
+            }
+            let expected = gdesc.weight_count();
+            if pg.count != expected {
+                return Err(LoadError::WeightCountMismatch {
+                    group: name.clone(),
+                    expected,
+                    found: pg.count,
+                });
+            }
+            let needed_bits = pg.count * pg.wordlength as usize;
+            let have_bits = pg.data.len() * 8;
+            if have_bits < needed_bits {
+                return Err(LoadError::TruncatedBlob {
+                    group: name.clone(),
+                    needed_bits,
+                    have_bits,
+                });
+            }
         }
         let raws = unpack_raw_weights(packed);
         let mut groups = Vec::with_capacity(desc.groups.len());
@@ -165,14 +244,6 @@ impl IntModel {
                 });
             }
             let flat = raw.expect("weight_frac set implies raw form");
-            let expected = gdesc.weight_count();
-            if flat.len() != expected {
-                return Err(LoadError::WeightCountMismatch {
-                    group: name.clone(),
-                    expected,
-                    found: flat.len(),
-                });
-            }
             // Split the flat blob into per-parameter tensors in
             // registration order.
             let mut params = Vec::new();

@@ -1,0 +1,41 @@
+//! # qcn-serve — dynamic-batching inference service for Q-CapsNets
+//!
+//! The repo's inference datapaths — fake-quant f32 (`qcn-capsnet`) and
+//! true integer fixed-point (`qcn-intinfer` on `PackedModel` blobs) — are
+//! single-call engines: every caller hand-rolls its own loop over samples.
+//! This crate is the serving layer on top: a concurrent service that
+//! accepts single-sample requests from many clients, forms dynamic
+//! micro-batches (bounded queue; dispatch at max batch size *or* max wait,
+//! whichever first), drains them through a worker pool into the blocked
+//! kernels, and routes each response back through a per-request channel.
+//!
+//! The pieces:
+//!
+//! * [`ServeEngine`] / [`FakeQuantEngine`] / [`IntEngine`] — warm,
+//!   immutable engine instances over the two datapaths;
+//! * [`ModelRegistry`] — named engines, resolved lock-free by workers;
+//! * [`Server`] / [`ServeConfig`] — the queue, scheduler and worker pool,
+//!   with typed backpressure ([`SubmitError::QueueFull`]), per-request
+//!   timeouts, panic isolation and graceful drain-and-shutdown;
+//! * [`MetricsSnapshot`] — throughput, batch-size histogram, latency
+//!   percentiles and queue depth for the bench harness.
+//!
+//! **Determinism contract**: every response is bit-identical to a
+//! sequential single-sample inference of the same request — regardless of
+//! arrival order, batch composition, worker count or kernel thread count.
+//! See the [`engine`] module docs for why batch fusion preserves this for
+//! deterministic rounding schemes and why stochastic rounding degrades to
+//! per-sample execution. `docs/serving.md` has the full architecture and
+//! tuning guide.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+mod metrics;
+mod registry;
+mod server;
+
+pub use engine::{FakeQuantEngine, IntEngine, ServeEngine};
+pub use metrics::MetricsSnapshot;
+pub use registry::{ModelRegistry, RegistryError};
+pub use server::{Pending, ServeConfig, ServeError, Server, SubmitError};

@@ -1,0 +1,207 @@
+//! Service metrics: counters, batch-size histogram and latency
+//! percentiles, snapshotable while the server runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cap on retained per-request latency samples. Old samples are folded
+/// into a reservoir-free "keep the first N" window — the soak tests and
+/// the bench harness stay far below it, and memory stays bounded for
+/// long-running servers.
+const MAX_LATENCY_SAMPLES: usize = 1 << 20;
+
+/// Shared metrics sink updated by the submission path and the workers.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_closed: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    max_queue_depth: AtomicU64,
+    inner: Mutex<Recorded>,
+}
+
+#[derive(Debug, Default)]
+struct Recorded {
+    /// `batch_hist[i]` counts executed batches of size `i + 1`.
+    batch_hist: Vec<u64>,
+    /// Per-request end-to-end latencies in microseconds.
+    latencies_us: Vec<u64>,
+}
+
+impl Metrics {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            inner: Mutex::new(Recorded {
+                batch_hist: vec![0; max_batch],
+                latencies_us: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn on_submit(&self, queue_depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reject_full(&self) {
+        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reject_closed(&self) {
+        self.rejected_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch and its requests' end-to-end latencies.
+    pub(crate) fn on_batch(&self, batch_size: usize, latencies_us: &[u64]) {
+        self.completed
+            .fetch_add(latencies_us.len() as u64, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("metrics lock");
+        if batch_size > inner.batch_hist.len() {
+            inner.batch_hist.resize(batch_size, 0);
+        }
+        inner.batch_hist[batch_size - 1] += 1;
+        let room = MAX_LATENCY_SAMPLES.saturating_sub(inner.latencies_us.len());
+        inner
+            .latencies_us
+            .extend_from_slice(&latencies_us[..latencies_us.len().min(room)]);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let batches: u64 = inner.batch_hist.iter().sum();
+        let weighted: u64 = inner
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        MetricsSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed) as usize,
+            batch_histogram: inner.batch_hist.clone(),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                weighted as f64 / batches as f64
+            },
+            latency_p50_us: pct(0.50),
+            latency_p95_us: pct(0.95),
+            latency_p99_us: pct(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a result.
+    pub completed: u64,
+    /// Submissions rejected with `QueueFull`.
+    pub rejected_full: u64,
+    /// Submissions rejected with `ShuttingDown`.
+    pub rejected_closed: u64,
+    /// Requests that timed out in the queue (`DeadlineExceeded`).
+    pub expired: u64,
+    /// Requests answered with `EngineFailure`.
+    pub failed: u64,
+    /// High-water mark of the submission queue depth.
+    pub max_queue_depth: usize,
+    /// `batch_histogram[i]` counts executed batches of size `i + 1`.
+    pub batch_histogram: Vec<u64>,
+    /// Mean executed batch size.
+    pub mean_batch: f64,
+    /// Median end-to-end request latency (µs, nearest-rank).
+    pub latency_p50_us: u64,
+    /// 95th-percentile end-to-end request latency (µs).
+    pub latency_p95_us: u64,
+    /// 99th-percentile end-to-end request latency (µs).
+    pub latency_p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Completed requests per second of uptime.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.uptime_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let m = Metrics::new(4);
+        m.on_batch(4, &[10, 20, 30, 40]);
+        m.on_batch(2, &[50, 60]);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 6);
+        assert_eq!(s.latency_p50_us, 30);
+        assert_eq!(s.latency_p95_us, 60);
+        assert_eq!(s.latency_p99_us, 60);
+        assert_eq!(s.batch_histogram, vec![0, 1, 0, 1]);
+        assert!((s.mean_batch - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Metrics::new(2).snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.latency_p99_us, 0);
+        assert_eq!(s.mean_batch, 0.0);
+    }
+
+    #[test]
+    fn oversized_batches_grow_the_histogram() {
+        // Defensive: the server never exceeds max_batch, but the sink must
+        // not index out of bounds if it ever did.
+        let m = Metrics::new(1);
+        m.on_batch(3, &[1, 2, 3]);
+        assert_eq!(m.snapshot().batch_histogram, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,102 @@
+//! The model registry: named, warm, immutable engines.
+
+use crate::engine::ServeEngine;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why an engine could not be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An engine is already registered under this id.
+    DuplicateId(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateId(id) => write!(f, "model id {id:?} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An immutable map from model id to warm engine instance.
+///
+/// The registry is populated before the server starts and never mutated
+/// afterwards — workers resolve engines lock-free through shared `Arc`s.
+/// One model id maps to exactly one engine; serving the same packed model
+/// on both datapaths means registering it twice under distinct ids (e.g.
+/// `"shallow/fq"` and `"shallow/int"`).
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+/// use qcn_fixed::RoundingScheme;
+/// use qcn_serve::{FakeQuantEngine, ModelRegistry};
+///
+/// let model = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+/// let config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+/// let mut registry = ModelRegistry::new();
+/// registry
+///     .register("shallow", FakeQuantEngine::new(&model, config, [1, 16, 16]))
+///     .unwrap();
+/// assert_eq!(registry.ids(), vec!["shallow"]);
+/// ```
+#[derive(Default)]
+pub struct ModelRegistry {
+    engines: BTreeMap<String, Arc<dyn ServeEngine>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Registers `engine` under `id`. Ids are unique: registering a second
+    /// engine under an existing id is an error, never a silent overwrite
+    /// (a live server may be routing to it).
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        engine: impl ServeEngine + 'static,
+    ) -> Result<(), RegistryError> {
+        let id = id.into();
+        if self.engines.contains_key(&id) {
+            return Err(RegistryError::DuplicateId(id));
+        }
+        self.engines.insert(id, Arc::new(engine));
+        Ok(())
+    }
+
+    /// Resolves an engine by id.
+    pub fn get(&self, id: &str) -> Option<Arc<dyn ServeEngine>> {
+        self.engines.get(id).cloned()
+    }
+
+    /// Registered ids, sorted.
+    pub fn ids(&self) -> Vec<&str> {
+        self.engines.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("ids", &self.ids())
+            .finish()
+    }
+}

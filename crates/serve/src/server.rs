@@ -1,0 +1,536 @@
+//! The concurrent inference server: bounded submission queue, dynamic
+//! micro-batching scheduler, worker pool and response routing.
+//!
+//! ## Scheduling
+//!
+//! Clients [`submit`](Server::submit) single samples; workers drain the
+//! queue into *batches*. A batch is formed from the oldest queued request:
+//! the worker collects further requests **for the same model** until the
+//! batch reaches [`ServeConfig::max_batch`] or the oldest request has
+//! waited [`ServeConfig::batch_window`], whichever comes first — the
+//! classic max-size-or-max-wait dynamic batching rule. Batches never mix
+//! models, so every request executes on exactly the engine it addressed.
+//!
+//! ## Determinism
+//!
+//! Responses are bit-identical to sequential single-sample inference (a
+//! fresh quantization context per request, exactly `CapsNet::infer` /
+//! `IntModel::infer` on a `[1, c, h, w]` input) regardless of arrival
+//! order, batch composition, worker count, or kernel thread count:
+//!
+//! * every engine invocation seeds a fresh context, so no request's result
+//!   depends on which requests ran before it;
+//! * batches are fused into one kernel invocation only when the engine
+//!   reports fusion bit-exact ([`ServeEngine::batchable`]); otherwise the
+//!   worker runs the batch members one by one — batching then still
+//!   amortizes scheduling, just not the kernel dispatch;
+//! * the kernels themselves are thread-count invariant (the repo's
+//!   position-keyed epilogue contract).
+//!
+//! ## Robustness
+//!
+//! * **Backpressure**: the queue is bounded; a full queue rejects with
+//!   [`SubmitError::QueueFull`] instead of growing without limit.
+//! * **Timeouts**: with [`ServeConfig::request_timeout`] set, a request
+//!   still queued past its deadline is answered
+//!   [`ServeError::DeadlineExceeded`] and never executed. Requests already
+//!   in a forming batch always run to completion.
+//! * **Fault isolation**: a panicking engine fails only the requests of
+//!   that batch ([`ServeError::EngineFailure`]); the worker survives.
+//! * **Graceful shutdown**: [`shutdown`](Server::shutdown) stops accepting
+//!   work, lets workers drain every queued request, then joins them.
+
+use crate::engine::ServeEngine;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::ModelRegistry;
+use qcn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch a worker fuses (≥ 1). Larger batches amortize kernel
+    /// dispatch but add queueing latency under light load.
+    pub max_batch: usize,
+    /// Submission-queue bound (≥ 1); submissions beyond it are rejected
+    /// with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// How long the oldest request of a forming batch may wait for
+    /// companions before the batch is dispatched as-is.
+    pub batch_window: Duration,
+    /// Per-request queueing deadline. `None` disables expiry.
+    pub request_timeout: Option<Duration>,
+    /// Worker threads draining the queue (≥ 1). Each worker dispatches
+    /// into the kernels' own thread pool, so more than a few workers
+    /// mostly helps when serving several models concurrently.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            queue_capacity: 256,
+            batch_window: Duration::from_millis(2),
+            request_timeout: None,
+            workers: 2,
+        }
+    }
+}
+
+/// Why a submission was rejected synchronously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No engine is registered under the requested id.
+    UnknownModel(String),
+    /// The sample's dimensions do not match the engine's input geometry.
+    BadInput {
+        /// The engine's per-sample `[c, h, w]`.
+        expected: Vec<usize>,
+        /// The submitted sample's dimensions.
+        got: Vec<usize>,
+    },
+    /// The bounded queue is at capacity (backpressure).
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The server no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownModel(id) => write!(f, "no model registered under {id:?}"),
+            SubmitError::BadInput { expected, got } => {
+                write!(
+                    f,
+                    "input dims {got:?} do not match model input {expected:?}"
+                )
+            }
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue is full ({capacity} requests)")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an accepted request did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request sat in the queue past its deadline and was not run.
+    DeadlineExceeded,
+    /// The engine panicked while executing the request's batch.
+    EngineFailure(String),
+    /// The server dropped the request without answering (it was destroyed
+    /// while requests were in flight — cannot happen through
+    /// [`Server::shutdown`], which drains first).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded in queue"),
+            ServeError::EngineFailure(msg) => write!(f, "engine failed: {msg}"),
+            ServeError::WorkerLost => write!(f, "server dropped the request unanswered"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A ticket for one in-flight request.
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Result<Tensor, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the request is answered, returning the per-sample
+    /// output capsules `[classes, dim]`.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Tensor, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+/// One queued request.
+struct Request {
+    model: String,
+    input: Tensor,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Result<Tensor, ServeError>>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    open: bool,
+}
+
+struct Inner {
+    registry: ModelRegistry,
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    notify: Condvar,
+    metrics: Metrics,
+}
+
+/// A running inference service over a [`ModelRegistry`].
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+/// use qcn_fixed::RoundingScheme;
+/// use qcn_serve::{FakeQuantEngine, ModelRegistry, ServeConfig, Server};
+/// use qcn_tensor::Tensor;
+///
+/// let model = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+/// let config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+/// let mut registry = ModelRegistry::new();
+/// registry
+///     .register("shallow", FakeQuantEngine::new(&model, config, [1, 16, 16]))
+///     .unwrap();
+/// let server = Server::start(registry, ServeConfig::default());
+/// let pending = server.submit("shallow", Tensor::zeros([1, 16, 16])).unwrap();
+/// let capsules = pending.wait().unwrap();
+/// assert_eq!(capsules.dims(), &[10, 8]);
+/// let metrics = server.shutdown();
+/// assert_eq!(metrics.completed, 1);
+/// ```
+pub struct Server {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool over `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.max_batch`, `config.queue_capacity` or
+    /// `config.workers` is zero.
+    pub fn start(registry: ModelRegistry, config: ServeConfig) -> Server {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue_capacity must be at least 1"
+        );
+        assert!(config.workers >= 1, "workers must be at least 1");
+        let inner = Arc::new(Inner {
+            metrics: Metrics::new(config.max_batch),
+            registry,
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            notify: Condvar::new(),
+        });
+        let handles = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("qcn-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Submits one sample (`[c, h, w]`, matching the engine's input
+    /// geometry) for model `id`. Non-blocking: accepted requests return a
+    /// [`Pending`] ticket immediately; a full queue or closed server
+    /// rejects synchronously.
+    pub fn submit(&self, id: &str, input: Tensor) -> Result<Pending, SubmitError> {
+        let engine = self
+            .inner
+            .registry
+            .get(id)
+            .ok_or_else(|| SubmitError::UnknownModel(id.to_string()))?;
+        if input.dims() != engine.input_dims() {
+            return Err(SubmitError::BadInput {
+                expected: engine.input_dims().to_vec(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let request = Request {
+            model: id.to_string(),
+            input,
+            enqueued: now,
+            deadline: self.inner.config.request_timeout.map(|t| now + t),
+            tx,
+        };
+        {
+            let mut st = self.inner.state.lock().expect("serve queue lock");
+            if !st.open {
+                self.inner.metrics.on_reject_closed();
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queue.len() >= self.inner.config.queue_capacity {
+                self.inner.metrics.on_reject_full();
+                return Err(SubmitError::QueueFull {
+                    capacity: self.inner.config.queue_capacity,
+                });
+            }
+            st.queue.push_back(request);
+            self.inner.metrics.on_submit(st.queue.len());
+        }
+        self.inner.notify.notify_all();
+        Ok(Pending { rx })
+    }
+
+    /// Registered model ids.
+    pub fn model_ids(&self) -> Vec<String> {
+        self.inner
+            .registry
+            .ids()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Current queue depth (racy, for monitoring).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("serve queue lock")
+            .queue
+            .len()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting submissions, let the workers
+    /// drain every queued request, join them, and return the final
+    /// metrics. Idempotent — later calls just re-snapshot.
+    pub fn shutdown(&self) -> MetricsSnapshot {
+        {
+            let mut st = self.inner.state.lock().expect("serve queue lock");
+            st.open = false;
+        }
+        self.inner.notify.notify_all();
+        let handles: Vec<_> = {
+            let mut guard = self.handles.lock().expect("serve handles lock");
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            handle.join().expect("serve worker panicked");
+        }
+        self.inner.metrics.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("serve queue lock");
+            st.open = false;
+        }
+        self.inner.notify.notify_all();
+        let handles: Vec<_> = {
+            let mut guard = self.handles.lock().expect("serve handles lock");
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            // Swallow worker panics on the drop path (shutdown() surfaces
+            // them); panicking in Drop would abort.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.inner.registry.ids())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+/// One worker: wait for work, form a batch, execute, route responses.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut st = inner.state.lock().expect("serve queue lock");
+        // Wait for a live head request (answering expired ones as we go),
+        // or exit once the server is closed *and* drained.
+        let first = loop {
+            let now = Instant::now();
+            match st.queue.pop_front() {
+                Some(req) if req.expired(now) => {
+                    inner.metrics.on_expired();
+                    let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+                }
+                Some(req) => break req,
+                None => {
+                    if !st.open {
+                        return;
+                    }
+                    st = inner.notify.wait(st).expect("serve queue lock");
+                }
+            }
+        };
+        let batch_deadline = first.enqueued + inner.config.batch_window;
+        let model = first.model.clone();
+        let mut batch = vec![first];
+        // Dynamic batch formation: gather same-model requests until the
+        // batch is full or the head request's window elapses. The lock is
+        // released while waiting, so submissions and other workers
+        // proceed; a closed server skips the wait and drains immediately.
+        loop {
+            gather_matching(inner, &mut st, &model, &mut batch);
+            if batch.len() >= inner.config.max_batch || !st.open {
+                break;
+            }
+            let now = Instant::now();
+            let Some(remaining) = batch_deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, _timeout) = inner
+                .notify
+                .wait_timeout(st, remaining)
+                .expect("serve queue lock");
+            st = guard;
+        }
+        drop(st);
+        let engine = inner
+            .registry
+            .get(&model)
+            .expect("submit validated the model id");
+        execute_batch(inner, engine.as_ref(), batch);
+    }
+}
+
+/// Moves queued requests for `model` into `batch` (up to `max_batch`),
+/// answering expired ones instead of batching them.
+fn gather_matching(inner: &Inner, st: &mut QueueState, model: &str, batch: &mut Vec<Request>) {
+    let now = Instant::now();
+    let mut i = 0;
+    while batch.len() < inner.config.max_batch && i < st.queue.len() {
+        if st.queue[i].model != model {
+            i += 1;
+            continue;
+        }
+        let req = st.queue.remove(i).expect("index checked");
+        if req.expired(now) {
+            inner.metrics.on_expired();
+            let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            batch.push(req);
+        }
+    }
+}
+
+/// Runs one formed batch on `engine` and routes the per-request results.
+fn execute_batch(inner: &Inner, engine: &dyn ServeEngine, batch: Vec<Request>) {
+    let b = batch.len();
+    let out_dims = engine.output_dims().to_vec();
+    let out_len: usize = out_dims.iter().product();
+    let outputs = catch_unwind(AssertUnwindSafe(|| -> Vec<Tensor> {
+        if b > 1 && engine.batchable() {
+            // Fuse into one kernel batch (bit-exact per the engine's
+            // contract), then split per request.
+            let sample_len: usize = engine.input_dims().iter().product();
+            let mut data = Vec::with_capacity(b * sample_len);
+            for req in &batch {
+                data.extend_from_slice(req.input.data());
+            }
+            let mut dims = vec![b];
+            dims.extend_from_slice(engine.input_dims());
+            let fused = Tensor::from_vec(data, dims).expect("batch assembly");
+            let out = engine.infer_batch(&fused);
+            (0..b)
+                .map(|s| {
+                    Tensor::from_vec(
+                        out.data()[s * out_len..(s + 1) * out_len].to_vec(),
+                        out_dims.clone(),
+                    )
+                    .expect("batch split")
+                })
+                .collect()
+        } else {
+            // Per-sample execution: exactly the sequential reference, one
+            // fresh engine invocation per request.
+            batch
+                .iter()
+                .map(|req| {
+                    let mut dims = vec![1];
+                    dims.extend_from_slice(engine.input_dims());
+                    let x =
+                        Tensor::from_vec(req.input.data().to_vec(), dims).expect("sample assembly");
+                    let out = engine.infer_batch(&x);
+                    Tensor::from_vec(out.data().to_vec(), out_dims.clone()).expect("sample reshape")
+                })
+                .collect()
+        }
+    }));
+    let done = Instant::now();
+    match outputs {
+        Ok(outputs) => {
+            let latencies: Vec<u64> = batch
+                .iter()
+                .map(|req| done.duration_since(req.enqueued).as_micros() as u64)
+                .collect();
+            inner.metrics.on_batch(b, &latencies);
+            for (req, out) in batch.into_iter().zip(outputs) {
+                let _ = req.tx.send(Ok(out));
+            }
+        }
+        Err(panic) => {
+            let msg = panic_message(&*panic);
+            inner.metrics.on_failed(b);
+            for req in batch {
+                let _ = req.tx.send(Err(ServeError::EngineFailure(msg.clone())));
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}

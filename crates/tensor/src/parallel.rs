@@ -56,12 +56,37 @@ fn hardware_threads() -> usize {
     })
 }
 
+/// Parses a `QCN_NUM_THREADS` value: a positive integer, surrounding
+/// whitespace allowed. `None` for anything else (garbage, `0`, empty or
+/// whitespace-only strings) — the caller falls back to the hardware count.
+fn parse_thread_env(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Warns on stderr, once per process, that `QCN_NUM_THREADS` was set but
+/// unusable. Silent fallback used to hide typos (`QCN_NUM_THREADS=fast`,
+/// `=0`) behind full hardware parallelism.
+fn warn_bad_thread_env(value: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "qcn-tensor: ignoring unparsable QCN_NUM_THREADS={value:?} \
+             (expected a positive integer); falling back to {} hardware thread(s)",
+            hardware_threads()
+        );
+    });
+}
+
 /// The thread count parallel kernels will use right now.
 ///
 /// Reads the `QCN_NUM_THREADS` environment variable on every call (it is
 /// cheap relative to any kernel worth parallelizing), so tests can flip it
 /// at runtime; a [`with_threads`] override takes precedence, and inside a
-/// worker the answer is always 1.
+/// worker the answer is always 1. An unparsable value falls back to the
+/// hardware count with a once-per-process stderr warning.
 pub fn current_threads() -> usize {
     if IN_WORKER.with(|w| w.get()) {
         return 1;
@@ -71,10 +96,10 @@ pub fn current_threads() -> usize {
         return over;
     }
     match std::env::var("QCN_NUM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => hardware_threads(),
-        },
+        Ok(v) => parse_thread_env(&v).unwrap_or_else(|| {
+            warn_bad_thread_env(&v);
+            hardware_threads()
+        }),
         Err(_) => hardware_threads(),
     }
 }
@@ -328,7 +353,29 @@ mod tests {
         std::env::set_var("QCN_NUM_THREADS", "1");
         assert_eq!(current_threads(), 1);
         with_threads(2, || assert_eq!(current_threads(), 2));
+        // A garbage value resolves to the same count as an unset variable
+        // (and emits the one-shot stderr warning).
+        std::env::set_var("QCN_NUM_THREADS", "garbage");
+        assert_eq!(current_threads(), hardware_threads());
         std::env::remove_var("QCN_NUM_THREADS");
+    }
+
+    #[test]
+    fn thread_env_parse_accepts_positive_integers() {
+        assert_eq!(parse_thread_env("1"), Some(1));
+        assert_eq!(parse_thread_env("16"), Some(16));
+        assert_eq!(parse_thread_env("  4 "), Some(4), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn thread_env_parse_rejects_garbage_zero_and_whitespace() {
+        // Each of these must fall back (None), never panic or yield 0.
+        assert_eq!(parse_thread_env("fast"), None, "garbage");
+        assert_eq!(parse_thread_env("4 threads"), None, "trailing garbage");
+        assert_eq!(parse_thread_env("-2"), None, "negative");
+        assert_eq!(parse_thread_env("0"), None, "zero would mean no workers");
+        assert_eq!(parse_thread_env(""), None, "empty");
+        assert_eq!(parse_thread_env("   "), None, "whitespace-only");
     }
 
     #[test]

@@ -7,5 +7,10 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo test -q --test integer_inference_equivalence
+# Serving soak: the determinism contract must hold for every kernel
+# thread count (serial, even split, odd split).
+for t in 1 2 7; do
+  QCN_NUM_THREADS=$t cargo test -q --test serving_determinism
+done
 cargo clippy --workspace -- -D warnings
 cargo bench --no-run

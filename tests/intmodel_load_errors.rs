@@ -1,0 +1,114 @@
+//! Negative-path coverage for `IntModel::load`: corrupted or mismatched
+//! `PackedModel` blobs must come back as typed [`LoadError`]s, never as a
+//! panic inside the bit unpacker. Each test takes a known-good packed
+//! ShallowCaps model, damages exactly one structural claim, and checks
+//! both the error variant and that the pristine blob still loads.
+
+use qcn_repro::capsnet::{DeepCaps, DeepCapsConfig, ModelQuant, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::{pack_model, PackedModel};
+use qcn_repro::intinfer::{IntModel, LoadError};
+
+/// A packed ShallowCaps model under the standard uniform Q1.5 recipe
+/// (wordlength 6 per weight), plus its descriptor.
+fn packed_shallow() -> (qcn_repro::capsnet::descriptor::ModelDesc, PackedModel) {
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    (model.descriptor(), pack_model(&model, &config))
+}
+
+#[test]
+fn pristine_blob_loads() {
+    let (desc, packed) = packed_shallow();
+    let loaded = IntModel::load(&desc, &packed).expect("undamaged blob must load");
+    assert_eq!(loaded.num_classes(), desc.num_classes);
+}
+
+#[test]
+fn truncated_blob_is_a_typed_error() {
+    let (desc, mut packed) = packed_shallow();
+    // Chop the tail off the first group's bit stream; the declared count
+    // and wordlength no longer fit.
+    let blob = &mut packed.groups[0].data;
+    let full_bytes = blob.len();
+    blob.truncate(full_bytes / 2);
+    match IntModel::load(&desc, &packed) {
+        Err(LoadError::TruncatedBlob {
+            group,
+            needed_bits,
+            have_bits,
+        }) => {
+            assert_eq!(group, packed.groups[0].name);
+            assert_eq!(have_bits, (full_bytes / 2) * 8);
+            assert!(needed_bits > have_bits);
+        }
+        other => panic!("expected TruncatedBlob, got {other:?}"),
+    }
+}
+
+#[test]
+fn emptied_blob_is_a_typed_error() {
+    let (desc, mut packed) = packed_shallow();
+    packed.groups[1].data.clear();
+    assert!(matches!(
+        IntModel::load(&desc, &packed),
+        Err(LoadError::TruncatedBlob { have_bits: 0, .. })
+    ));
+}
+
+#[test]
+fn corrupted_wordlength_is_a_typed_error() {
+    let (desc, packed) = packed_shallow();
+    // Both directions must fail cleanly: a wider word would read past the
+    // stream, a narrower one would silently decode garbage weights.
+    for bad in [9u8, 3u8] {
+        let mut damaged = packed.clone();
+        damaged.groups[1].wordlength = bad;
+        match IntModel::load(&desc, &damaged) {
+            Err(LoadError::WordlengthMismatch {
+                group,
+                expected,
+                found,
+            }) => {
+                assert_eq!(group, damaged.groups[1].name);
+                assert_eq!(expected, 6, "recipe is Q1.5: 1 + 5 frac bits");
+                assert_eq!(found, bad);
+            }
+            other => panic!("expected WordlengthMismatch for {bad}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_weight_count_is_a_typed_error() {
+    let (desc, mut packed) = packed_shallow();
+    let honest = packed.groups[2].count;
+    packed.groups[2].count = honest + 7;
+    match IntModel::load(&desc, &packed) {
+        Err(LoadError::WeightCountMismatch {
+            expected, found, ..
+        }) => {
+            assert_eq!(expected, honest);
+            assert_eq!(found, honest + 7);
+        }
+        other => panic!("expected WeightCountMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_descriptor_is_a_typed_error() {
+    // A ShallowCaps blob (3 groups) offered to a DeepCaps descriptor
+    // (4 groups): structural mismatch, caught before anything is decoded.
+    let (_, packed) = packed_shallow();
+    let deep = DeepCaps::new(DeepCapsConfig::small(1), 9).descriptor();
+    assert!(matches!(
+        IntModel::load(&deep, &packed),
+        Err(LoadError::GroupCountMismatch {
+            expected: 4,
+            found: 3
+        })
+    ));
+}

@@ -1,0 +1,166 @@
+//! Multi-client soak of the serving layer's determinism contract: every
+//! response must be bit-identical to a sequential single-sample inference
+//! of the same request — regardless of arrival order, batch composition,
+//! worker count, or kernel thread count.
+//!
+//! Several client threads submit interleaved, per-client-shuffled request
+//! streams against three warm engines (fake-quant RTN, fake-quant SR, and
+//! the integer engine in float-exact mode) behind one dynamic-batching
+//! server. The oracle for each `(engine, sample)` pair is computed up
+//! front by the plain one-call-per-sample datapath with a fresh context
+//! per sample — exactly what `ServeEngine::infer_batch` promises to match.
+//!
+//! CI runs this suite under `QCN_NUM_THREADS` ∈ {1, 2, 7}, so the ambient
+//! kernel thread count is part of the matrix, not something the test sets.
+
+use qcn_repro::capsnet::{CapsNet, ModelQuant, QuantCtx, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::serve::{FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, Server};
+use qcn_repro::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const IN_FRAC: u8 = 5;
+const SAMPLES: usize = 16;
+const CLIENTS: usize = 4;
+/// Passes each client makes over the full (engine × sample) grid.
+const ROUNDS: usize = 2;
+
+fn shallow_config(scheme: RoundingScheme) -> ModelQuant {
+    let mut config = ModelQuant::uniform(3, 5, scheme);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    config.seed = 0xBEEF;
+    config
+}
+
+/// Deterministic on-grid sample `[1, 16, 16]` at Q1.5.
+fn sample(seed: i64) -> Tensor {
+    Tensor::from_fn([1, 16, 16], |idx| {
+        let i = (idx[1] * 16 + idx[2]) as i64;
+        ((i * 37 + seed * 11).rem_euclid(32)) as f32 / 32.0
+    })
+}
+
+/// The reference answer for one fake-quant request: quantized weights,
+/// fresh context, one sample.
+fn fq_reference(model: &ShallowCaps, config: &ModelQuant, x: &Tensor) -> Vec<f32> {
+    let qmodel = model.with_quantized_weights(config);
+    let mut ctx = QuantCtx::from_config(config);
+    let batched = Tensor::from_vec(x.data().to_vec(), [1, 1, 16, 16]).unwrap();
+    qmodel.infer(&batched, config, &mut ctx).data().to_vec()
+}
+
+/// The reference answer for one integer-engine request.
+fn int_reference(engine: &IntModel, x: &Tensor) -> Vec<f32> {
+    let batched = Tensor::from_vec(x.data().to_vec(), [1, 1, 16, 16]).unwrap();
+    engine
+        .infer(&batched, IN_FRAC, UnitMode::FloatExact)
+        .data()
+        .to_vec()
+}
+
+/// Tiny deterministic LCG so each client gets its own stable shuffle.
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        order.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    order
+}
+
+#[test]
+fn soaked_responses_are_bit_identical_to_sequential_inference() {
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let rtn = shallow_config(RoundingScheme::RoundToNearest);
+    let sr = shallow_config(RoundingScheme::Stochastic);
+    let int_model = IntModel::load(&model.descriptor(), &pack_model(&model, &rtn)).unwrap();
+
+    // Oracle table: (model id, sample index) -> expected output bits.
+    let samples: Vec<Tensor> = (0..SAMPLES).map(|i| sample(i as i64)).collect();
+    let mut oracle: BTreeMap<(&str, usize), Vec<f32>> = BTreeMap::new();
+    for (i, x) in samples.iter().enumerate() {
+        oracle.insert(("fq-rtn", i), fq_reference(&model, &rtn, x));
+        oracle.insert(("fq-sr", i), fq_reference(&model, &sr, x));
+        oracle.insert(("int-rtn", i), int_reference(&int_model, x));
+    }
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("fq-rtn", FakeQuantEngine::new(&model, rtn, [1, 16, 16]))
+        .unwrap();
+    registry
+        .register("fq-sr", FakeQuantEngine::new(&model, sr, [1, 16, 16]))
+        .unwrap();
+    registry
+        .register(
+            "int-rtn",
+            IntEngine::new(int_model, IN_FRAC, UnitMode::FloatExact, [1, 16, 16]),
+        )
+        .unwrap();
+
+    let ids = ["fq-rtn", "fq-sr", "int-rtn"];
+    let total = CLIENTS * ROUNDS * ids.len() * SAMPLES;
+    let server = Arc::new(Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: total, // saturation is covered elsewhere
+            batch_window: Duration::from_millis(1),
+            request_timeout: None,
+            workers: 3,
+        },
+    ));
+
+    let oracle = Arc::new(oracle);
+    let samples = Arc::new(samples);
+    let mut clients = Vec::new();
+    for client in 0..CLIENTS {
+        let server = Arc::clone(&server);
+        let oracle = Arc::clone(&oracle);
+        let samples = Arc::clone(&samples);
+        clients.push(thread::spawn(move || {
+            for round in 0..ROUNDS {
+                // Fire a full shuffled pass without waiting in between, so
+                // requests from all clients interleave into mixed batches.
+                let order = shuffled(ids.len() * SAMPLES, (client * ROUNDS + round) as u64 + 1);
+                let pending: Vec<_> = order
+                    .iter()
+                    .map(|&k| {
+                        let (id, i) = (ids[k % ids.len()], k / ids.len());
+                        let p = server
+                            .submit(id, samples[i].clone())
+                            .expect("queue sized for the full soak");
+                        (id, i, p)
+                    })
+                    .collect();
+                for (id, i, p) in pending {
+                    let out = p.wait().expect("soak request failed");
+                    let want = &oracle[&(id, i)];
+                    assert_eq!(out.data().len(), want.len(), "{id} sample {i} shape");
+                    let got_bits: Vec<u32> = out.data().iter().map(|v| v.to_bits()).collect();
+                    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(got_bits, want_bits, "client {client} {id} sample {i}");
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, total as u64);
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.expired, 0);
+}
