@@ -9,11 +9,14 @@
 //! speedups quoted in `docs/performance.md`.
 
 use qcapsnets::export::pack_model;
+use qcapsnets::{run as run_framework, FrameworkConfig, Outcome, RunReport, SearchAccel};
 use qcn_capsnet::layers::{caps_votes_infer, caps_votes_infer_fused, CapsFc};
 use qcn_capsnet::{
-    CapsNet, DeepCaps, DeepCapsConfig, LayerQuant, ModelQuant, QuantCtx, ShallowCaps,
-    ShallowCapsConfig,
+    train, CapsNet, DeepCaps, DeepCapsConfig, LayerQuant, ModelQuant, QuantCtx, ShallowCaps,
+    ShallowCapsConfig, TrainConfig,
 };
+use qcn_datasets::augment::AugmentPolicy;
+use qcn_datasets::{Dataset, SynthKind};
 use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_hwmodel::archstats;
 use qcn_hwmodel::latency::Accelerator;
@@ -157,6 +160,221 @@ struct ServingEntry {
     points: Vec<ServingPoint>,
 }
 
+/// One end-to-end Algorithm 1 timing: the full framework run (binary
+/// search + Eq. 6 + layer-wise descent + DR specialisation) with the
+/// search accelerations on, against `SearchAccel::naive()` — the pre-PR
+/// evaluator that re-ran every candidate from the input layer over the
+/// whole dataset. `identical_selection` records the exactness contract:
+/// the selected configs and reported accuracies match the naive run
+/// bit-for-bit at every thread count in {1, 2, 7}.
+struct SearchEntry {
+    name: &'static str,
+    scheme: RoundingScheme,
+    naive_ms: f64,
+    accel_ms: f64,
+    naive_evals: usize,
+    accel_evals: usize,
+    memo_hits: usize,
+    prefix_hits: usize,
+    stages_skipped: usize,
+    early_exits: usize,
+    identical_selection: bool,
+}
+
+/// Selection identity check: same Algorithm 1 path, bit-identical configs
+/// and reported accuracies.
+fn same_selection(a: &RunReport, b: &RunReport) -> bool {
+    if a.acc_fp32.to_bits() != b.acc_fp32.to_bits() || a.step1_frac != b.step1_frac {
+        return false;
+    }
+    match (&a.outcome, &b.outcome) {
+        (Outcome::Satisfied(x), Outcome::Satisfied(y)) => {
+            x.config == y.config && x.accuracy.to_bits() == y.accuracy.to_bits()
+        }
+        (
+            Outcome::Fallback {
+                memory: xm,
+                accuracy: xa,
+            },
+            Outcome::Fallback {
+                memory: ym,
+                accuracy: ya,
+            },
+        ) => {
+            xm.config == ym.config
+                && xa.config == ya.config
+                && xm.accuracy.to_bits() == ym.accuracy.to_bits()
+                && xa.accuracy.to_bits() == ya.accuracy.to_bits()
+        }
+        _ => false,
+    }
+}
+
+fn search_entry<M: CapsNet + Sync>(
+    name: &'static str,
+    model: &M,
+    ds: &Dataset,
+    base: &FrameworkConfig,
+    scheme: RoundingScheme,
+) -> SearchEntry {
+    let naive_config = FrameworkConfig {
+        scheme,
+        accel: SearchAccel::naive(),
+        ..base.clone()
+    };
+    let accel_config = FrameworkConfig {
+        scheme,
+        ..base.clone()
+    };
+    // Full runs take hundreds of milliseconds, so take the min over a few
+    // passes (rather than min-of-15) to shed scheduler noise.
+    let reps = 3;
+    let mut naive_ms = f64::INFINITY;
+    let mut naive = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = run_framework(model, ds, &naive_config);
+        naive_ms = naive_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        naive = Some(r);
+    }
+    let naive = naive.expect("reps >= 1");
+    let mut accel_ms = f64::INFINITY;
+    let mut accel = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = run_framework(model, ds, &accel_config);
+        accel_ms = accel_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        accel = Some(r);
+    }
+    let accel = accel.expect("reps >= 1");
+    // The exactness contract, re-checked under forced pools: serial, even
+    // and odd splits all reproduce the naive selection bit-for-bit.
+    let identical = same_selection(&naive, &accel)
+        && [1usize, 2, 7].iter().all(|&t| {
+            let r = with_threads(t, || run_framework(model, ds, &accel_config));
+            same_selection(&naive, &r)
+        });
+    let stats = accel.stats;
+    SearchEntry {
+        name,
+        scheme,
+        naive_ms,
+        accel_ms,
+        naive_evals: naive.evaluations,
+        accel_evals: accel.evaluations,
+        memo_hits: stats.memo_hits,
+        prefix_hits: stats.prefix_hits,
+        stages_skipped: stats.stages_skipped,
+        early_exits: stats.early_accepts + stats.early_rejects,
+        identical_selection: identical,
+    }
+}
+
+/// Properly trained CPU-scale models: the search benches need accuracy
+/// thresholds that actually bind (an untrained model's near-chance
+/// accuracy would let every descent run straight to the floor, and a
+/// half-trained one puts the quantization cliff in degenerate places).
+/// This ShallowCaps-S reaches 100% on the synthetic eval set with a clean
+/// cliff: uniform Q.3 holds 99.2%, uniform Q.2 collapses to chance.
+fn trained_shallow_s() -> (ShallowCaps, Dataset) {
+    let config = ShallowCapsConfig {
+        conv_channels: 64,
+        primary_types: 2,
+        digit_dim: 6,
+        ..ShallowCapsConfig::small(1)
+    };
+    let mut model = ShallowCaps::new(config, 5);
+    let (train_set, test_set) = SynthKind::Mnist.train_test(600, 120, 5);
+    train(
+        &mut model,
+        &train_set,
+        &test_set,
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 25,
+            lr: 0.01,
+            augment: AugmentPolicy::none(),
+            ..TrainConfig::default()
+        },
+    );
+    (model, test_set)
+}
+
+fn trained_deep_s() -> (DeepCaps, Dataset) {
+    let mut config = DeepCapsConfig::small(1);
+    config.conv_channels = 8;
+    config.blocks[0].types = 2;
+    config.blocks[1].types = 2;
+    config.digit_dim = 6;
+    let mut model = DeepCaps::new(config, 31);
+    let (train_set, test_set) = SynthKind::Mnist.train_test(200, 60, 31);
+    train(
+        &mut model,
+        &train_set,
+        &test_set,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 25,
+            lr: 0.003,
+            augment: AugmentPolicy::none(),
+            ..TrainConfig::default()
+        },
+    );
+    (model, test_set)
+}
+
+/// The benchmarked Algorithm 1 workload: 10% accuracy tolerance, a weight
+/// budget of 8 bits per weight, and the search capped at 6 fractional bits
+/// (8-bit fixed-point words: sign, integer bit, Q.6) — the regime the
+/// paper's Table I results live in.
+fn search_base(model: &impl CapsNet) -> FrameworkConfig {
+    let total_weights: u64 = model.groups().iter().map(|g| g.weight_count as u64).sum();
+    FrameworkConfig {
+        acc_tol: 0.1,
+        memory_budget_bits: total_weights * 8,
+        eval_batch: 6,
+        max_frac_bits: 6,
+        ..FrameworkConfig::default()
+    }
+}
+
+/// The `search` bench section: Algorithm 1 end to end, accelerated vs
+/// naive. `smoke` restricts to one ShallowCaps-S / RTN entry so CI can
+/// assert the exactness contract in seconds.
+fn search_entries(smoke: bool) -> Vec<SearchEntry> {
+    let mut entries = Vec::new();
+    let (shallow, sds) = trained_shallow_s();
+    let sbase = search_base(&shallow);
+    let schemes: &[RoundingScheme] = if smoke {
+        &[RoundingScheme::RoundToNearest]
+    } else {
+        &RoundingScheme::EXTENDED
+    };
+    for &scheme in schemes {
+        entries.push(search_entry(
+            "ShallowCaps-S Algorithm 1",
+            &shallow,
+            &sds,
+            &sbase,
+            scheme,
+        ));
+    }
+    if !smoke {
+        let (deep, dds) = trained_deep_s();
+        let dbase = search_base(&deep);
+        for scheme in [RoundingScheme::RoundToNearest, RoundingScheme::Stochastic] {
+            entries.push(search_entry(
+                "DeepCaps-S Algorithm 1",
+                &deep,
+                &dds,
+                &dbase,
+                scheme,
+            ));
+        }
+    }
+    entries
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -179,6 +397,28 @@ fn load_seed_tsv(path: &str) -> Vec<(String, f64)> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--search-smoke") {
+        eprintln!("bench_report: search smoke (ShallowCaps-S, RTN only)");
+        for e in search_entries(true) {
+            println!(
+                "{} [{}]: naive {:.0} ms / {} evals, accel {:.0} ms / {} evals \
+                 ({:.2}x), identical_selection={}",
+                e.name,
+                e.scheme,
+                e.naive_ms,
+                e.naive_evals,
+                e.accel_ms,
+                e.accel_evals,
+                e.naive_ms / e.accel_ms,
+                e.identical_selection
+            );
+            assert!(
+                e.identical_selection,
+                "accelerated search diverged from the naive selection"
+            );
+        }
+        return;
+    }
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
@@ -543,6 +783,12 @@ fn main() {
         ]
     };
 
+    // Search-time acceleration: Algorithm 1 end to end, accelerated vs
+    // the naive evaluator, with the exactness contract re-verified at
+    // thread counts 1/2/7.
+    eprintln!("bench_report: timing the wordlength search (Algorithm 1)");
+    let search = search_entries(false);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"harness\": \"bench_report (minimum of 15 samples)\",\n");
@@ -626,6 +872,26 @@ fn main() {
             } else {
                 ""
             }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"search\": [\n");
+    for (i, e) in search.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"scheme\": \"{}\", \"naive_ms\": {:.1}, \"accel_ms\": {:.1}, \"speedup\": {:.2}, \"naive_evals\": {}, \"accel_evals\": {}, \"memo_hits\": {}, \"prefix_hits\": {}, \"stages_skipped\": {}, \"early_exits\": {}, \"identical_selection\": {} }}{}\n",
+            json_escape(e.name),
+            e.scheme,
+            e.naive_ms,
+            e.accel_ms,
+            e.naive_ms / e.accel_ms,
+            e.naive_evals,
+            e.accel_evals,
+            e.memo_hits,
+            e.prefix_hits,
+            e.stages_skipped,
+            e.early_exits,
+            e.identical_selection,
+            if i + 1 < search.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -16,7 +16,12 @@ use qcn_fixed::RoundingScheme;
 
 /// Runs one model × dataset cell at one budget, printing a Table I row per
 /// produced model.
-fn cell<M: CapsNet>(model: &M, test: &qcn_datasets::Dataset, dataset: &str, budget_div: u64) {
+fn cell<M: CapsNet + Sync>(
+    model: &M,
+    test: &qcn_datasets::Dataset,
+    dataset: &str,
+    budget_div: u64,
+) {
     let groups = model.groups();
     let fp32_bits: u64 = groups.iter().map(|g| g.weight_count as u64).sum::<u64>() * 32;
     let config = FrameworkConfig {

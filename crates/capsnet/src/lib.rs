@@ -43,7 +43,7 @@ mod train;
 pub use decoder::Decoder;
 pub use loss::MarginLoss;
 pub use metrics::{confusion_matrix, ConfusionMatrix};
-pub use model::{accuracy, CapsNet, GroupInfo};
+pub use model::{accuracy, argmax_caps, CapsNet, GroupInfo};
 pub use models::{BlockConfig, DeepCaps, DeepCapsConfig, ShallowCaps, ShallowCapsConfig};
 pub use optim::Adam;
 pub use quant::{LayerQuant, ModelQuant, QuantCtx};

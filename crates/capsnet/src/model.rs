@@ -51,12 +51,71 @@ pub trait CapsNet: Clone {
     /// capsules `[batch, classes, dim]`.
     fn forward(&self, g: &mut Graph, x: Var, pvars: &[Var]) -> Var;
 
+    /// Number of checkpointable stages in the staged inference pipeline.
+    ///
+    /// Both built-in architectures expose one stage per quantization group,
+    /// so this defaults to `groups().len()`; a model whose pipeline does
+    /// not split on group boundaries can override it.
+    fn num_stages(&self) -> usize {
+        self.groups().len()
+    }
+
+    /// Runs one stage of the inference pipeline.
+    ///
+    /// Stage `s` consumes the output of stage `s − 1` (the raw input batch
+    /// when `s == 0`) and must apply *exactly* the operations — and, for
+    /// stochastic rounding, exactly the context draws — that the monolithic
+    /// [`infer`](CapsNet::infer) applies in that portion of the network, so
+    /// that chaining all stages is bit-identical to a monolithic pass. The
+    /// search layer relies on this to cache per-stage activation
+    /// checkpoints and re-run only the suffix a candidate configuration
+    /// actually changes.
+    fn infer_stage(
+        &self,
+        stage: usize,
+        x: &Tensor,
+        config: &ModelQuant,
+        ctx: &mut QuantCtx,
+    ) -> Tensor;
+
+    /// Runs stages `start..num_stages()` from the checkpoint `x` (the
+    /// output of stage `start − 1`). `infer_from(0, ...)` is the full
+    /// forward pass.
+    fn infer_from(
+        &self,
+        start: usize,
+        x: &Tensor,
+        config: &ModelQuant,
+        ctx: &mut QuantCtx,
+    ) -> Tensor {
+        let n = self.num_stages();
+        assert!(start < n, "stage {start} out of range for {n}-stage model");
+        let mut y = self.infer_stage(start, x, config, ctx);
+        for s in start + 1..n {
+            y = self.infer_stage(s, &y, config, ctx);
+        }
+        y
+    }
+
     /// Inference under a quantization configuration. Weights are used as
     /// stored (quantize them first with
     /// [`with_quantized_weights`](CapsNet::with_quantized_weights));
     /// activations and routing data are rounded per `config`. Returns
     /// output capsules `[batch, classes, dim]`.
-    fn infer(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Tensor;
+    fn infer(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Tensor {
+        self.infer_from(0, x, config, ctx)
+    }
+
+    /// Maps `config` onto a canonical form that selects the same
+    /// computation: fields a group's inference never reads are cleared and
+    /// fallback chains (e.g. `Q_DR` defaulting to `Qa`) are resolved, so
+    /// that two configurations with equal canonical forms are guaranteed
+    /// to produce bit-identical inference. Search-time caches key on this
+    /// to avoid re-evaluating equivalent configurations. The default is the
+    /// identity (always sound, never merges).
+    fn canonical_config(&self, config: &ModelQuant) -> ModelQuant {
+        config.clone()
+    }
 
     /// Returns a copy whose stored weights are rounded group-by-group to
     /// `config.layers[g].weight_frac` bits with `config.scheme`.
@@ -68,37 +127,49 @@ pub trait CapsNet: Clone {
     }
 
     /// Classifies a batch: runs [`infer`](CapsNet::infer) and takes the
-    /// argmax of output-capsule lengths, computed per sample through the
-    /// thread pool (same tie-breaking as `argmax_rows`: first maximum
-    /// wins).
+    /// argmax of output-capsule lengths via [`argmax_caps`].
     fn predict(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Vec<usize> {
-        let caps = self.infer(x, config, ctx);
-        let (b, classes, dim) = (caps.dims()[0], caps.dims()[1], caps.dims()[2]);
-        assert!(classes > 0, "predict with zero classes");
-        let mut preds = vec![0usize; b];
-        let data = caps.data();
-        qcn_tensor::parallel::par_chunks_mut(&mut preds, 1, 64, |s, slot| {
-            let sample = &data[s * classes * dim..(s + 1) * classes * dim];
-            let length = |k: usize| {
-                sample[k * dim..(k + 1) * dim]
-                    .iter()
-                    .map(|v| v * v)
-                    .sum::<f32>()
-                    .sqrt()
-            };
-            let mut best = 0usize;
-            let mut best_len = length(0);
-            for k in 1..classes {
-                let len = length(k);
-                if len > best_len {
-                    best = k;
-                    best_len = len;
-                }
-            }
-            slot[0] = best;
-        });
-        preds
+        argmax_caps(&self.infer(x, config, ctx))
     }
+}
+
+/// Per-sample argmax of output-capsule lengths for a `[batch, classes,
+/// dim]` capsule tensor, computed through the thread pool (same
+/// tie-breaking as `argmax_rows`: first maximum wins).
+///
+/// This is the classification rule of [`CapsNet::predict`], exposed so the
+/// search layer can classify from cached stage checkpoints without going
+/// through `predict`'s full forward pass.
+///
+/// # Panics
+///
+/// Panics when `caps` has zero classes.
+pub fn argmax_caps(caps: &Tensor) -> Vec<usize> {
+    let (b, classes, dim) = (caps.dims()[0], caps.dims()[1], caps.dims()[2]);
+    assert!(classes > 0, "predict with zero classes");
+    let mut preds = vec![0usize; b];
+    let data = caps.data();
+    qcn_tensor::parallel::par_chunks_mut(&mut preds, 1, 64, |s, slot| {
+        let sample = &data[s * classes * dim..(s + 1) * classes * dim];
+        let length = |k: usize| {
+            sample[k * dim..(k + 1) * dim]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+        };
+        let mut best = 0usize;
+        let mut best_len = length(0);
+        for k in 1..classes {
+            let len = length(k);
+            if len > best_len {
+                best = k;
+                best_len = len;
+            }
+        }
+        slot[0] = best;
+    });
+    preds
 }
 
 /// Classification accuracy (fraction in `[0, 1]`) of `model` on a labelled

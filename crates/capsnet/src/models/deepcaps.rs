@@ -396,20 +396,65 @@ impl CapsNet for DeepCaps {
         self.fc.forward(g, caps, &pvars[offset..offset + 1])
     }
 
-    fn infer(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Tensor {
+    fn infer_stage(
+        &self,
+        stage: usize,
+        x: &Tensor,
+        config: &ModelQuant,
+        ctx: &mut QuantCtx,
+    ) -> Tensor {
         assert_eq!(
             config.layers.len(),
             self.blocks.len() + 2,
             "DeepCaps group count mismatch"
         );
-        let mut y = self.conv.infer(x, &config.layers[0], ctx);
-        for (i, block) in self.blocks.iter().enumerate() {
-            y = self.block_infer(block, &y, &config.layers[i + 1], ctx);
+        let last = self.blocks.len() + 1;
+        match stage {
+            0 => self.conv.infer(x, &config.layers[0], ctx),
+            s if s < last => self.block_infer(&self.blocks[s - 1], x, &config.layers[s], ctx),
+            s if s == last => {
+                // The capsule flatten between the last block and the output
+                // layer is pure data movement, so it rides inside the final
+                // stage rather than being a checkpoint of its own.
+                let dim = self.blocks.last().expect("non-empty").dim;
+                let caps = flatten_caps(x, dim);
+                self.fc.infer(&caps, &config.layers[last], ctx)
+            }
+            s => panic!("DeepCaps has {} stages, got stage {s}", last + 1),
         }
-        let dim = self.blocks.last().expect("non-empty").dim;
-        let caps = flatten_caps(&y, dim);
-        self.fc
-            .infer(&caps, &config.layers[self.blocks.len() + 1], ctx)
+    }
+
+    fn canonical_config(&self, config: &ModelQuant) -> ModelQuant {
+        assert_eq!(
+            config.layers.len(),
+            self.blocks.len() + 2,
+            "DeepCaps group count mismatch"
+        );
+        let last = self.blocks.len() + 1;
+        let mut c = config.clone();
+        for (l, lq) in c.layers.iter_mut().enumerate() {
+            if l == 0 {
+                // Conv stem: no routing, no streaming datapath.
+                lq.dr_frac = None;
+                lq.stream_frac = None;
+            } else if l < last {
+                // Block groups: `block_infer` hands its sub-layers a
+                // LayerQuant whose `act_frac` is the block's `stream_frac`,
+                // so the routing skip of the last block resolves `Q_DR` as
+                // `dr_frac.or(stream_frac)`; plain blocks never route.
+                let routes = matches!(self.blocks[l - 1].skip, SkipBranch::Routing(_));
+                lq.dr_frac = if routes {
+                    lq.dr_frac.or(lq.stream_frac)
+                } else {
+                    None
+                };
+            } else {
+                // Output capsule layer: routed, no streaming datapath.
+                lq.dr_frac = lq.effective_dr_frac();
+                lq.stream_frac = None;
+            }
+        }
+        c
     }
 
     fn with_quantized_weights(&self, config: &ModelQuant) -> Self {

@@ -218,11 +218,33 @@ impl CapsNet for ShallowCaps {
         self.digit.forward(g, caps, &pvars[4..5])
     }
 
-    fn infer(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Tensor {
+    fn infer_stage(
+        &self,
+        stage: usize,
+        x: &Tensor,
+        config: &ModelQuant,
+        ctx: &mut QuantCtx,
+    ) -> Tensor {
         assert_eq!(config.layers.len(), 3, "ShallowCaps has 3 groups");
-        let y = self.conv.infer(x, &config.layers[0], ctx);
-        let caps = self.primary.infer(&y, &config.layers[1], ctx);
-        self.digit.infer(&caps, &config.layers[2], ctx)
+        match stage {
+            0 => self.conv.infer(x, &config.layers[0], ctx),
+            1 => self.primary.infer(x, &config.layers[1], ctx),
+            2 => self.digit.infer(x, &config.layers[2], ctx),
+            s => panic!("ShallowCaps has 3 stages, got stage {s}"),
+        }
+    }
+
+    fn canonical_config(&self, config: &ModelQuant) -> ModelQuant {
+        assert_eq!(config.layers.len(), 3, "ShallowCaps has 3 groups");
+        let mut c = config.clone();
+        for (l, lq) in c.layers.iter_mut().enumerate() {
+            // Only the routed DigitCaps layer reads Q_DR (as
+            // `effective_dr_frac`, falling back to `Qa`); no ShallowCaps
+            // layer reads `stream_frac`.
+            lq.dr_frac = if l == 2 { lq.effective_dr_frac() } else { None };
+            lq.stream_frac = None;
+        }
+        c
     }
 
     fn with_quantized_weights(&self, config: &ModelQuant) -> Self {

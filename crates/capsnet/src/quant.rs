@@ -137,7 +137,12 @@ impl fmt::Display for ModelQuant {
 
 /// Runtime quantization context threaded through a quantized inference
 /// pass: the rounding scheme plus the RNG that drives stochastic rounding.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the full context (including the RNG state), which is
+/// what lets an interrupted batched evaluation resume later and still
+/// consume exactly the draws an uninterrupted pass would have — the
+/// search-time early-exit scoring in `qcapsnets::Evaluator` relies on this.
+#[derive(Debug, Clone)]
 pub struct QuantCtx {
     scheme: RoundingScheme,
     rng: StdRng,

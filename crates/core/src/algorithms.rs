@@ -59,17 +59,20 @@ pub fn binary_search_uniform<S: ConfigScorer>(
         c
     };
     let (mut lo, mut hi) = (0u8, max_frac);
-    if eval.score(&with_frac(hi)) < acc_min {
+    if !eval.meets(&with_frac(hi), acc_min) {
         return (with_frac(hi), hi);
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if eval.score(&with_frac(mid)) >= acc_min {
+        if eval.meets(&with_frac(mid), acc_min) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
+    // Invariant: the returned `hi` is always a width that was probed above
+    // (the initial `max_frac` test, or a passing `mid`), so its accuracy is
+    // already memoized — callers reading it back pay no re-evaluation.
     (with_frac(hi), hi)
 }
 
@@ -102,22 +105,43 @@ pub fn layerwise<S: ConfigScorer>(
         );
     }
     for start in 1..layers {
-        loop {
-            // Tentatively lower every layer in [start, L) by one bit.
-            let mut candidate = current.clone();
-            let mut hit_floor = false;
-            for l in start..layers {
-                let frac = get_frac(&candidate, domain, l).expect("checked above");
-                if frac == 0 {
-                    hit_floor = true;
-                    break;
+        'descend: loop {
+            // Tentatively lower every layer in [start, L) by one bit —
+            // speculatively generating up to `probe_width` successive
+            // decrements so independent candidates can be probed at once.
+            // Scanning the verdicts in order and stopping at the first
+            // failure selects exactly the config the one-at-a-time descent
+            // would.
+            let width = eval.probe_width().max(1);
+            let mut candidates = Vec::with_capacity(width);
+            let mut tip = current.clone();
+            'generate: for _ in 0..width {
+                let mut next = tip.clone();
+                for l in start..layers {
+                    let frac = get_frac(&next, domain, l).expect("checked above");
+                    if frac == 0 {
+                        break 'generate;
+                    }
+                    set_frac(&mut next, domain, l, frac - 1);
                 }
-                set_frac(&mut candidate, domain, l, frac - 1);
+                candidates.push(next.clone());
+                tip = next;
             }
-            if hit_floor || eval.score(&candidate) < acc_min {
+            let hit_floor = candidates.len() < width;
+            if candidates.is_empty() {
                 break;
             }
-            current = candidate;
+            let verdicts = eval.meets_batch(&candidates, acc_min);
+            for (candidate, ok) in candidates.iter().zip(&verdicts) {
+                if *ok {
+                    current = candidate.clone();
+                } else {
+                    break 'descend;
+                }
+            }
+            if hit_floor {
+                break;
+            }
         }
     }
     current
@@ -146,17 +170,27 @@ pub fn dr_quant<S: ConfigScorer>(eval: &mut S, config: &ModelQuant, acc_min: f32
             continue; // full-precision group: nothing to specialise
         };
         let mut frac = start;
-        loop {
-            if frac == 0 {
-                break;
+        'descend: while frac > 0 {
+            // Speculate up to `probe_width` successive single-bit drops;
+            // scanning verdicts in order keeps the selection identical to
+            // the one-at-a-time loop.
+            let width = eval.probe_width().max(1).min(frac as usize);
+            let candidates: Vec<ModelQuant> = (1..=width as u8)
+                .map(|k| {
+                    let mut candidate = current.clone();
+                    candidate.layers[l].dr_frac = Some(frac - k);
+                    candidate
+                })
+                .collect();
+            let verdicts = eval.meets_batch(&candidates, acc_min);
+            for (candidate, ok) in candidates.iter().zip(&verdicts) {
+                if *ok {
+                    frac -= 1;
+                    current = candidate.clone();
+                } else {
+                    break 'descend;
+                }
             }
-            let mut candidate = current.clone();
-            candidate.layers[l].dr_frac = Some(frac - 1);
-            if eval.score(&candidate) < acc_min {
-                break;
-            }
-            frac -= 1;
-            current = candidate;
         }
         current.layers[l].dr_frac = Some(frac);
     }
@@ -209,6 +243,29 @@ mod tests {
             "expected ≈ log₂(32) evals, got {}",
             eval.evaluations()
         );
+    }
+
+    #[test]
+    fn binary_search_endpoint_accuracy_comes_from_memo() {
+        let (model, ds) = setup();
+        let base = ModelQuant::full_precision(3);
+        // Reachable target: the endpoint is the last passing mid-probe.
+        let mut eval = Evaluator::new(&model, &ds, 15);
+        let (config, _) = binary_search_uniform(&mut eval, &base, ParamDomain::Both, 16, 0.0);
+        let evals = eval.evaluations();
+        let _ = eval.accuracy(&config);
+        assert_eq!(
+            eval.evaluations(),
+            evals,
+            "endpoint accuracy must come from the memo, not a re-run"
+        );
+        // Unreachable target: the endpoint is the initial max-width probe.
+        let mut eval = Evaluator::new(&model, &ds, 15);
+        let (config, frac) = binary_search_uniform(&mut eval, &base, ParamDomain::Both, 16, 1.01);
+        assert_eq!(frac, 16);
+        let evals = eval.evaluations();
+        let _ = eval.accuracy(&config);
+        assert_eq!(eval.evaluations(), evals);
     }
 
     #[test]

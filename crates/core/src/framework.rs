@@ -8,7 +8,7 @@ use crate::memory::{
     activation_memory_bits, activation_memory_reduction, solve_eq6, weight_memory_bits,
     weight_memory_reduction,
 };
-use crate::Evaluator;
+use crate::{EvalStats, Evaluator, SearchAccel};
 use qcn_capsnet::{CapsNet, ModelQuant};
 use qcn_datasets::Dataset;
 use qcn_fixed::RoundingScheme;
@@ -40,6 +40,11 @@ pub struct FrameworkConfig {
     /// search to maximum width; the paper's 10 000-sample test sets give
     /// it a built-in granularity of 0.01 % per sample. Default 1.0.
     pub granularity_slack: f32,
+    /// Search-time acceleration settings (prefix reuse, early exit,
+    /// parallel probes, cache bounds). All exact: the selected
+    /// configurations and reported accuracies are bit-identical to
+    /// [`SearchAccel::naive`] for every rounding scheme and thread count.
+    pub accel: SearchAccel,
 }
 
 impl Default for FrameworkConfig {
@@ -52,6 +57,7 @@ impl Default for FrameworkConfig {
             max_frac_bits: 23,
             seed: 0,
             granularity_slack: 1.0,
+            accel: SearchAccel::default(),
         }
     }
 }
@@ -140,6 +146,9 @@ pub struct RunReport {
     pub step1_frac: u8,
     /// Number of distinct configurations evaluated.
     pub evaluations: usize,
+    /// Evaluator work/savings counters: memo hits, prefix reuse, early
+    /// exits, evictions (see [`EvalStats`]).
+    pub stats: EvalStats,
     /// The outcome (Path A or Path B results).
     pub outcome: Outcome,
 }
@@ -152,14 +161,18 @@ pub struct RunReport {
 ///
 /// Panics when `eval_set` is empty or `config` is inconsistent (zero batch,
 /// `acc_tol` outside `[0, 1)`).
-pub fn run<M: CapsNet>(model: &M, eval_set: &Dataset, config: &FrameworkConfig) -> RunReport {
+pub fn run<M: CapsNet + Sync>(
+    model: &M,
+    eval_set: &Dataset,
+    config: &FrameworkConfig,
+) -> RunReport {
     assert!(
         (0.0..1.0).contains(&config.acc_tol),
         "accuracy tolerance must be in [0, 1)"
     );
     let groups = model.groups();
     let n = groups.len();
-    let mut eval = Evaluator::new(model, eval_set, config.eval_batch);
+    let mut eval = Evaluator::with_accel(model, eval_set, config.eval_batch, config.accel);
     let fp = base_config(n, config);
     // Full-precision reference and targets (Algorithm 1, lines 3-6).
     let acc_fp32 = eval.accuracy(&fp);
@@ -224,6 +237,7 @@ pub fn run<M: CapsNet>(model: &M, eval_set: &Dataset, config: &FrameworkConfig) 
         acc_target,
         step1_frac,
         evaluations: eval.evaluations(),
+        stats: eval.stats(),
         outcome,
     }
 }

@@ -53,7 +53,7 @@ pub mod memory;
 pub mod report;
 mod selection;
 
-pub use evaluator::{ConfigScorer, Evaluator};
+pub use evaluator::{ConfigScorer, EvalStats, Evaluator, SearchAccel};
 pub use finetune::{finetune, finetune_step, FinetuneConfig};
 pub use framework::{run, FrameworkConfig, Outcome, QuantResult, ResultKind, RunReport};
 pub use selection::{run_library, select, LibraryReport, Selection};

@@ -1,6 +1,7 @@
 //! Human-readable rendering of framework results: the per-layer bit tables
 //! of paper Figs. 11–12 and the summary rows of Table I.
 
+use crate::evaluator::EvalStats;
 use crate::framework::QuantResult;
 use qcn_capsnet::GroupInfo;
 use std::fmt::Write as _;
@@ -71,6 +72,33 @@ pub fn table1_row(model: &str, dataset: &str, result: &QuantResult) -> String {
 /// the paper's memory-budget discussion).
 pub fn mbit(bits: u64) -> String {
     format!("{:.2} Mbit", bits as f64 / 1.0e6)
+}
+
+/// Renders the evaluator's work/savings counters as a two-line summary:
+/// what was evaluated, and what the search-time caches saved.
+pub fn search_stats(stats: &EvalStats) -> String {
+    let total_stages = stats.stages_run + stats.stages_skipped;
+    let skipped_pct = if total_stages > 0 {
+        100.0 * stats.stages_skipped as f64 / total_stages as f64
+    } else {
+        0.0
+    };
+    format!(
+        "evaluations={} memo hits={} early exits={} (accept {}, reject {}) resumes={}\n\
+         prefix hits={} stages skipped={}/{} ({skipped_pct:.0}%) evictions: memo={} prefix={} speculative={}",
+        stats.evaluations,
+        stats.memo_hits,
+        stats.early_accepts + stats.early_rejects,
+        stats.early_accepts,
+        stats.early_rejects,
+        stats.partial_resumes,
+        stats.prefix_hits,
+        stats.stages_skipped,
+        total_stages,
+        stats.memo_evictions,
+        stats.prefix_evictions,
+        stats.speculative_probes,
+    )
 }
 
 #[cfg(test)]
@@ -149,5 +177,29 @@ mod tests {
     fn mbit_formatting() {
         assert_eq!(mbit(217_000_000), "217.00 Mbit");
         assert_eq!(mbit(500_000), "0.50 Mbit");
+    }
+
+    #[test]
+    fn search_stats_summarises_counters() {
+        let stats = EvalStats {
+            evaluations: 12,
+            memo_hits: 7,
+            early_accepts: 3,
+            early_rejects: 4,
+            partial_resumes: 2,
+            prefix_hits: 40,
+            stages_run: 60,
+            stages_skipped: 60,
+            memo_evictions: 1,
+            prefix_evictions: 0,
+            speculative_probes: 5,
+        };
+        let s = search_stats(&stats);
+        assert!(s.contains("evaluations=12"), "{s}");
+        assert!(s.contains("early exits=7 (accept 3, reject 4)"), "{s}");
+        assert!(s.contains("stages skipped=60/120 (50%)"), "{s}");
+        // The zero-work case must not divide by zero.
+        let empty = search_stats(&EvalStats::default());
+        assert!(empty.contains("(0%)"), "{empty}");
     }
 }

@@ -43,7 +43,7 @@ pub struct LibraryReport {
 ///
 /// Panics when `schemes` is empty, or on the same conditions as
 /// [`run`].
-pub fn run_library<M: CapsNet>(
+pub fn run_library<M: CapsNet + Sync>(
     model: &M,
     eval_set: &Dataset,
     config: &FrameworkConfig,
@@ -160,6 +160,7 @@ mod tests {
             acc_target: 0.89,
             step1_frac: 8,
             evaluations: 1,
+            stats: Default::default(),
             outcome,
         }
     }

@@ -14,3 +14,6 @@ for t in 1 2 7; do
 done
 cargo clippy --workspace -- -D warnings
 cargo bench --no-run
+# Search-acceleration smoke: one end-to-end Algorithm 1 run, accelerated
+# vs naive, asserting the bit-identical-selection contract.
+cargo run --release -p qcn-bench --bin bench_report -- --search-smoke
