@@ -21,7 +21,10 @@ use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_hwmodel::archstats;
 use qcn_hwmodel::latency::Accelerator;
 use qcn_intinfer::{IntModel, UnitMode};
-use qcn_serve::{FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, ServeEngine, Server};
+use qcn_serve::{
+    Client, FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, ServeEngine, Server,
+    SocketServer,
+};
 use qcn_tensor::conv::{conv2d, conv2d_fused, Conv2dSpec};
 use qcn_tensor::parallel::{current_threads, with_threads};
 use qcn_tensor::Tensor;
@@ -158,6 +161,22 @@ struct ServingEntry {
     engine: &'static str,
     single_loop_rps: f64,
     points: Vec<ServingPoint>,
+}
+
+/// In-process vs socket round-trip throughput for one engine behind the
+/// same server: `in_process_rps` pipelines through `Server::submit`
+/// directly, `socket_pipelined_rps` drives the same requests through the
+/// TCP front-end on one pipelined connection, and `socket_sync_rps` is the
+/// worst case — one request on the wire at a time, so every request pays a
+/// full network round-trip of latency. `wire_bytes_per_request` is the
+/// measured protocol cost (request + response frames) per request.
+struct ServingNetEntry {
+    engine: &'static str,
+    requests: usize,
+    in_process_rps: f64,
+    socket_pipelined_rps: f64,
+    socket_sync_rps: f64,
+    wire_bytes_per_request: f64,
 }
 
 /// One end-to-end Algorithm 1 timing: the full framework run (binary
@@ -783,6 +802,121 @@ fn main() {
         ]
     };
 
+    // Socket front-end: the same saturated request stream through
+    // `Server::submit` directly vs over TCP (one pipelined connection, and
+    // the sync one-at-a-time worst case) — what the wire layer costs.
+    eprintln!("bench_report: timing the socket front-end");
+    let serving_net_entries: Vec<ServingNetEntry> = {
+        let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+        let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+        for lq in &mut config.layers {
+            lq.dr_frac = Some(4);
+        }
+        let int_model = IntModel::load(&model.descriptor(), &pack_model(&model, &config))
+            .expect("config fully quantized");
+        let requests: Vec<Tensor> = (0..192)
+            .map(|i| {
+                let x = grid_input([1, 1, 16, 16], 100 + i as u64);
+                Tensor::from_vec(x.data().to_vec(), [1, 16, 16]).unwrap()
+            })
+            .collect();
+        let passes = 5;
+
+        let run = |register: &dyn Fn(&mut ModelRegistry)| -> ServingNetEntry {
+            let mut registry = ModelRegistry::new();
+            register(&mut registry);
+            let server = std::sync::Arc::new(Server::start(
+                registry,
+                ServeConfig {
+                    max_batch: 8,
+                    queue_capacity: requests.len(),
+                    batch_window: Duration::from_millis(2),
+                    request_timeout: None,
+                    workers: 1,
+                },
+            ));
+            let net = SocketServer::bind(std::sync::Arc::clone(&server), "127.0.0.1:0")
+                .expect("bind bench front-end");
+
+            let mut in_process_rps = 0.0f64;
+            for _ in 0..passes {
+                let start = Instant::now();
+                let pending: Vec<_> = requests
+                    .iter()
+                    .map(|x| server.submit("m", x.clone()).expect("queue sized"))
+                    .collect();
+                for p in pending {
+                    p.wait().expect("in-process bench request");
+                }
+                in_process_rps =
+                    in_process_rps.max(requests.len() as f64 / start.elapsed().as_secs_f64());
+            }
+
+            let mut client = Client::connect(net.local_addr()).expect("connect bench client");
+            let mut socket_pipelined_rps = 0.0f64;
+            let mut socket_requests = 0u64;
+            for _ in 0..passes {
+                let start = Instant::now();
+                for x in &requests {
+                    client.send("m", x).expect("pipelined send");
+                }
+                for _ in &requests {
+                    client
+                        .recv()
+                        .expect("pipelined recv")
+                        .result
+                        .expect("remote inference");
+                }
+                socket_pipelined_rps =
+                    socket_pipelined_rps.max(requests.len() as f64 / start.elapsed().as_secs_f64());
+                socket_requests += requests.len() as u64;
+            }
+            let mut socket_sync_rps = 0.0f64;
+            for _ in 0..passes {
+                let start = Instant::now();
+                for x in &requests {
+                    client.infer("m", x).expect("sync round-trip");
+                }
+                socket_sync_rps =
+                    socket_sync_rps.max(requests.len() as f64 / start.elapsed().as_secs_f64());
+                socket_requests += requests.len() as u64;
+            }
+            drop(client);
+            let snap = net.shutdown();
+            ServingNetEntry {
+                engine: "",
+                requests: requests.len(),
+                in_process_rps,
+                socket_pipelined_rps,
+                socket_sync_rps,
+                wire_bytes_per_request: (snap.bytes_in + snap.bytes_out) as f64
+                    / socket_requests as f64,
+            }
+        };
+        vec![
+            ServingNetEntry {
+                engine: "fake_quant",
+                ..run(&|r| {
+                    r.register(
+                        "m",
+                        FakeQuantEngine::new(&model, config.clone(), [1, 16, 16]),
+                    )
+                    .unwrap();
+                })
+            },
+            ServingNetEntry {
+                engine: "integer_float_exact",
+                ..run(&|r| {
+                    r.register(
+                        "m",
+                        IntEngine::new(int_model.clone(), 5, UnitMode::FloatExact, [1, 16, 16]),
+                    )
+                    .unwrap();
+                })
+            },
+        ]
+    };
+
     // Search-time acceleration: Algorithm 1 end to end, accelerated vs
     // the naive evaluator, with the exactness contract re-verified at
     // thread counts 1/2/7.
@@ -868,6 +1002,27 @@ fn main() {
         json.push_str(&format!(
             "    ] }}{}\n",
             if i + 1 < serving_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"serving_net\": [\n");
+    for (i, e) in serving_net_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"engine\": \"{}\", \"requests\": {}, \"in_process_rps\": {:.1}, \
+             \"socket_pipelined_rps\": {:.1}, \"socket_sync_rps\": {:.1}, \
+             \"socket_vs_in_process\": {:.3}, \"wire_bytes_per_request\": {:.1} }}{}\n",
+            e.engine,
+            e.requests,
+            e.in_process_rps,
+            e.socket_pipelined_rps,
+            e.socket_sync_rps,
+            e.socket_pipelined_rps / e.in_process_rps,
+            e.wire_bytes_per_request,
+            if i + 1 < serving_net_entries.len() {
                 ","
             } else {
                 ""

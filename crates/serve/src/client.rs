@@ -1,0 +1,130 @@
+//! A small blocking client for the socket front-end.
+//!
+//! [`Client`] speaks the length-prefixed protocol of [`crate::wire`] over
+//! one TCP connection. Two usage styles:
+//!
+//! * **Call-and-wait**: [`Client::infer`] sends one request and blocks for
+//!   its response — the remote mirror of `Server::submit(..).wait()`.
+//! * **Pipelined**: [`Client::send`] fires a request without waiting and
+//!   returns its id; [`Client::recv`] takes the next response off the
+//!   wire. The server answers a connection's requests in submission
+//!   order, so `send`×N then `recv`×N keeps the batching scheduler fed —
+//!   this is what the soak tests and the bench harness drive.
+
+use crate::server::{ServeError, SubmitError};
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, WireError, WireRequest, WireResponse,
+};
+use qcn_tensor::Tensor;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or could not be written/read).
+    Io(io::Error),
+    /// The server sent bytes that do not parse as a response, or a
+    /// response that cannot belong to this request.
+    Protocol(String),
+    /// The server rejected the submission, typed ([`SubmitError`]).
+    Rejected(SubmitError),
+    /// The server accepted the request but failed it, typed
+    /// ([`ServeError`]).
+    Failed(ServeError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::Rejected(e) => write!(f, "request rejected: {e}"),
+            ClientError::Failed(e) => write!(f, "request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Submit(e) => ClientError::Rejected(e),
+            WireError::Serve(e) => ClientError::Failed(e),
+        }
+    }
+}
+
+/// One blocking connection to a [`SocketServer`](crate::net::SocketServer).
+///
+/// Not thread-safe by design (requests and responses correlate by order);
+/// open one client per thread, the server multiplexes.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a socket front-end.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request without waiting for its response; returns the
+    /// request id that the matching [`recv`](Self::recv) will echo.
+    pub fn send(&mut self, model: &str, input: &Tensor) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = encode_request(&WireRequest {
+            id,
+            model: model.to_string(),
+            input: input.clone(),
+        });
+        write_frame(&mut self.writer, &payload)?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Blocks for the next response frame. Responses arrive in the order
+    /// their requests were sent on this connection.
+    pub fn recv(&mut self) -> Result<WireResponse, ClientError> {
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request and blocks for its result — the remote mirror of
+    /// `Server::submit(model, input)?.wait()`.
+    pub fn infer(&mut self, model: &str, input: &Tensor) -> Result<Tensor, ClientError> {
+        let id = self.send(model, input)?;
+        let response = self.recv()?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        Ok(response.result?)
+    }
+}

@@ -17,8 +17,14 @@
 //! * [`Server`] / [`ServeConfig`] — the queue, scheduler and worker pool,
 //!   with typed backpressure ([`SubmitError::QueueFull`]), per-request
 //!   timeouts, panic isolation and graceful drain-and-shutdown;
+//! * [`SocketServer`](net::SocketServer) / [`Client`](client::Client) —
+//!   the TCP front-end: a length-prefixed binary protocol ([`wire`]) with
+//!   per-connection reader/writer threads that pipeline many in-flight
+//!   requests per connection over `Server::submit`, plus a small blocking
+//!   client library;
 //! * [`MetricsSnapshot`] — throughput, batch-size histogram, latency
-//!   percentiles and queue depth for the bench harness.
+//!   percentiles over the most recent window, queue depth, and the wire
+//!   counters (connections, malformed frames, bytes in/out).
 //!
 //! **Determinism contract**: every response is bit-identical to a
 //! sequential single-sample inference of the same request — regardless of
@@ -30,12 +36,18 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod engine;
 mod metrics;
+pub mod net;
 mod registry;
 mod server;
+pub mod wire;
 
+pub use client::{Client, ClientError};
 pub use engine::{FakeQuantEngine, IntEngine, ServeEngine};
 pub use metrics::MetricsSnapshot;
+pub use net::SocketServer;
 pub use registry::{ModelRegistry, RegistryError};
 pub use server::{Pending, ServeConfig, ServeError, Server, SubmitError};
+pub use wire::{WireError, WireRequest, WireResponse};

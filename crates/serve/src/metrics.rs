@@ -1,17 +1,20 @@
 //! Service metrics: counters, batch-size histogram and latency
 //! percentiles, snapshotable while the server runs.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Cap on retained per-request latency samples. Old samples are folded
-/// into a reservoir-free "keep the first N" window — the soak tests and
-/// the bench harness stay far below it, and memory stays bounded for
-/// long-running servers.
+/// Cap on retained per-request latency samples. The retained window is a
+/// ring buffer of the **most recent** samples, so the p50/p95/p99 of a
+/// long-running server always describe current traffic (an earlier
+/// "keep the first N" cap froze the percentiles at startup traffic
+/// forever), and memory stays bounded.
 const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
-/// Shared metrics sink updated by the submission path and the workers.
+/// Shared metrics sink updated by the submission path, the workers and
+/// the socket front-end.
 #[derive(Debug)]
 pub(crate) struct Metrics {
     started: Instant,
@@ -22,6 +25,11 @@ pub(crate) struct Metrics {
     expired: AtomicU64,
     failed: AtomicU64,
     max_queue_depth: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    malformed_frames: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
     inner: Mutex<Recorded>,
 }
 
@@ -29,12 +37,21 @@ pub(crate) struct Metrics {
 struct Recorded {
     /// `batch_hist[i]` counts executed batches of size `i + 1`.
     batch_hist: Vec<u64>,
-    /// Per-request end-to-end latencies in microseconds.
-    latencies_us: Vec<u64>,
+    /// Ring of the most recent per-request end-to-end latencies (µs).
+    latencies_us: VecDeque<u64>,
+    /// Ring capacity; older samples are displaced once it is reached.
+    latency_window: usize,
 }
 
 impl Metrics {
     pub(crate) fn new(max_batch: usize) -> Self {
+        Metrics::with_latency_window(max_batch, MAX_LATENCY_SAMPLES)
+    }
+
+    /// A sink with an explicit latency-ring capacity (tests shrink it to
+    /// exercise displacement without a million samples).
+    pub(crate) fn with_latency_window(max_batch: usize, latency_window: usize) -> Self {
+        assert!(latency_window >= 1, "latency window must hold a sample");
         Metrics {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -44,9 +61,15 @@ impl Metrics {
             expired: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            malformed_frames: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
             inner: Mutex::new(Recorded {
                 batch_hist: vec![0; max_batch],
-                latencies_us: Vec::new(),
+                latencies_us: VecDeque::new(),
+                latency_window,
             }),
         }
     }
@@ -73,6 +96,27 @@ impl Metrics {
         self.failed.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_connection_open(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_connection_close(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_malformed_frame(&self) {
+        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records one executed batch and its requests' end-to-end latencies.
     pub(crate) fn on_batch(&self, batch_size: usize, latencies_us: &[u64]) {
         self.completed
@@ -82,15 +126,18 @@ impl Metrics {
             inner.batch_hist.resize(batch_size, 0);
         }
         inner.batch_hist[batch_size - 1] += 1;
-        let room = MAX_LATENCY_SAMPLES.saturating_sub(inner.latencies_us.len());
-        inner
-            .latencies_us
-            .extend_from_slice(&latencies_us[..latencies_us.len().min(room)]);
+        let window = inner.latency_window;
+        for &l in latencies_us {
+            if inner.latencies_us.len() == window {
+                inner.latencies_us.pop_front();
+            }
+            inner.latencies_us.push_back(l);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
-        let mut sorted = inner.latencies_us.clone();
+        let mut sorted: Vec<u64> = inner.latencies_us.iter().copied().collect();
         sorted.sort_unstable();
         let pct = |q: f64| -> u64 {
             if sorted.is_empty() {
@@ -115,6 +162,11 @@ impl Metrics {
             expired: self.expired.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed) as usize,
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed) as usize,
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
             batch_histogram: inner.batch_hist.clone(),
             mean_batch: if batches == 0 {
                 0.0
@@ -147,11 +199,23 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// High-water mark of the submission queue depth.
     pub max_queue_depth: usize,
+    /// Socket connections accepted by the front-end since start.
+    pub connections_accepted: u64,
+    /// Socket connections currently open.
+    pub connections_active: usize,
+    /// Frames the front-end rejected as unparseable (each closes its
+    /// connection — framing cannot be trusted afterwards).
+    pub malformed_frames: u64,
+    /// Wire bytes read from clients (frame headers + payloads).
+    pub bytes_in: u64,
+    /// Wire bytes written to clients (frame headers + payloads).
+    pub bytes_out: u64,
     /// `batch_histogram[i]` counts executed batches of size `i + 1`.
     pub batch_histogram: Vec<u64>,
     /// Mean executed batch size.
     pub mean_batch: f64,
-    /// Median end-to-end request latency (µs, nearest-rank).
+    /// Median end-to-end request latency (µs, nearest-rank) over the
+    /// most recent samples.
     pub latency_p50_us: u64,
     /// 95th-percentile end-to-end request latency (µs).
     pub latency_p95_us: u64,
@@ -194,6 +258,9 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.latency_p99_us, 0);
         assert_eq!(s.mean_batch, 0.0);
+        assert_eq!(s.connections_accepted, 0);
+        assert_eq!(s.connections_active, 0);
+        assert_eq!(s.bytes_in, 0);
     }
 
     #[test]
@@ -203,5 +270,47 @@ mod tests {
         let m = Metrics::new(1);
         m.on_batch(3, &[1, 2, 3]);
         assert_eq!(m.snapshot().batch_histogram, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn latency_window_retains_most_recent_samples() {
+        // Regression: the old "keep the first N" cap froze percentiles at
+        // startup traffic. New samples must displace old ones.
+        let m = Metrics::with_latency_window(1, 4);
+        m.on_batch(1, &[1]);
+        m.on_batch(1, &[1]);
+        m.on_batch(1, &[1]);
+        m.on_batch(1, &[1]);
+        assert_eq!(m.snapshot().latency_p99_us, 1);
+        // Four newer, slower samples fill the whole window.
+        m.on_batch(4, &[900, 900, 900, 900]);
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50_us, 900);
+        assert_eq!(s.latency_p99_us, 900);
+        // Completion counting is unaffected by displacement.
+        assert_eq!(s.completed, 8);
+        // Partial displacement keeps the most recent window, oldest-first.
+        m.on_batch(2, &[7, 8]);
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50_us, 8); // sorted window [7, 8, 900, 900]
+        assert_eq!(s.latency_p99_us, 900);
+    }
+
+    #[test]
+    fn wire_counters_accumulate() {
+        let m = Metrics::new(1);
+        m.on_connection_open();
+        m.on_connection_open();
+        m.on_connection_close();
+        m.on_malformed_frame();
+        m.on_bytes_in(128);
+        m.on_bytes_in(64);
+        m.on_bytes_out(256);
+        let s = m.snapshot();
+        assert_eq!(s.connections_accepted, 2);
+        assert_eq!(s.connections_active, 1);
+        assert_eq!(s.malformed_frames, 1);
+        assert_eq!(s.bytes_in, 192);
+        assert_eq!(s.bytes_out, 256);
     }
 }

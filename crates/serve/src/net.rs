@@ -1,0 +1,355 @@
+//! The TCP socket front-end: a `std::net` listener that puts the
+//! dynamic-batching [`Server`] behind a real network boundary.
+//!
+//! ## Connection model
+//!
+//! Every accepted connection gets a **reader** and a **writer** thread.
+//! The reader parses length-prefixed request frames ([`crate::wire`]) and
+//! submits each straight into [`Server::submit`] — it never waits for the
+//! answer, so one connection can pipeline an arbitrary number of in-flight
+//! requests. The writer resolves the resulting [`Pending`] tickets in
+//! submission order and streams the response frames back. Responses on a
+//! connection therefore arrive in request order, each echoing the client's
+//! request id; batching, reordering across connections and per-request
+//! scheduling all happen in the server behind it, under the same
+//! determinism contract as in-process callers.
+//!
+//! Submission-time rejections (unknown model, bad geometry, queue full,
+//! shutting down) are answered inline as typed error frames, preserving
+//! response order — remote clients see exactly the
+//! [`SubmitError`](crate::SubmitError) / [`ServeError`](crate::ServeError)
+//! variants an in-process caller sees.
+//!
+//! ## Malformed input
+//!
+//! A frame that exceeds the size limit or fails to parse increments the
+//! `malformed_frames` counter and closes the connection: once framing is
+//! violated, byte boundaries can no longer be trusted, so resynchronizing
+//! would risk misrouting tensors.
+//!
+//! ## Shutdown
+//!
+//! [`SocketServer::shutdown`] first stops accepting, then half-closes the
+//! read side of every live connection: readers see EOF and stop submitting,
+//! writers drain every already-submitted request and deliver its response.
+//! Only after all connections are drained and joined is the inner
+//! [`Server::shutdown`] invoked — no request accepted over the wire is ever
+//! silently dropped.
+
+use crate::metrics::MetricsSnapshot;
+use crate::server::{Pending, Server};
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, WireError, WireResponse,
+};
+use std::io::{self, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What the reader hands the writer for one request, in arrival order.
+enum WriterItem {
+    /// Rejected at submission: answer immediately.
+    Ready(WireResponse),
+    /// Accepted: resolve the ticket, then answer.
+    Wait(u64, Pending),
+}
+
+/// One live connection's threads and the stream handle used to interrupt
+/// them during shutdown.
+struct Connection {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+struct NetShared {
+    open: AtomicBool,
+    conns: Mutex<Vec<Connection>>,
+}
+
+/// Decrements the active-connection gauge when the last per-connection
+/// thread exits, whichever thread that is.
+struct ConnGuard {
+    server: Arc<Server>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.server.metrics_sink().on_connection_close();
+    }
+}
+
+/// A TCP front-end over a running [`Server`].
+///
+/// # Examples
+///
+/// ```
+/// use qcn_capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+/// use qcn_fixed::RoundingScheme;
+/// use qcn_serve::{client::Client, FakeQuantEngine, ModelRegistry, ServeConfig, Server};
+/// use qcn_serve::net::SocketServer;
+/// use qcn_tensor::Tensor;
+/// use std::sync::Arc;
+///
+/// let model = ShallowCaps::new(ShallowCapsConfig::small(1), 0);
+/// let config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+/// let mut registry = ModelRegistry::new();
+/// registry
+///     .register("shallow", FakeQuantEngine::new(&model, config, [1, 16, 16]))
+///     .unwrap();
+/// let server = Arc::new(Server::start(registry, ServeConfig::default()));
+/// let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+///
+/// let mut client = Client::connect(net.local_addr()).unwrap();
+/// let capsules = client.infer("shallow", &Tensor::zeros([1, 16, 16])).unwrap();
+/// assert_eq!(capsules.dims(), &[10, 8]);
+/// drop(client);
+/// let metrics = net.shutdown();
+/// assert_eq!(metrics.completed, 1);
+/// assert_eq!(metrics.connections_accepted, 1);
+/// ```
+pub struct SocketServer {
+    server: Arc<Server>,
+    local_addr: SocketAddr,
+    shared: Arc<NetShared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SocketServer {
+    /// Binds `addr` and starts accepting connections for `server`.
+    /// Bind to port 0 to let the OS pick (see [`local_addr`](Self::local_addr)).
+    pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            open: AtomicBool::new(true),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let server = Arc::clone(&server);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qcn-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &server, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(SocketServer {
+            server,
+            local_addr,
+            shared,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The inner batching server (for in-process submissions alongside
+    /// the socket traffic, and for live metrics).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every connection so
+    /// its reader stops submitting, let the writers drain every in-flight
+    /// response, join the connection threads, then shut the inner
+    /// [`Server`] down. Returns the final metrics. Idempotent.
+    pub fn shutdown(&self) -> MetricsSnapshot {
+        self.shared.open.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.accept.lock().expect("accept handle lock").take() {
+            // Unblock the accept call with a throwaway connection.
+            let _ = TcpStream::connect(wakeup_addr(self.local_addr));
+            let _ = handle.join();
+        }
+        let conns: Vec<Connection> = {
+            let mut guard = self.shared.conns.lock().expect("connection list lock");
+            guard.drain(..).collect()
+        };
+        for conn in conns {
+            // Readers stop at EOF; already-read requests stay in flight and
+            // their responses are still written before the writer exits.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+        self.server.shutdown()
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SocketServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketServer")
+            .field("local_addr", &self.local_addr)
+            .field("open", &self.shared.open.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Where to connect to wake a listener bound on `addr` (an unspecified
+/// bind address is not connectable — use loopback on the same port).
+fn wakeup_addr(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), addr.port())
+    } else {
+        addr
+    }
+}
+
+fn accept_loop(listener: &TcpListener, server: &Arc<Server>, shared: &Arc<NetShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if !shared.open.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !shared.open.load(Ordering::SeqCst) {
+            // Includes the shutdown wake-up connection.
+            return;
+        }
+        let mut conns = shared.conns.lock().expect("connection list lock");
+        // Opportunistic sweep: join connections that already hung up so a
+        // long-running server does not accumulate dead handles.
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].reader.is_finished() && conns[i].writer.is_finished() {
+                let conn = conns.swap_remove(i);
+                let _ = conn.reader.join();
+                let _ = conn.writer.join();
+            } else {
+                i += 1;
+            }
+        }
+        match spawn_connection(stream, server) {
+            Ok(conn) => conns.push(conn),
+            Err(_) => continue, // stream cloning failed; drop the connection
+        }
+    }
+}
+
+fn spawn_connection(stream: TcpStream, server: &Arc<Server>) -> io::Result<Connection> {
+    let metrics = server.metrics_sink();
+    metrics.on_connection_open();
+    let guard = Arc::new(ConnGuard {
+        server: Arc::clone(server),
+    });
+    let (tx, rx) = mpsc::channel::<WriterItem>();
+    let reader = {
+        let stream = stream.try_clone()?;
+        let server = Arc::clone(server);
+        let guard = Arc::clone(&guard);
+        std::thread::Builder::new()
+            .name("qcn-serve-read".to_string())
+            .spawn(move || {
+                connection_reader(stream, &server, &tx);
+                drop(guard);
+            })?
+    };
+    let writer = {
+        let stream = stream.try_clone()?;
+        let server = Arc::clone(server);
+        std::thread::Builder::new()
+            .name("qcn-serve-write".to_string())
+            .spawn(move || {
+                connection_writer(stream, &server, &rx);
+                drop(guard);
+            })?
+    };
+    Ok(Connection {
+        stream,
+        reader,
+        writer,
+    })
+}
+
+/// Parses request frames and submits them; never blocks on results.
+fn connection_reader(stream: TcpStream, server: &Arc<Server>, tx: &mpsc::Sender<WriterItem>) {
+    let metrics = server.metrics_sink();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // clean EOF at a frame boundary
+            Err(e) => {
+                if e.kind() == ErrorKind::InvalidData {
+                    // Oversized announced frame: framing is untrustworthy.
+                    metrics.on_malformed_frame();
+                    let _ = reader.get_ref().shutdown(Shutdown::Both);
+                }
+                break;
+            }
+        };
+        metrics.on_bytes_in(payload.len() as u64 + 4);
+        let request = match decode_request(&payload) {
+            Ok(request) => request,
+            Err(_) => {
+                metrics.on_malformed_frame();
+                let _ = reader.get_ref().shutdown(Shutdown::Both);
+                break;
+            }
+        };
+        let item = match server.submit(&request.model, request.input) {
+            Ok(pending) => WriterItem::Wait(request.id, pending),
+            Err(e) => WriterItem::Ready(WireResponse {
+                id: request.id,
+                result: Err(WireError::Submit(e)),
+            }),
+        };
+        if tx.send(item).is_err() {
+            break; // writer is gone (write error); stop reading
+        }
+    }
+    // Dropping `tx` lets the writer finish once it has drained the
+    // already-submitted requests.
+}
+
+/// Resolves tickets in submission order and streams response frames back.
+fn connection_writer(stream: TcpStream, server: &Arc<Server>, rx: &mpsc::Receiver<WriterItem>) {
+    let metrics = server.metrics_sink();
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // Take the next item without blocking if one is ready; flush the
+        // buffered frames before going to sleep, so consecutive responses
+        // share one syscall while a lone response still leaves promptly.
+        let item = match rx.try_recv() {
+            Ok(item) => item,
+            Err(mpsc::TryRecvError::Disconnected) => break,
+            Err(mpsc::TryRecvError::Empty) => {
+                if writer.flush().is_err() {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(item) => item,
+                    Err(_) => break,
+                }
+            }
+        };
+        let response = match item {
+            WriterItem::Ready(response) => response,
+            WriterItem::Wait(id, pending) => WireResponse {
+                id,
+                result: pending.wait().map_err(WireError::Serve),
+            },
+        };
+        match write_frame(&mut writer, &encode_response(&response)) {
+            Ok(n) => metrics.on_bytes_out(n),
+            Err(_) => break,
+        }
+    }
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    // Unanswered tickets (write error, or SubmitError frames we could not
+    // deliver) are dropped here; the server still executes them.
+}

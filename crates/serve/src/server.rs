@@ -182,8 +182,10 @@ struct Request {
 }
 
 impl Request {
+    /// A request polled **at** its deadline is already expired: the
+    /// deadline is the first instant the request may no longer run.
     fn expired(&self, now: Instant) -> bool {
-        self.deadline.is_some_and(|d| now > d)
+        self.deadline.is_some_and(|d| now >= d)
     }
 }
 
@@ -336,6 +338,12 @@ impl Server {
         self.inner.metrics.snapshot()
     }
 
+    /// The shared metrics sink (the socket front-end records its wire
+    /// counters into the same snapshot).
+    pub(crate) fn metrics_sink(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
     /// Graceful shutdown: stop accepting submissions, let the workers
     /// drain every queued request, join them, and return the final
     /// metrics. Idempotent — later calls just re-snapshot.
@@ -442,30 +450,43 @@ fn worker_loop(inner: &Inner) {
 
 /// Moves queued requests for `model` into `batch` (up to `max_batch`),
 /// answering expired ones instead of batching them.
+///
+/// One full rotation of the queue: every request is popped once and either
+/// joins the batch or is pushed back in arrival order — O(n), where the
+/// earlier mid-queue `VecDeque::remove` degenerated to O(n²) on queues
+/// dominated by other models. Per-model FIFO order is preserved for both
+/// the batched and the remaining requests.
 fn gather_matching(inner: &Inner, st: &mut QueueState, model: &str, batch: &mut Vec<Request>) {
     let now = Instant::now();
-    let mut i = 0;
-    while batch.len() < inner.config.max_batch && i < st.queue.len() {
-        if st.queue[i].model != model {
-            i += 1;
-            continue;
-        }
-        let req = st.queue.remove(i).expect("index checked");
-        if req.expired(now) {
-            inner.metrics.on_expired();
-            let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+    for _ in 0..st.queue.len() {
+        let Some(req) = st.queue.pop_front() else {
+            break;
+        };
+        if batch.len() < inner.config.max_batch && req.model == model {
+            if req.expired(now) {
+                inner.metrics.on_expired();
+                let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+            } else {
+                batch.push(req);
+            }
         } else {
-            batch.push(req);
+            st.queue.push_back(req);
         }
     }
 }
 
 /// Runs one formed batch on `engine` and routes the per-request results.
+///
+/// Each output carries the instant **its own** inference returned: a fused
+/// batch completes as one kernel call (one shared stamp), but the
+/// per-sample path stamps each request as it finishes — stamping the whole
+/// batch at the end would overstate the latency of every request but the
+/// last by its successors' inference time.
 fn execute_batch(inner: &Inner, engine: &dyn ServeEngine, batch: Vec<Request>) {
     let b = batch.len();
     let out_dims = engine.output_dims().to_vec();
     let out_len: usize = out_dims.iter().product();
-    let outputs = catch_unwind(AssertUnwindSafe(|| -> Vec<Tensor> {
+    let outputs = catch_unwind(AssertUnwindSafe(|| -> Vec<(Tensor, Instant)> {
         if b > 1 && engine.batchable() {
             // Fuse into one kernel batch (bit-exact per the engine's
             // contract), then split per request.
@@ -478,13 +499,15 @@ fn execute_batch(inner: &Inner, engine: &dyn ServeEngine, batch: Vec<Request>) {
             dims.extend_from_slice(engine.input_dims());
             let fused = Tensor::from_vec(data, dims).expect("batch assembly");
             let out = engine.infer_batch(&fused);
+            let done = Instant::now();
             (0..b)
                 .map(|s| {
-                    Tensor::from_vec(
+                    let split = Tensor::from_vec(
                         out.data()[s * out_len..(s + 1) * out_len].to_vec(),
                         out_dims.clone(),
                     )
-                    .expect("batch split")
+                    .expect("batch split");
+                    (split, done)
                 })
                 .collect()
         } else {
@@ -498,20 +521,23 @@ fn execute_batch(inner: &Inner, engine: &dyn ServeEngine, batch: Vec<Request>) {
                     let x =
                         Tensor::from_vec(req.input.data().to_vec(), dims).expect("sample assembly");
                     let out = engine.infer_batch(&x);
-                    Tensor::from_vec(out.data().to_vec(), out_dims.clone()).expect("sample reshape")
+                    let done = Instant::now();
+                    let out = Tensor::from_vec(out.data().to_vec(), out_dims.clone())
+                        .expect("sample reshape");
+                    (out, done)
                 })
                 .collect()
         }
     }));
-    let done = Instant::now();
     match outputs {
         Ok(outputs) => {
             let latencies: Vec<u64> = batch
                 .iter()
-                .map(|req| done.duration_since(req.enqueued).as_micros() as u64)
+                .zip(&outputs)
+                .map(|(req, (_, done))| done.duration_since(req.enqueued).as_micros() as u64)
                 .collect();
             inner.metrics.on_batch(b, &latencies);
-            for (req, out) in batch.into_iter().zip(outputs) {
+            for (req, (out, _)) in batch.into_iter().zip(outputs) {
                 let _ = req.tx.send(Ok(out));
             }
         }
@@ -532,5 +558,214 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "engine panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(model: &str, tag: f32) -> (Request, mpsc::Receiver<Result<Tensor, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        let req = Request {
+            model: model.to_string(),
+            input: Tensor::full([1], tag),
+            enqueued: Instant::now(),
+            deadline: None,
+            tx,
+        };
+        (req, rx)
+    }
+
+    fn test_inner(max_batch: usize) -> Inner {
+        Inner {
+            registry: ModelRegistry::new(),
+            metrics: Metrics::new(max_batch),
+            config: ServeConfig {
+                max_batch,
+                ..ServeConfig::default()
+            },
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            notify: Condvar::new(),
+        }
+    }
+
+    /// The deadline is the first instant a request may no longer run: a
+    /// poll exactly at the deadline expires it (regression for the old
+    /// `now > d` boundary, which still executed at-deadline requests).
+    #[test]
+    fn request_polled_exactly_at_deadline_is_expired() {
+        let (mut req, _rx) = request("m", 0.0);
+        let d = Instant::now() + Duration::from_millis(5);
+        req.deadline = Some(d);
+        assert!(!req.expired(d - Duration::from_nanos(1)));
+        assert!(req.expired(d));
+        assert!(req.expired(d + Duration::from_nanos(1)));
+        req.deadline = None;
+        assert!(!req.expired(d + Duration::from_secs(1)));
+    }
+
+    /// `gather_matching` takes same-model requests in arrival order and
+    /// leaves everything else queued in arrival order — for every request,
+    /// not just the scanned prefix.
+    #[test]
+    fn gather_preserves_per_model_fifo_order_in_mixed_queues() {
+        let inner = test_inner(2);
+        let mut st = QueueState {
+            queue: VecDeque::new(),
+            open: true,
+        };
+        let mut rxs = Vec::new();
+        // Arrival order: a0, b1, a2, b3, a4, c5.
+        for (model, tag) in [("a", 0.0), ("b", 1.0), ("a", 2.0), ("b", 3.0), ("a", 4.0)] {
+            let (req, rx) = request(model, tag);
+            st.queue.push_back(req);
+            rxs.push(rx);
+        }
+        let (req, rx) = request("c", 5.0);
+        st.queue.push_back(req);
+        rxs.push(rx);
+
+        let mut batch = Vec::new();
+        gather_matching(&inner, &mut st, "a", &mut batch);
+        // max_batch = 2: the two oldest "a" requests, in order.
+        let batch_tags: Vec<f32> = batch.iter().map(|r| r.input.data()[0]).collect();
+        assert_eq!(batch_tags, vec![0.0, 2.0]);
+        // The rest keeps arrival order, including the "a" that missed the
+        // batch: b1, b3, a4, c5.
+        let rest_tags: Vec<f32> = st.queue.iter().map(|r| r.input.data()[0]).collect();
+        assert_eq!(rest_tags, vec![1.0, 3.0, 4.0, 5.0]);
+
+        // A second gather for "b" drains both b's, still in order.
+        let mut batch = Vec::new();
+        gather_matching(&inner, &mut st, "b", &mut batch);
+        let batch_tags: Vec<f32> = batch.iter().map(|r| r.input.data()[0]).collect();
+        assert_eq!(batch_tags, vec![1.0, 3.0]);
+        let rest_tags: Vec<f32> = st.queue.iter().map(|r| r.input.data()[0]).collect();
+        assert_eq!(rest_tags, vec![4.0, 5.0]);
+    }
+
+    /// Expired same-model requests are answered during gathering, not
+    /// batched and not left behind.
+    #[test]
+    fn gather_answers_expired_matching_requests() {
+        let inner = test_inner(8);
+        let mut st = QueueState {
+            queue: VecDeque::new(),
+            open: true,
+        };
+        let (mut stale, stale_rx) = request("a", 0.0);
+        stale.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let (fresh, _fresh_rx) = request("a", 1.0);
+        st.queue.push_back(stale);
+        st.queue.push_back(fresh);
+        let mut batch = Vec::new();
+        gather_matching(&inner, &mut st, "a", &mut batch);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].input.data()[0], 1.0);
+        assert!(st.queue.is_empty());
+        assert_eq!(stale_rx.try_recv(), Ok(Err(ServeError::DeadlineExceeded)));
+        assert_eq!(inner.metrics.snapshot().expired, 1);
+    }
+
+    /// A `Pending` whose server side vanished without answering resolves
+    /// to `WorkerLost` on both the blocking and polling paths.
+    #[test]
+    fn orphaned_pending_reports_worker_lost() {
+        let (tx, rx) = mpsc::channel::<Result<Tensor, ServeError>>();
+        let pending = Pending { rx };
+        drop(tx);
+        assert_eq!(
+            pending.try_wait(),
+            Some(Err(ServeError::WorkerLost)),
+            "poll must surface the dropped sender"
+        );
+        assert_eq!(pending.wait(), Err(ServeError::WorkerLost));
+    }
+
+    /// A non-batchable engine whose per-sample inference takes a fixed,
+    /// visible amount of time.
+    struct SleepEngine {
+        dims: Vec<usize>,
+        out: Vec<usize>,
+        per_sample: Duration,
+    }
+
+    impl ServeEngine for SleepEngine {
+        fn kind(&self) -> &str {
+            "sleep"
+        }
+        fn input_dims(&self) -> &[usize] {
+            &self.dims
+        }
+        fn output_dims(&self) -> &[usize] {
+            &self.out
+        }
+        fn batchable(&self) -> bool {
+            false
+        }
+        fn infer_batch(&self, x: &Tensor) -> Tensor {
+            std::thread::sleep(self.per_sample);
+            Tensor::zeros([x.dims()[0], 1, 1])
+        }
+    }
+
+    /// Per-sample latency attribution: in a non-batchable batch each
+    /// request is stamped as its own inference returns, so later samples
+    /// report strictly more latency than earlier ones (the old code
+    /// stamped the whole batch's completion on every request, flattening
+    /// the spread to zero).
+    #[test]
+    fn per_sample_path_attributes_latency_per_inference() {
+        let per_sample = Duration::from_millis(40);
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "sleep",
+                SleepEngine {
+                    dims: vec![1, 1, 1],
+                    out: vec![1, 1],
+                    per_sample,
+                },
+            )
+            .unwrap();
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                max_batch: 3,
+                queue_capacity: 8,
+                batch_window: Duration::from_millis(500),
+                request_timeout: None,
+                workers: 1,
+            },
+        );
+        // Three near-simultaneous submissions form one batch of three.
+        let pending: Vec<Pending> = (0..3)
+            .map(|_| server.submit("sleep", Tensor::zeros([1, 1, 1])).unwrap())
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let m = server.shutdown();
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.batch_histogram, vec![0, 0, 1], "expected one batch of 3");
+        // Sorted latencies are [~1, ~2, ~3] × per_sample (+ shared queueing):
+        // p50 is the 2nd sample, p99 the 3rd — at least ~one per_sample
+        // apart. The old whole-batch stamp made them equal.
+        assert!(
+            m.latency_p99_us >= m.latency_p50_us + per_sample.as_micros() as u64 / 2,
+            "p50 {} / p99 {} should differ by ≥ half a per-sample inference",
+            m.latency_p50_us,
+            m.latency_p99_us
+        );
+        // And the earliest sample must not be billed for the whole batch.
+        assert!(
+            m.latency_p50_us < 3 * per_sample.as_micros() as u64,
+            "p50 {} should be well under the whole-batch duration",
+            m.latency_p50_us
+        );
     }
 }

@@ -1,0 +1,467 @@
+//! The socket front-end's binary wire protocol.
+//!
+//! Frames are length-prefixed: a 4-byte big-endian payload length followed
+//! by the payload. Payloads never exceed [`MAX_FRAME_BYTES`]; a peer
+//! announcing a larger frame is malformed (the framing can no longer be
+//! trusted, so the connection is closed).
+//!
+//! ## Request payload
+//!
+//! ```text
+//! u64 be  request id (chosen by the client, echoed in the response)
+//! u16 be  model-id length  |  UTF-8 model id bytes
+//! u8      rank             |  rank × u32 be dims
+//! f32 le  × product(dims)  sample data
+//! ```
+//!
+//! ## Response payload
+//!
+//! ```text
+//! u64 be  request id
+//! u8      status tag
+//! ...     tag-specific body
+//! ```
+//!
+//! Status `0` carries a tensor (rank/dims/data as above: the per-sample
+//! output capsules `[classes, dim]`). Every other tag mirrors one variant
+//! of [`SubmitError`] / [`ServeError`] with its fields, so a remote client
+//! sees exactly the typed errors an in-process caller sees.
+//!
+//! Multi-byte integers are big-endian ("network order"); tensor payloads
+//! are little-endian `f32` bits — the dominant host layout, so the bulk
+//! data usually memcpys straight through. Encoding is lossless in both
+//! directions: `f32::to_bits`/`from_bits`, never a float format
+//! conversion, which is what lets the socket equivalence suite demand
+//! bit-identical capsules.
+
+use crate::server::{ServeError, SubmitError};
+use qcn_tensor::Tensor;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload (64 MiB) — far above any real
+/// capsule tensor, small enough that a corrupt length prefix cannot make
+/// the server allocate unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Tensor rank ceiling on the wire (the engines use rank ≤ 4).
+const MAX_WIRE_RANK: u8 = 8;
+
+/// One client request: run `input` through model `model`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Registered model id to route to.
+    pub model: String,
+    /// The sample, shaped like the engine's per-sample `[c, h, w]`.
+    pub input: Tensor,
+}
+
+/// Why a remote request failed — the wire mirror of the service's two
+/// error layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Rejected at submission ([`SubmitError`]).
+    Submit(SubmitError),
+    /// Accepted but not answered with a result ([`ServeError`]).
+    Serve(ServeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Submit(e) => write!(f, "{e}"),
+            WireError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One server response, correlated to its request by `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The request id this answers.
+    pub id: u64,
+    /// The output capsules, or the typed failure.
+    pub result: Result<Tensor, WireError>,
+}
+
+/// A payload that does not parse. The byte offset points at the first
+/// violated field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was malformed.
+    pub reason: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire payload: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn bad(reason: impl Into<String>) -> DecodeError {
+    DecodeError {
+        reason: reason.into(),
+    }
+}
+
+// Response status tags.
+const TAG_OK: u8 = 0;
+const TAG_UNKNOWN_MODEL: u8 = 1;
+const TAG_BAD_INPUT: u8 = 2;
+const TAG_QUEUE_FULL: u8 = 3;
+const TAG_SHUTTING_DOWN: u8 = 4;
+const TAG_DEADLINE_EXCEEDED: u8 = 5;
+const TAG_ENGINE_FAILURE: u8 = 6;
+const TAG_WORKER_LOST: u8 = 7;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad(format!("truncated {what} at byte {}", self.pos)))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(bad(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_dims(out: &mut Vec<u8>, dims: &[usize]) {
+    debug_assert!(dims.len() <= MAX_WIRE_RANK as usize);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+}
+
+fn get_dims(r: &mut Reader<'_>) -> Result<Vec<usize>, DecodeError> {
+    let rank = r.u8("tensor rank")?;
+    if rank == 0 || rank > MAX_WIRE_RANK {
+        return Err(bad(format!(
+            "tensor rank {rank} outside 1..={MAX_WIRE_RANK}"
+        )));
+    }
+    (0..rank)
+        .map(|_| Ok(r.u32("tensor dim")? as usize))
+        .collect()
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_dims(out, t.dims());
+    out.reserve(t.data().len() * 4);
+    for v in t.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn get_tensor(r: &mut Reader<'_>) -> Result<Tensor, DecodeError> {
+    let dims = get_dims(r)?;
+    let len: usize = dims.iter().try_fold(1usize, |acc, &d| {
+        acc.checked_mul(d)
+            .filter(|&p| p.checked_mul(4).is_some_and(|b| b <= MAX_FRAME_BYTES))
+            .ok_or_else(|| bad(format!("tensor dims {dims:?} overflow the frame limit")))
+    })?;
+    let raw = r.take(len * 4, "tensor data")?;
+    let data: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    Tensor::from_vec(data, dims.as_slice()).map_err(|e| bad(format!("tensor rebuild: {e:?}")))
+}
+
+/// Serializes one request payload (without the frame length prefix).
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    assert!(
+        req.model.len() <= u16::MAX as usize,
+        "model id longer than the wire format allows"
+    );
+    let mut out = Vec::with_capacity(16 + req.model.len() + req.input.data().len() * 4);
+    out.extend_from_slice(&req.id.to_be_bytes());
+    out.extend_from_slice(&(req.model.len() as u16).to_be_bytes());
+    out.extend_from_slice(req.model.as_bytes());
+    put_tensor(&mut out, &req.input);
+    out
+}
+
+/// Parses one request payload.
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
+    let mut r = Reader::new(payload);
+    let id = r.u64("request id")?;
+    let model_len = r.u16("model id length")? as usize;
+    let model = std::str::from_utf8(r.take(model_len, "model id")?)
+        .map_err(|_| bad("model id is not UTF-8"))?
+        .to_string();
+    let input = get_tensor(&mut r)?;
+    r.finish()?;
+    Ok(WireRequest { id, model, input })
+}
+
+/// Serializes one response payload (without the frame length prefix).
+pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&resp.id.to_be_bytes());
+    match &resp.result {
+        Ok(t) => {
+            out.push(TAG_OK);
+            put_tensor(&mut out, t);
+        }
+        Err(WireError::Submit(SubmitError::UnknownModel(id))) => {
+            out.push(TAG_UNKNOWN_MODEL);
+            out.extend_from_slice(&(id.len() as u16).to_be_bytes());
+            out.extend_from_slice(id.as_bytes());
+        }
+        Err(WireError::Submit(SubmitError::BadInput { expected, got })) => {
+            out.push(TAG_BAD_INPUT);
+            put_dims(&mut out, expected);
+            put_dims(&mut out, got);
+        }
+        Err(WireError::Submit(SubmitError::QueueFull { capacity })) => {
+            out.push(TAG_QUEUE_FULL);
+            out.extend_from_slice(&(*capacity as u64).to_be_bytes());
+        }
+        Err(WireError::Submit(SubmitError::ShuttingDown)) => out.push(TAG_SHUTTING_DOWN),
+        Err(WireError::Serve(ServeError::DeadlineExceeded)) => out.push(TAG_DEADLINE_EXCEEDED),
+        Err(WireError::Serve(ServeError::EngineFailure(msg))) => {
+            out.push(TAG_ENGINE_FAILURE);
+            let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
+            out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+            out.extend_from_slice(msg);
+        }
+        Err(WireError::Serve(ServeError::WorkerLost)) => out.push(TAG_WORKER_LOST),
+    }
+    out
+}
+
+/// Parses one response payload.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
+    let mut r = Reader::new(payload);
+    let id = r.u64("request id")?;
+    let tag = r.u8("status tag")?;
+    let result = match tag {
+        TAG_OK => Ok(get_tensor(&mut r)?),
+        TAG_UNKNOWN_MODEL => {
+            let len = r.u16("model id length")? as usize;
+            let model = std::str::from_utf8(r.take(len, "model id")?)
+                .map_err(|_| bad("model id is not UTF-8"))?
+                .to_string();
+            Err(WireError::Submit(SubmitError::UnknownModel(model)))
+        }
+        TAG_BAD_INPUT => {
+            let expected = get_dims(&mut r)?;
+            let got = get_dims(&mut r)?;
+            Err(WireError::Submit(SubmitError::BadInput { expected, got }))
+        }
+        TAG_QUEUE_FULL => Err(WireError::Submit(SubmitError::QueueFull {
+            capacity: r.u64("queue capacity")? as usize,
+        })),
+        TAG_SHUTTING_DOWN => Err(WireError::Submit(SubmitError::ShuttingDown)),
+        TAG_DEADLINE_EXCEEDED => Err(WireError::Serve(ServeError::DeadlineExceeded)),
+        TAG_ENGINE_FAILURE => {
+            let len = r.u16("failure message length")? as usize;
+            let msg = String::from_utf8_lossy(r.take(len, "failure message")?).into_owned();
+            Err(WireError::Serve(ServeError::EngineFailure(msg)))
+        }
+        TAG_WORKER_LOST => Err(WireError::Serve(ServeError::WorkerLost)),
+        other => return Err(bad(format!("unknown response status tag {other}"))),
+    };
+    r.finish()?;
+    Ok(WireResponse { id, result })
+}
+
+/// Writes one length-prefixed frame, returning the total wire bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame exceeds wire limit");
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    Ok(payload.len() as u64 + 4)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary; an EOF mid-frame or an oversized announced length is
+/// an error (`UnexpectedEof` / `InvalidData`).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len[n..])?,
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(tag: f32) -> Tensor {
+        Tensor::from_fn([2, 3], |idx| tag + (idx[0] * 3 + idx[1]) as f32 * 0.25)
+    }
+
+    #[test]
+    fn request_roundtrips_bit_exactly() {
+        let req = WireRequest {
+            id: 0xDEAD_BEEF_0001,
+            model: "shallow/int".to_string(),
+            input: tensor(-1.5),
+        };
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(decoded.id, req.id);
+        assert_eq!(decoded.model, req.model);
+        assert_eq!(decoded.input.dims(), req.input.dims());
+        let got: Vec<u32> = decoded.input.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = req.input.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn response_roundtrips_every_variant() {
+        let cases: Vec<Result<Tensor, WireError>> = vec![
+            Ok(tensor(2.0)),
+            Err(WireError::Submit(SubmitError::UnknownModel("x".into()))),
+            Err(WireError::Submit(SubmitError::BadInput {
+                expected: vec![1, 16, 16],
+                got: vec![3, 8, 8],
+            })),
+            Err(WireError::Submit(SubmitError::QueueFull { capacity: 256 })),
+            Err(WireError::Submit(SubmitError::ShuttingDown)),
+            Err(WireError::Serve(ServeError::DeadlineExceeded)),
+            Err(WireError::Serve(ServeError::EngineFailure(
+                "int overflow in requant".into(),
+            ))),
+            Err(WireError::Serve(ServeError::WorkerLost)),
+        ];
+        for (i, result) in cases.into_iter().enumerate() {
+            let resp = WireResponse {
+                id: i as u64,
+                result,
+            };
+            let decoded = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(decoded, resp, "case {i}");
+        }
+    }
+
+    #[test]
+    fn nan_and_infinity_survive_the_wire() {
+        let input =
+            Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0], [4]).unwrap();
+        let req = WireRequest {
+            id: 1,
+            model: "m".into(),
+            input,
+        };
+        let decoded = decode_request(&encode_request(&req)).unwrap();
+        let got: Vec<u32> = decoded.input.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = req.input.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Truncated id.
+        assert!(decode_request(&[1, 2, 3]).is_err());
+        // Model length pointing past the payload.
+        let mut p = 7u64.to_be_bytes().to_vec();
+        p.extend_from_slice(&100u16.to_be_bytes());
+        p.push(b'm');
+        assert!(decode_request(&p).is_err());
+        // Unknown status tag.
+        let mut p = 1u64.to_be_bytes().to_vec();
+        p.push(250);
+        assert!(decode_response(&p).is_err());
+        // Trailing garbage after a valid response.
+        let mut p = encode_response(&WireResponse {
+            id: 1,
+            result: Err(WireError::Serve(ServeError::WorkerLost)),
+        });
+        p.push(0);
+        assert!(decode_response(&p).is_err());
+        // Dim product overflowing the frame limit.
+        let mut p = 1u64.to_be_bytes().to_vec();
+        p.extend_from_slice(&1u16.to_be_bytes());
+        p.push(b'm');
+        p.push(4); // rank 4
+        for _ in 0..4 {
+            p.extend_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        }
+        assert!(decode_request(&p).is_err());
+        // Zero rank.
+        let mut p = 1u64.to_be_bytes().to_vec();
+        p.extend_from_slice(&1u16.to_be_bytes());
+        p.push(b'm');
+        p.push(0);
+        assert!(decode_request(&p).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_the_size_limit() {
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(n, 9);
+        let n = write_frame(&mut buf, b"").unwrap();
+        assert_eq!(n, 4);
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // Oversized announced length.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let err = read_frame(&mut io::Cursor::new(huge.to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // EOF mid-frame.
+        let mut partial = 10u32.to_be_bytes().to_vec();
+        partial.extend_from_slice(b"abc");
+        let err = read_frame(&mut io::Cursor::new(partial)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -364,6 +364,79 @@ fn registry_rejects_duplicate_ids() {
     assert_eq!(err, qcn_serve::RegistryError::DuplicateId("m".into()));
 }
 
+/// A `submit` racing `shutdown` must either be rejected synchronously
+/// with `ShuttingDown` (or `QueueFull`) or be fully answered — a ticket
+/// that resolves to `WorkerLost` would mean the server dropped an
+/// accepted request on the floor.
+#[test]
+fn submit_racing_shutdown_is_rejected_or_answered_never_dropped() {
+    const SUBMITTERS: usize = 4;
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "m",
+            FakeQuantEngine::new(
+                &model,
+                shallow_config(RoundingScheme::RoundToNearest),
+                [1, 16, 16],
+            ),
+        )
+        .unwrap();
+    let server = Arc::new(Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: 32,
+            batch_window: Duration::from_millis(1),
+            request_timeout: None,
+            workers: 2,
+        },
+    ));
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                // Hammer the queue until the server closes the doors.
+                loop {
+                    match server.submit("m", sample(t as i64)) {
+                        Ok(pending) => accepted.push(pending),
+                        Err(SubmitError::QueueFull { .. }) => {
+                            std::thread::yield_now();
+                        }
+                        Err(SubmitError::ShuttingDown) => break,
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+    // Let the race build up real queue depth, then slam the doors.
+    std::thread::sleep(Duration::from_millis(25));
+    let metrics = server.shutdown();
+    let mut answered = 0u64;
+    for handle in submitters {
+        for pending in handle.join().expect("submitter panicked") {
+            // Every accepted ticket resolves with a real answer.
+            assert!(
+                pending.wait().is_ok(),
+                "an accepted request was not answered"
+            );
+            answered += 1;
+        }
+    }
+    assert_eq!(metrics.submitted, answered, "accepted == answered");
+    assert_eq!(metrics.completed, answered);
+    assert!(
+        metrics.rejected_closed >= SUBMITTERS as u64,
+        "each submitter must observe ShuttingDown"
+    );
+    assert_eq!(metrics.expired, 0);
+    assert_eq!(metrics.failed, 0);
+}
+
 /// The served result equals the bare reference inference (fresh context,
 /// single sample) — the ground truth the soak test scales up.
 #[test]

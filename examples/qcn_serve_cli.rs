@@ -1,0 +1,117 @@
+//! `qcn-serve-cli`: load a packed quantized model and serve it over TCP.
+//!
+//! Builds a ShallowCaps model, quantizes it, exports the packed wordlength
+//! blob, loads it back into the true integer engine, and puts both
+//! datapaths behind the dynamic-batching server with the socket front-end
+//! on top — the full deployment story in one binary. Clients connect with
+//! `qcn_serve::client::Client` (see `docs/serving.md` for the wire
+//! protocol).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qcn_serve_cli [ADDR] [SCHEME]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7878`; `SCHEME` is one of `trn`, `rtn`,
+//! `rtne`, `sr` (default `rtn`). The server runs until stdin closes or a
+//! `quit` line arrives; a `metrics` line prints a live snapshot. Model
+//! ids: `shallow/fq` (fake-quant f32) and `shallow/int` (true integer).
+
+use qcn_repro::capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::serve::net::SocketServer;
+use qcn_repro::serve::{
+    FakeQuantEngine, IntEngine, MetricsSnapshot, ModelRegistry, ServeConfig, Server,
+};
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn print_metrics(m: &MetricsSnapshot) {
+    println!(
+        "uptime {:.1}s | submitted {} completed {} failed {} expired {} \
+         | rejected full/closed {}/{} | mean batch {:.2} | p50/p95/p99 {}/{}/{} µs \
+         | conns {} accepted / {} active | malformed {} | wire {} B in / {} B out",
+        m.uptime_secs,
+        m.submitted,
+        m.completed,
+        m.failed,
+        m.expired,
+        m.rejected_full,
+        m.rejected_closed,
+        m.mean_batch,
+        m.latency_p50_us,
+        m.latency_p95_us,
+        m.latency_p99_us,
+        m.connections_accepted,
+        m.connections_active,
+        m.malformed_frames,
+        m.bytes_in,
+        m.bytes_out,
+    );
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let scheme = match std::env::args().nth(2).as_deref() {
+        None | Some("rtn") => RoundingScheme::RoundToNearest,
+        Some("trn") => RoundingScheme::Truncation,
+        Some("rtne") => RoundingScheme::RoundToNearestEven,
+        Some("sr") => RoundingScheme::Stochastic,
+        Some(other) => {
+            eprintln!("unknown scheme {other:?}: use trn | rtn | rtne | sr");
+            std::process::exit(2);
+        }
+    };
+
+    // The served model: ShallowCaps quantized to Q1.5 activations/weights
+    // with Q1.4 routing, packed to the deployment blob and loaded back.
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let mut config = ModelQuant::uniform(3, 5, scheme);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    eprintln!("packing model (scheme {scheme})…");
+    let packed = pack_model(&model, &config);
+    let int_model = IntModel::load(&model.descriptor(), &packed).expect("packed model loads");
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "shallow/fq",
+            FakeQuantEngine::new(&model, config, [1, 16, 16]),
+        )
+        .expect("fresh id");
+    registry
+        .register(
+            "shallow/int",
+            IntEngine::new(int_model, 5, UnitMode::FloatExact, [1, 16, 16]),
+        )
+        .expect("fresh id");
+
+    let server = Arc::new(Server::start(registry, ServeConfig::default()));
+    let net = SocketServer::bind(Arc::clone(&server), addr.as_str())
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    eprintln!(
+        "serving {:?} on {} — `metrics` for a snapshot, `quit` (or EOF) to stop",
+        server.model_ids(),
+        net.local_addr()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line.as_deref().map(str::trim) {
+            Ok("metrics") => print_metrics(&server.metrics()),
+            Ok("quit") | Ok("exit") | Err(_) => break,
+            Ok("") => {}
+            Ok(other) => eprintln!("unknown command {other:?}: metrics | quit"),
+        }
+    }
+    eprintln!("draining and shutting down…");
+    let last = net.shutdown();
+    print_metrics(&last);
+}

@@ -8,9 +8,11 @@ cargo build --release
 cargo test -q
 cargo test -q --test integer_inference_equivalence
 # Serving soak: the determinism contract must hold for every kernel
-# thread count (serial, even split, odd split).
+# thread count (serial, even split, odd split) — both for in-process
+# submits and over the socket front-end.
 for t in 1 2 7; do
   QCN_NUM_THREADS=$t cargo test -q --test serving_determinism
+  QCN_NUM_THREADS=$t cargo test -q --test serving_net_equivalence
 done
 cargo clippy --workspace -- -D warnings
 cargo bench --no-run

@@ -1,0 +1,243 @@
+//! Wire-layer equivalence: a socket round-trip must return **bit-identical
+//! capsules** to an in-process `Server::submit` of the same request — for
+//! both engines (fake-quant f32 and true integer fixed-point), every
+//! rounding scheme (TRN / RTN / RTNE / SR), and whatever kernel thread
+//! count the environment sets (CI runs this suite under `QCN_NUM_THREADS`
+//! ∈ {1, 2, 7}).
+//!
+//! The wire format carries `f32` values as raw bits (`to_bits`/`from_bits`,
+//! never a format conversion), so the socket layer adds nothing to the
+//! serving layer's determinism contract — which this suite proves by
+//! comparing every remote response against the in-process answer, and both
+//! against a cold single-sample oracle.
+
+use qcn_repro::capsnet::{CapsNet, ModelQuant, QuantCtx, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::serve::{
+    Client, FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, Server, SocketServer,
+};
+use qcn_repro::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const IN_FRAC: u8 = 5;
+const SAMPLES: usize = 6;
+
+fn shallow_config(scheme: RoundingScheme) -> ModelQuant {
+    let mut config = ModelQuant::uniform(3, 5, scheme);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    config.seed = 0xBEEF;
+    config
+}
+
+/// Deterministic on-grid sample `[1, 16, 16]` at Q1.5.
+fn sample(seed: i64) -> Tensor {
+    Tensor::from_fn([1, 16, 16], |idx| {
+        let i = (idx[1] * 16 + idx[2]) as i64;
+        ((i * 37 + seed * 11).rem_euclid(32)) as f32 / 32.0
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Every engine × scheme behind one server, one socket front-end on an
+/// ephemeral port. For each (engine, sample): the cold oracle, the
+/// in-process `submit`, and a pipelined socket round-trip must all agree
+/// bit for bit.
+#[test]
+fn socket_round_trip_is_bit_identical_to_in_process_submit() {
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let samples: Vec<Tensor> = (0..SAMPLES).map(|i| sample(i as i64)).collect();
+
+    let mut registry = ModelRegistry::new();
+    let mut ids: Vec<String> = Vec::new();
+    let mut oracle: BTreeMap<(String, usize), Vec<u32>> = BTreeMap::new();
+    for scheme in RoundingScheme::EXTENDED {
+        let config = shallow_config(scheme);
+        let packed = pack_model(&model, &config);
+        let int_model = IntModel::load(&model.descriptor(), &packed).unwrap();
+
+        // Cold single-sample oracles: exactly what both the in-process and
+        // the remote path must reproduce.
+        let qmodel = model.with_quantized_weights(&config);
+        for (i, x) in samples.iter().enumerate() {
+            let single = Tensor::from_vec(x.data().to_vec(), [1, 1, 16, 16]).unwrap();
+            let mut ctx = QuantCtx::from_config(&config);
+            let fq_want = qmodel.infer(&single, &config, &mut ctx);
+            oracle.insert((format!("fq-{scheme}"), i), bits(&fq_want));
+            let int_want = int_model.infer(&single, IN_FRAC, UnitMode::FloatExact);
+            oracle.insert((format!("int-{scheme}"), i), bits(&int_want));
+        }
+
+        registry
+            .register(
+                format!("fq-{scheme}"),
+                FakeQuantEngine::new(&model, config, [1, 16, 16]),
+            )
+            .unwrap();
+        registry
+            .register(
+                format!("int-{scheme}"),
+                IntEngine::new(int_model, IN_FRAC, UnitMode::FloatExact, [1, 16, 16]),
+            )
+            .unwrap();
+        ids.push(format!("fq-{scheme}"));
+        ids.push(format!("int-{scheme}"));
+    }
+
+    let server = Arc::new(Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: 2 * ids.len() * SAMPLES,
+            batch_window: Duration::from_millis(1),
+            request_timeout: None,
+            workers: 2,
+        },
+    ));
+    let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    // In-process answers, submitted concurrently with the socket traffic
+    // below so mixed batches form across both entry points.
+    let in_process = {
+        let server = Arc::clone(&server);
+        let ids = ids.clone();
+        let samples = samples.clone();
+        thread::spawn(move || {
+            let mut got: BTreeMap<(String, usize), Vec<u32>> = BTreeMap::new();
+            let pending: Vec<_> = ids
+                .iter()
+                .flat_map(|id| {
+                    samples
+                        .iter()
+                        .enumerate()
+                        .map(|(i, x)| (id.clone(), i, server.submit(id, x.clone()).unwrap()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for (id, i, p) in pending {
+                got.insert((id, i), bits(&p.wait().unwrap()));
+            }
+            got
+        })
+    };
+
+    // Socket answers: one pipelined connection firing the whole grid
+    // before reading any response.
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    let mut sent: Vec<(u64, String, usize)> = Vec::new();
+    for id in &ids {
+        for (i, x) in samples.iter().enumerate() {
+            let req_id = client.send(id, x).unwrap();
+            sent.push((req_id, id.clone(), i));
+        }
+    }
+    let mut remote: BTreeMap<(String, usize), Vec<u32>> = BTreeMap::new();
+    for (req_id, id, i) in &sent {
+        let response = client.recv().unwrap();
+        assert_eq!(
+            response.id, *req_id,
+            "responses must arrive in submission order"
+        );
+        let out = response.result.expect("remote inference failed");
+        assert_eq!(out.dims(), &[10, 8], "{id} sample {i} geometry");
+        remote.insert((id.clone(), *i), bits(&out));
+    }
+    let in_process = in_process.join().expect("in-process client panicked");
+
+    for (key, want) in &oracle {
+        let (id, i) = key;
+        assert_eq!(
+            &in_process[key], want,
+            "in-process {id} sample {i} diverged from the oracle"
+        );
+        assert_eq!(
+            &remote[key], want,
+            "socket {id} sample {i} diverged from the oracle"
+        );
+    }
+
+    drop(client);
+    let metrics = net.shutdown();
+    let total = 2 * ids.len() * SAMPLES;
+    assert_eq!(metrics.submitted, total as u64);
+    assert_eq!(metrics.completed, total as u64);
+    assert_eq!(metrics.failed, 0);
+    assert_eq!(metrics.malformed_frames, 0);
+    assert_eq!(metrics.connections_accepted, 1);
+    assert!(metrics.bytes_in > 0 && metrics.bytes_out > 0);
+}
+
+/// A short multi-connection soak: several socket clients interleave
+/// call-and-wait traffic against one server; every response must match the
+/// cold oracle bit for bit.
+#[test]
+fn concurrent_socket_clients_stay_bit_exact() {
+    const CLIENTS: usize = 3;
+    const ROUNDS: usize = 2;
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let config = shallow_config(RoundingScheme::RoundToNearest);
+    let qmodel = model.with_quantized_weights(&config);
+    let samples: Vec<Tensor> = (0..SAMPLES).map(|i| sample(i as i64)).collect();
+    let oracle: Vec<Vec<u32>> = samples
+        .iter()
+        .map(|x| {
+            let single = Tensor::from_vec(x.data().to_vec(), [1, 1, 16, 16]).unwrap();
+            let mut ctx = QuantCtx::from_config(&config);
+            bits(&qmodel.infer(&single, &config, &mut ctx))
+        })
+        .collect();
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", FakeQuantEngine::new(&model, config, [1, 16, 16]))
+        .unwrap();
+    let server = Arc::new(Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: 64,
+            batch_window: Duration::from_millis(1),
+            request_timeout: None,
+            workers: 2,
+        },
+    ));
+    let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let addr = net.local_addr();
+
+    let oracle = Arc::new(oracle);
+    let samples = Arc::new(samples);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let oracle = Arc::clone(&oracle);
+            let samples = Arc::clone(&samples);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    for (i, x) in samples.iter().enumerate() {
+                        let out = client.infer("m", x).unwrap();
+                        assert_eq!(bits(&out), oracle[i], "client {c} round {round} sample {i}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("socket client panicked");
+    }
+
+    let metrics = net.shutdown();
+    let total = (CLIENTS * ROUNDS * SAMPLES) as u64;
+    assert_eq!(metrics.completed, total);
+    assert_eq!(metrics.connections_accepted, CLIENTS as u64);
+    assert_eq!(metrics.connections_active, 0);
+    assert_eq!(metrics.malformed_frames, 0);
+}
