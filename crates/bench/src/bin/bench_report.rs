@@ -416,8 +416,12 @@ fn load_seed_tsv(path: &str) -> Vec<(String, f64)> {
 }
 
 fn main() {
+    // Progress lines go through the leveled log facade at Info; the
+    // default level is Warn, so raise it here — QCN_LOG still overrides
+    // in both directions.
+    qcn_telemetry::set_default_level(qcn_telemetry::Level::Info);
     if std::env::args().nth(1).as_deref() == Some("--search-smoke") {
-        eprintln!("bench_report: search smoke (ShallowCaps-S, RTN only)");
+        qcn_telemetry::info!("bench_report", "search smoke (ShallowCaps-S, RTN only)");
         for e in search_entries(true) {
             println!(
                 "{} [{}]: naive {:.0} ms / {} evals, accel {:.0} ms / {} evals \
@@ -446,7 +450,10 @@ fn main() {
         .unwrap_or_else(|| "target/seed-baseline/seed_kernels.tsv".to_string());
     let seed_ms = load_seed_tsv(&seed_tsv_path);
     let threads = current_threads();
-    eprintln!("bench_report: timing kernels with {threads} thread(s) available");
+    qcn_telemetry::info!(
+        "bench_report",
+        "timing kernels with {threads} thread(s) available"
+    );
 
     let mut rng = StdRng::seed_from_u64(0);
     let ma = Tensor::rand_uniform([256, 256], -1.0, 1.0, &mut rng);
@@ -668,7 +675,7 @@ fn main() {
     // the sequential single-sample loop, on both warm engines. The queue
     // is pre-filled with every request so the scheduler always has a full
     // window to batch from — the steady-state saturated regime.
-    eprintln!("bench_report: timing the serving layer");
+    qcn_telemetry::info!("bench_report", "timing the serving layer");
     let serving_entries: Vec<ServingEntry> = {
         let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
         let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
@@ -805,7 +812,7 @@ fn main() {
     // Socket front-end: the same saturated request stream through
     // `Server::submit` directly vs over TCP (one pipelined connection, and
     // the sync one-at-a-time worst case) — what the wire layer costs.
-    eprintln!("bench_report: timing the socket front-end");
+    qcn_telemetry::info!("bench_report", "timing the socket front-end");
     let serving_net_entries: Vec<ServingNetEntry> = {
         let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
         let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
@@ -920,7 +927,7 @@ fn main() {
     // Search-time acceleration: Algorithm 1 end to end, accelerated vs
     // the naive evaluator, with the exactness contract re-verified at
     // thread counts 1/2/7.
-    eprintln!("bench_report: timing the wordlength search (Algorithm 1)");
+    qcn_telemetry::info!("bench_report", "timing the wordlength search (Algorithm 1)");
     let search = search_entries(false);
 
     let mut json = String::new();

@@ -100,10 +100,13 @@ pub fn cached_model<M: CapsNet>(
 ) -> M {
     let mut model = build();
     if load_params(name, &mut model) {
-        eprintln!("[cache] loaded trained parameters for {name}");
+        qcn_telemetry::info!("qcn-bench", "loaded trained parameters for {name}");
         return model;
     }
-    eprintln!("[cache] training {name} (first run; result will be cached)");
+    qcn_telemetry::info!(
+        "qcn-bench",
+        "training {name} (first run; result will be cached)"
+    );
     train_fn(&mut model);
     save_params(name, &model);
     model

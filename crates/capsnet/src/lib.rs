@@ -43,6 +43,8 @@ mod train;
 pub use decoder::Decoder;
 pub use loss::MarginLoss;
 pub use metrics::{confusion_matrix, ConfusionMatrix};
+#[doc(hidden)]
+pub use model::stage_span;
 pub use model::{accuracy, argmax_caps, CapsNet, GroupInfo};
 pub use models::{BlockConfig, DeepCaps, DeepCapsConfig, ShallowCaps, ShallowCapsConfig};
 pub use optim::Adam;

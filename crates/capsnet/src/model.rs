@@ -81,6 +81,12 @@ pub trait CapsNet: Clone {
     /// Runs stages `start..num_stages()` from the checkpoint `x` (the
     /// output of stage `start − 1`). `infer_from(0, ...)` is the full
     /// forward pass.
+    ///
+    /// Each stage is wrapped in a telemetry span recording its wall time
+    /// into the global `qcn_stage_duration_us` histogram (labelled with
+    /// the engine, model and stage names). Timing only reads the clock —
+    /// outputs are bit-identical with telemetry on or off — and costs one
+    /// atomic load per stage when disabled.
     fn infer_from(
         &self,
         start: usize,
@@ -90,9 +96,16 @@ pub trait CapsNet: Clone {
     ) -> Tensor {
         let n = self.num_stages();
         assert!(start < n, "stage {start} out of range for {n}-stage model");
-        let mut y = self.infer_stage(start, x, config, ctx);
+        let names = stage_names_if_enabled(self);
+        let mut y = {
+            let _t = stage_span("fake_quant", self.name(), names.as_deref(), start);
+            self.infer_stage(start, x, config, ctx)
+        };
         for s in start + 1..n {
-            y = self.infer_stage(s, &y, config, ctx);
+            y = {
+                let _t = stage_span("fake_quant", self.name(), names.as_deref(), s);
+                self.infer_stage(s, &y, config, ctx)
+            };
         }
         y
     }
@@ -131,6 +144,46 @@ pub trait CapsNet: Clone {
     fn predict(&self, x: &Tensor, config: &ModelQuant, ctx: &mut QuantCtx) -> Vec<usize> {
         argmax_caps(&self.infer(x, config, ctx))
     }
+}
+
+/// Stage labels for span recording, resolved only when telemetry timing
+/// is on: the quantization-group names when stages align with groups
+/// (both built-in architectures), positional `s0..` labels otherwise.
+fn stage_names_if_enabled<M: CapsNet>(model: &M) -> Option<Vec<String>> {
+    if !qcn_telemetry::timing_enabled() {
+        return None;
+    }
+    let n = model.num_stages();
+    let groups = model.groups();
+    Some(if groups.len() == n {
+        groups.into_iter().map(|g| g.name).collect()
+    } else {
+        (0..n).map(|s| format!("s{s}")).collect()
+    })
+}
+
+/// Starts the span for one pipeline stage; `None` (free) when telemetry
+/// is disabled. Shared by the fake-quant and integer engines so both
+/// record into the same `qcn_stage_duration_us` family.
+#[doc(hidden)]
+pub fn stage_span(
+    engine: &str,
+    model: &str,
+    names: Option<&[String]>,
+    stage: usize,
+) -> Option<qcn_telemetry::StageTimer> {
+    let names = names?;
+    let hist = qcn_telemetry::global().histogram(
+        "qcn_stage_duration_us",
+        &[
+            ("engine", engine),
+            ("model", model),
+            ("stage", &names[stage]),
+        ],
+        "wall time per inference pipeline stage (microseconds)",
+        &qcn_telemetry::latency_bounds_us(),
+    );
+    Some(qcn_telemetry::StageTimer::start(&hist))
 }
 
 /// Per-sample argmax of output-capsule lengths for a `[batch, classes,

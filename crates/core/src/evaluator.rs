@@ -31,6 +31,66 @@ use qcn_fixed::RoundingScheme;
 use qcn_tensor::parallel;
 use qcn_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Process-wide mirrors of the evaluator's work/savings counters in the
+/// telemetry registry, so cache effectiveness shows up on the metrics
+/// endpoint alongside the stage timings. [`EvalStats`] stays the exact
+/// per-evaluator record; these are cumulative across every evaluator in
+/// the process.
+struct SearchMetrics {
+    evaluations: qcn_telemetry::Counter,
+    memo_hits: qcn_telemetry::Counter,
+    prefix_hits: qcn_telemetry::Counter,
+    stages_run: qcn_telemetry::Counter,
+    stages_skipped: qcn_telemetry::Counter,
+}
+
+/// `None` when telemetry is disabled, so the hot path pays one relaxed
+/// atomic load and no registry traffic.
+fn search_metrics() -> Option<&'static SearchMetrics> {
+    if !qcn_telemetry::timing_enabled() {
+        return None;
+    }
+    static METRICS: OnceLock<SearchMetrics> = OnceLock::new();
+    Some(METRICS.get_or_init(|| {
+        let reg = qcn_telemetry::global();
+        SearchMetrics {
+            evaluations: reg.counter(
+                "qcn_search_evaluations_total",
+                &[],
+                "distinct quantization configurations probed (cache misses)",
+            ),
+            memo_hits: reg.counter(
+                "qcn_search_memo_hits_total",
+                &[],
+                "accuracy queries answered from the canonical-config memo",
+            ),
+            prefix_hits: reg.counter(
+                "qcn_search_prefix_hits_total",
+                &[],
+                "evaluation batches resumed from a cached prefix checkpoint",
+            ),
+            stages_run: reg.counter(
+                "qcn_search_stages_run_total",
+                &[],
+                "pipeline stages executed during search probes",
+            ),
+            stages_skipped: reg.counter(
+                "qcn_search_stages_skipped_total",
+                &[],
+                "pipeline stages skipped thanks to prefix reuse",
+            ),
+        }
+    }))
+}
+
+/// Mirrors one memo hit into the telemetry registry.
+fn note_memo_hit() {
+    if let Some(m) = search_metrics() {
+        m.memo_hits.inc();
+    }
+}
 
 /// Anything that can score a quantization configuration.
 ///
@@ -488,6 +548,7 @@ impl<'a, M: CapsNet + Sync> Evaluator<'a, M> {
         match self.memo.get(&key).map(|(_, m)| m.clone()) {
             Some(Memo::Exact(acc)) => {
                 self.stats.memo_hits += 1;
+                note_memo_hit();
                 self.touch(&key);
                 acc
             }
@@ -570,6 +631,14 @@ impl<'a, M: CapsNet + Sync> Evaluator<'a, M> {
         } else {
             self.stats.partial_resumes += 1;
         }
+        if let Some(m) = search_metrics() {
+            m.prefix_hits.add(out.delta.prefix_hits as u64);
+            m.stages_run.add(out.delta.stages_run as u64);
+            m.stages_skipped.add(out.delta.stages_skipped as u64);
+            if fresh {
+                m.evaluations.inc();
+            }
+        }
         for (k, bi, act) in out.checkpoints {
             self.prefix
                 .append(k, bi, act, self.accel.prefix_budget_bytes);
@@ -602,6 +671,7 @@ impl<'a, M: CapsNet + Sync> Evaluator<'a, M> {
         match self.memo.get(&key).map(|(_, m)| m.clone()) {
             Some(Memo::Exact(acc)) => {
                 self.stats.memo_hits += 1;
+                note_memo_hit();
                 self.touch(&key);
                 acc >= acc_min
             }
@@ -610,10 +680,12 @@ impl<'a, M: CapsNet + Sync> Evaluator<'a, M> {
                 let upper = (p.correct + (total - p.seen)) as f32 / total as f32;
                 if lower >= acc_min {
                     self.stats.memo_hits += 1;
+                    note_memo_hit();
                     self.touch(&key);
                     true
                 } else if upper < acc_min {
                     self.stats.memo_hits += 1;
+                    note_memo_hit();
                     self.touch(&key);
                     false
                 } else {

@@ -326,8 +326,19 @@ impl IntModel {
     }
 
     /// The raw-in/raw-out forward pass.
+    ///
+    /// Each group is wrapped in a telemetry span recording its wall time
+    /// into the global `qcn_stage_duration_us` histogram under
+    /// `engine="integer"`, mirroring the fake-quant engine's stage spans.
+    /// Timing only reads the clock; the integer datapath is untouched.
     pub fn infer_raw(&self, mut cur: IntTensor, mode: UnitMode, ctx: &mut QuantCtx) -> IntTensor {
-        for group in &self.groups {
+        let names: Option<Vec<String>> = if qcn_telemetry::timing_enabled() {
+            Some(self.groups.iter().map(|g| g.name.clone()).collect())
+        } else {
+            None
+        };
+        for (s, group) in self.groups.iter().enumerate() {
+            let _t = qcn_capsnet::stage_span("integer", &self.name, names.as_deref(), s);
             match &group.desc {
                 GroupDesc::Layer(layer) => {
                     if let LayerDesc::CapsFc { in_dim, .. } = layer {

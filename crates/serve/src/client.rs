@@ -13,7 +13,8 @@
 
 use crate::server::{ServeError, SubmitError};
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, WireError, WireRequest, WireResponse,
+    decode_response, decode_stats_response, encode_request, encode_stats_request, read_frame,
+    write_frame, WireError, WireRequest, WireResponse,
 };
 use qcn_tensor::Tensor;
 use std::fmt;
@@ -112,6 +113,34 @@ impl Client {
             ))
         })?;
         decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Pulls the server's live metrics as Prometheus text exposition —
+    /// the remote mirror of `Server::prometheus()`.
+    ///
+    /// Call-and-wait like [`infer`](Self::infer): the next frame off the
+    /// wire must be this request's stats response, so don't interleave it
+    /// with pipelined [`send`](Self::send)s that still await their
+    /// [`recv`](Self::recv)s.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &encode_stats_request(id))?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let (rid, text) =
+            decode_stats_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if rid != id {
+            return Err(ClientError::Protocol(format!(
+                "stats response id {rid} does not match request id {id}"
+            )));
+        }
+        Ok(text)
     }
 
     /// Sends one request and blocks for its result — the remote mirror of

@@ -24,7 +24,12 @@
 //!   client library;
 //! * [`MetricsSnapshot`] — throughput, batch-size histogram, latency
 //!   percentiles over the most recent window, queue depth, and the wire
-//!   counters (connections, malformed frames, bytes in/out).
+//!   counters (connections, malformed frames, bytes in/out);
+//! * observability ­— metrics live in `qcn-telemetry` registries:
+//!   [`Server::prometheus`] renders the text exposition,
+//!   [`MetricsHttp`](net::MetricsHttp) serves it over `GET /metrics`, and
+//!   a `Stats` wire frame lets [`Client::stats`] pull the same view
+//!   remotely. See `docs/observability.md` for the metric names.
 //!
 //! **Determinism contract**: every response is bit-identical to a
 //! sequential single-sample inference of the same request — regardless of
@@ -46,8 +51,8 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use engine::{FakeQuantEngine, IntEngine, ServeEngine};
-pub use metrics::MetricsSnapshot;
-pub use net::SocketServer;
+pub use metrics::{MetricsSnapshot, BATCH_HIST_SLOTS};
+pub use net::{MetricsHttp, SocketServer};
 pub use registry::{ModelRegistry, RegistryError};
 pub use server::{Pending, ServeConfig, ServeError, Server, SubmitError};
-pub use wire::{WireError, WireRequest, WireResponse};
+pub use wire::{WireError, WireFrame, WireRequest, WireResponse};

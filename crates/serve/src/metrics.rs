@@ -1,8 +1,19 @@
 //! Service metrics: counters, batch-size histogram and latency
 //! percentiles, snapshotable while the server runs.
+//!
+//! Built on the `qcn-telemetry` primitives: every counter/gauge lives in
+//! a **per-server** [`Registry`] (so tests running several servers in one
+//! process never share state), latencies are recorded twice — exactly,
+//! into a bounded [`SampleWindow`] for the nearest-rank percentiles the
+//! snapshot reports, and bucketed, into a telemetry [`Histogram`] for the
+//! Prometheus exposition — and [`Metrics::render_prometheus`] appends the
+//! process-wide [`qcn_telemetry::global`] registry (engine stage timings,
+//! thread-pool dispatch, search-cache counters) after the server's own
+//! series.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use qcn_telemetry::{
+    exponential_bounds, latency_bounds_us, Counter, Gauge, Histogram, Registry, SampleWindow,
+};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -13,34 +24,45 @@ use std::time::Instant;
 /// forever), and memory stays bounded.
 const MAX_LATENCY_SAMPLES: usize = 1 << 20;
 
+/// Slots in the dense per-size batch histogram. Slot `i < 63` counts
+/// batches of size `i + 1`; the last slot counts every batch of size
+/// ≥ `BATCH_HIST_SLOTS`. The cap keeps the snapshot's `Vec` bounded no
+/// matter how large `max_batch` is configured (an earlier version
+/// allocated `max_batch` slots up front, so a pathological configuration
+/// could pin a huge dense vector).
+pub const BATCH_HIST_SLOTS: usize = 64;
+
 /// Shared metrics sink updated by the submission path, the workers and
 /// the socket front-end.
 #[derive(Debug)]
 pub(crate) struct Metrics {
     started: Instant,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected_full: AtomicU64,
-    rejected_closed: AtomicU64,
-    expired: AtomicU64,
-    failed: AtomicU64,
-    max_queue_depth: AtomicU64,
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    malformed_frames: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    registry: Registry,
+    submitted: Counter,
+    completed: Counter,
+    rejected_full: Counter,
+    rejected_closed: Counter,
+    expired: Counter,
+    failed: Counter,
+    queue_depth: Gauge,
+    queue_depth_max: Gauge,
+    connections_accepted: Counter,
+    connections_active: Gauge,
+    malformed_frames: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    latency_hist: Histogram,
+    batch_hist: Histogram,
     inner: Mutex<Recorded>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Recorded {
-    /// `batch_hist[i]` counts executed batches of size `i + 1`.
-    batch_hist: Vec<u64>,
+    /// `dense_batches[i]` counts executed batches of size `i + 1`; the
+    /// last slot absorbs sizes ≥ [`BATCH_HIST_SLOTS`].
+    dense_batches: Vec<u64>,
     /// Ring of the most recent per-request end-to-end latencies (µs).
-    latencies_us: VecDeque<u64>,
-    /// Ring capacity; older samples are displaced once it is reached.
-    latency_window: usize,
+    latencies: SampleWindow,
 }
 
 impl Metrics {
@@ -52,131 +74,217 @@ impl Metrics {
     /// exercise displacement without a million samples).
     pub(crate) fn with_latency_window(max_batch: usize, latency_window: usize) -> Self {
         assert!(latency_window >= 1, "latency window must hold a sample");
+        let registry = Registry::new();
+        let counter = |name: &str, help: &str| registry.counter(name, &[], help);
         Metrics {
             started: Instant::now(),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected_full: AtomicU64::new(0),
-            rejected_closed: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            max_queue_depth: AtomicU64::new(0),
-            connections_accepted: AtomicU64::new(0),
-            connections_active: AtomicU64::new(0),
-            malformed_frames: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
+            submitted: counter(
+                "qcn_serve_requests_submitted_total",
+                "requests accepted into the queue",
+            ),
+            completed: counter(
+                "qcn_serve_requests_completed_total",
+                "requests answered with a result",
+            ),
+            rejected_full: registry.counter(
+                "qcn_serve_requests_rejected_total",
+                &[("reason", "queue_full")],
+                "submissions rejected synchronously",
+            ),
+            rejected_closed: registry.counter(
+                "qcn_serve_requests_rejected_total",
+                &[("reason", "shutting_down")],
+                "submissions rejected synchronously",
+            ),
+            expired: counter(
+                "qcn_serve_requests_expired_total",
+                "requests that timed out in the queue and never ran",
+            ),
+            failed: counter(
+                "qcn_serve_requests_failed_total",
+                "requests answered with an engine failure",
+            ),
+            queue_depth: registry.gauge(
+                "qcn_serve_queue_depth",
+                &[],
+                "submission queue depth at the last scheduler touch",
+            ),
+            queue_depth_max: registry.gauge(
+                "qcn_serve_queue_depth_max",
+                &[],
+                "high-water mark of the submission queue depth",
+            ),
+            connections_accepted: counter(
+                "qcn_serve_connections_accepted_total",
+                "socket connections accepted by the front-end",
+            ),
+            connections_active: registry.gauge(
+                "qcn_serve_connections_active",
+                &[],
+                "socket connections currently open",
+            ),
+            malformed_frames: counter(
+                "qcn_serve_malformed_frames_total",
+                "frames rejected as unparseable (each closes its connection)",
+            ),
+            bytes_in: registry.counter(
+                "qcn_serve_wire_bytes_total",
+                &[("direction", "in")],
+                "wire bytes transferred (frame headers + payloads)",
+            ),
+            bytes_out: registry.counter(
+                "qcn_serve_wire_bytes_total",
+                &[("direction", "out")],
+                "wire bytes transferred (frame headers + payloads)",
+            ),
+            latency_hist: registry.histogram(
+                "qcn_serve_request_latency_us",
+                &[],
+                "end-to-end request latency (microseconds)",
+                &latency_bounds_us(),
+            ),
+            batch_hist: registry.histogram(
+                "qcn_serve_batch_size",
+                &[],
+                "executed batch sizes",
+                &exponential_bounds(1.0, 2.0, 7),
+            ),
+            registry,
             inner: Mutex::new(Recorded {
-                batch_hist: vec![0; max_batch],
-                latencies_us: VecDeque::new(),
-                latency_window,
+                dense_batches: vec![0; max_batch.min(BATCH_HIST_SLOTS)],
+                latencies: SampleWindow::new(latency_window),
             }),
         }
     }
 
     pub(crate) fn on_submit(&self, queue_depth: usize) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.max_queue_depth
-            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+        self.submitted.inc();
+        self.queue_depth.set(queue_depth as i64);
+        self.queue_depth_max.set_max(queue_depth as i64);
+    }
+
+    /// Refreshes the queue-depth gauge from the scheduler (which observes
+    /// the depth whenever it drains the queue).
+    pub(crate) fn on_queue_depth(&self, queue_depth: usize) {
+        self.queue_depth.set(queue_depth as i64);
     }
 
     pub(crate) fn on_reject_full(&self) {
-        self.rejected_full.fetch_add(1, Ordering::Relaxed);
+        self.rejected_full.inc();
     }
 
     pub(crate) fn on_reject_closed(&self) {
-        self.rejected_closed.fetch_add(1, Ordering::Relaxed);
+        self.rejected_closed.inc();
     }
 
     pub(crate) fn on_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
 
     pub(crate) fn on_failed(&self, n: usize) {
-        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+        self.failed.add(n as u64);
     }
 
     pub(crate) fn on_connection_open(&self) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        self.connections_active.fetch_add(1, Ordering::Relaxed);
+        self.connections_accepted.inc();
+        self.connections_active.inc();
     }
 
     pub(crate) fn on_connection_close(&self) {
-        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+        self.connections_active.dec();
     }
 
     pub(crate) fn on_malformed_frame(&self) {
-        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        self.malformed_frames.inc();
     }
 
     pub(crate) fn on_bytes_in(&self, n: u64) {
-        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+        self.bytes_in.add(n);
     }
 
     pub(crate) fn on_bytes_out(&self, n: u64) {
-        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+        self.bytes_out.add(n);
     }
 
     /// Records one executed batch and its requests' end-to-end latencies.
     pub(crate) fn on_batch(&self, batch_size: usize, latencies_us: &[u64]) {
-        self.completed
-            .fetch_add(latencies_us.len() as u64, Ordering::Relaxed);
+        self.completed.add(latencies_us.len() as u64);
+        self.batch_hist.observe(batch_size as f64);
+        let slot = batch_size.min(BATCH_HIST_SLOTS) - 1;
         let mut inner = self.inner.lock().expect("metrics lock");
-        if batch_size > inner.batch_hist.len() {
-            inner.batch_hist.resize(batch_size, 0);
+        if slot >= inner.dense_batches.len() {
+            inner.dense_batches.resize(slot + 1, 0);
         }
-        inner.batch_hist[batch_size - 1] += 1;
-        let window = inner.latency_window;
+        inner.dense_batches[slot] += 1;
         for &l in latencies_us {
-            if inner.latencies_us.len() == window {
-                inner.latencies_us.pop_front();
-            }
-            inner.latencies_us.push_back(l);
+            inner.latencies.push(l);
+            self.latency_hist.observe(l as f64);
         }
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
-        let mut sorted: Vec<u64> = inner.latencies_us.iter().copied().collect();
-        sorted.sort_unstable();
-        let pct = |q: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
-        };
-        let batches: u64 = inner.batch_hist.iter().sum();
-        let weighted: u64 = inner
-            .batch_hist
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (i as u64 + 1) * n)
-            .sum();
+        let [p50, p95, p99] = inner.latencies.percentiles([0.50, 0.95, 0.99]);
+        let batch_histogram = inner.dense_batches.clone();
+        drop(inner);
+        // The telemetry histogram's (count, sum) is (batches, requests
+        // through batches): the exact mean even for overflow-slot sizes.
+        let batches = self.batch_hist.count();
         MetricsSnapshot {
             uptime_secs: self.started.elapsed().as_secs_f64(),
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected_full: self.rejected_full.load(Ordering::Relaxed),
-            rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed) as usize,
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed) as usize,
-            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            batch_histogram: inner.batch_hist.clone(),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected_full: self.rejected_full.get(),
+            rejected_closed: self.rejected_closed.get(),
+            expired: self.expired.get(),
+            failed: self.failed.get(),
+            max_queue_depth: self.queue_depth_max.get() as usize,
+            connections_accepted: self.connections_accepted.get(),
+            connections_active: self.connections_active.get().max(0) as usize,
+            malformed_frames: self.malformed_frames.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            batch_histogram,
             mean_batch: if batches == 0 {
                 0.0
             } else {
-                weighted as f64 / batches as f64
+                self.batch_hist.sum() / batches as f64
             },
-            latency_p50_us: pct(0.50),
-            latency_p95_us: pct(0.95),
-            latency_p99_us: pct(0.99),
+            latency_p50_us: p50,
+            latency_p95_us: p95,
+            latency_p99_us: p99,
         }
+    }
+
+    /// Prometheus text exposition: the server's own registry, the exact
+    /// recent-window latency quantiles as a summary, uptime, then the
+    /// process-wide library metrics (engine stage timings, thread-pool
+    /// dispatch, search-cache counters).
+    pub(crate) fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.registry.render_prometheus_into(&mut out);
+        let [p50, p95, p99] = {
+            let inner = self.inner.lock().expect("metrics lock");
+            inner.latencies.percentiles([0.50, 0.95, 0.99])
+        };
+        out.push_str(concat!(
+            "# HELP qcn_serve_request_latency_window_us exact nearest-rank ",
+            "latency quantiles over the most recent samples (microseconds)\n",
+            "# TYPE qcn_serve_request_latency_window_us summary\n",
+        ));
+        for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+            out.push_str(&format!(
+                "qcn_serve_request_latency_window_us{{quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# HELP qcn_serve_uptime_seconds seconds since the server started\n");
+        out.push_str("# TYPE qcn_serve_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "qcn_serve_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        qcn_telemetry::global().render_prometheus_into(&mut out);
+        out
     }
 }
 
@@ -210,9 +318,11 @@ pub struct MetricsSnapshot {
     pub bytes_in: u64,
     /// Wire bytes written to clients (frame headers + payloads).
     pub bytes_out: u64,
-    /// `batch_histogram[i]` counts executed batches of size `i + 1`.
+    /// `batch_histogram[i]` counts executed batches of size `i + 1`; the
+    /// last reachable slot (index [`BATCH_HIST_SLOTS`] − 1) absorbs every
+    /// larger size, keeping the vector bounded for any `max_batch`.
     pub batch_histogram: Vec<u64>,
-    /// Mean executed batch size.
+    /// Mean executed batch size (exact, including overflow-slot batches).
     pub mean_batch: f64,
     /// Median end-to-end request latency (µs, nearest-rank) over the
     /// most recent samples.
@@ -273,6 +383,23 @@ mod tests {
     }
 
     #[test]
+    fn giant_batches_land_in_the_overflow_slot() {
+        // Regression: the dense histogram used to allocate `max_batch`
+        // slots eagerly and grow to any observed size — a huge max_batch
+        // (or a rogue size) could pin an unbounded vector. Sizes beyond
+        // the cap now share the final slot and the mean stays exact.
+        let m = Metrics::new(1 << 20);
+        assert_eq!(m.snapshot().batch_histogram.len(), BATCH_HIST_SLOTS);
+        m.on_batch(BATCH_HIST_SLOTS, &vec![1; BATCH_HIST_SLOTS]);
+        m.on_batch(1 << 19, &vec![1; 2]); // latencies needn't match size here
+        let s = m.snapshot();
+        assert_eq!(s.batch_histogram.len(), BATCH_HIST_SLOTS);
+        assert_eq!(s.batch_histogram[BATCH_HIST_SLOTS - 1], 2);
+        let want = (BATCH_HIST_SLOTS + (1 << 19)) as f64 / 2.0;
+        assert!((s.mean_batch - want).abs() < 1e-9, "mean {}", s.mean_batch);
+    }
+
+    #[test]
     fn latency_window_retains_most_recent_samples() {
         // Regression: the old "keep the first N" cap froze percentiles at
         // startup traffic. New samples must displace old ones.
@@ -312,5 +439,26 @@ mod tests {
         assert_eq!(s.malformed_frames, 1);
         assert_eq!(s.bytes_in, 192);
         assert_eq!(s.bytes_out, 256);
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_the_serve_series() {
+        let m = Metrics::new(4);
+        m.on_submit(3);
+        m.on_batch(2, &[10, 20]);
+        m.on_bytes_in(96);
+        let text = m.render_prometheus();
+        for needle in [
+            "# TYPE qcn_serve_requests_submitted_total counter",
+            "qcn_serve_requests_submitted_total 1",
+            "qcn_serve_queue_depth_max 3",
+            "qcn_serve_wire_bytes_total{direction=\"in\"} 96",
+            "qcn_serve_request_latency_us_bucket{le=\"+Inf\"} 2",
+            "qcn_serve_batch_size_sum 2",
+            "qcn_serve_request_latency_window_us{quantile=\"0.5\"} 10",
+            "# TYPE qcn_serve_uptime_seconds gauge",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

@@ -18,7 +18,15 @@
 //! shutting down) are answered inline as typed error frames, preserving
 //! response order — remote clients see exactly the
 //! [`SubmitError`](crate::SubmitError) / [`ServeError`](crate::ServeError)
-//! variants an in-process caller sees.
+//! variants an in-process caller sees. Stats frames
+//! ([`crate::wire::WireFrame::Stats`]) are likewise answered inline with
+//! the server's live Prometheus text ([`Server::prometheus`]).
+//!
+//! ## Metrics endpoint
+//!
+//! [`MetricsHttp`] is a second, independent listener speaking just enough
+//! HTTP/1.1 to serve `GET /metrics` as Prometheus text exposition — point
+//! a scraper at it while the wire protocol stays binary-only.
 //!
 //! ## Malformed input
 //!
@@ -39,18 +47,21 @@
 use crate::metrics::MetricsSnapshot;
 use crate::server::{Pending, Server};
 use crate::wire::{
-    decode_request, encode_response, read_frame, write_frame, WireError, WireResponse,
+    decode_request_frame, encode_response, encode_stats_response, read_frame, write_frame,
+    WireError, WireFrame, WireResponse,
 };
-use std::io::{self, BufReader, BufWriter, ErrorKind, Write};
+use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// What the reader hands the writer for one request, in arrival order.
 enum WriterItem {
-    /// Rejected at submission: answer immediately.
-    Ready(WireResponse),
+    /// Answerable immediately (submission rejection, stats pull): the
+    /// pre-encoded response payload.
+    Ready(Vec<u8>),
     /// Accepted: resolve the ticket, then answer.
     Wait(u64, Pending),
 }
@@ -292,20 +303,28 @@ fn connection_reader(stream: TcpStream, server: &Arc<Server>, tx: &mpsc::Sender<
             }
         };
         metrics.on_bytes_in(payload.len() as u64 + 4);
-        let request = match decode_request(&payload) {
-            Ok(request) => request,
+        let frame = match decode_request_frame(&payload) {
+            Ok(frame) => frame,
             Err(_) => {
                 metrics.on_malformed_frame();
                 let _ = reader.get_ref().shutdown(Shutdown::Both);
                 break;
             }
         };
-        let item = match server.submit(&request.model, request.input) {
-            Ok(pending) => WriterItem::Wait(request.id, pending),
-            Err(e) => WriterItem::Ready(WireResponse {
-                id: request.id,
-                result: Err(WireError::Submit(e)),
-            }),
+        let item = match frame {
+            WireFrame::Infer(request) => match server.submit(&request.model, request.input) {
+                Ok(pending) => WriterItem::Wait(request.id, pending),
+                Err(e) => WriterItem::Ready(encode_response(&WireResponse {
+                    id: request.id,
+                    result: Err(WireError::Submit(e)),
+                })),
+            },
+            // Stats pulls are answered inline from the live registries —
+            // they never enter the batching queue, but still flow through
+            // the writer so responses keep submission order.
+            WireFrame::Stats { id } => {
+                WriterItem::Ready(encode_stats_response(id, &server.prometheus()))
+            }
         };
         if tx.send(item).is_err() {
             break; // writer is gone (write error); stop reading
@@ -336,14 +355,14 @@ fn connection_writer(stream: TcpStream, server: &Arc<Server>, rx: &mpsc::Receive
                 }
             }
         };
-        let response = match item {
-            WriterItem::Ready(response) => response,
-            WriterItem::Wait(id, pending) => WireResponse {
+        let payload = match item {
+            WriterItem::Ready(payload) => payload,
+            WriterItem::Wait(id, pending) => encode_response(&WireResponse {
                 id,
                 result: pending.wait().map_err(WireError::Serve),
-            },
+            }),
         };
-        match write_frame(&mut writer, &encode_response(&response)) {
+        match write_frame(&mut writer, &payload) {
             Ok(n) => metrics.on_bytes_out(n),
             Err(_) => break,
         }
@@ -352,4 +371,130 @@ fn connection_writer(stream: TcpStream, server: &Arc<Server>, rx: &mpsc::Receive
     let _ = writer.get_ref().shutdown(Shutdown::Both);
     // Unanswered tickets (write error, or SubmitError frames we could not
     // deliver) are dropped here; the server still executes them.
+}
+
+/// Upper bound on one scrape request's header block; a peer sending more
+/// without finishing its headers is cut off.
+const MAX_HTTP_REQUEST_BYTES: usize = 8 << 10;
+
+/// A minimal HTTP/1.1 exporter serving `GET /metrics` as Prometheus text
+/// (content type `text/plain; version=0.0.4`) from a [`Server`]'s
+/// [`prometheus`](Server::prometheus) rendering. Every other path answers
+/// 404; every response closes its connection (`Connection: close`), which
+/// Prometheus scrapers handle fine at scrape rates.
+///
+/// # Examples
+///
+/// ```no_run
+/// use qcn_serve::net::MetricsHttp;
+/// use qcn_serve::{ModelRegistry, ServeConfig, Server};
+/// use std::sync::Arc;
+///
+/// let server = Arc::new(Server::start(ModelRegistry::new(), ServeConfig::default()));
+/// let exporter = MetricsHttp::bind(Arc::clone(&server), "127.0.0.1:9095").unwrap();
+/// println!("scrape http://{}/metrics", exporter.local_addr());
+/// ```
+pub struct MetricsHttp {
+    local_addr: SocketAddr,
+    open: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MetricsHttp {
+    /// Binds `addr` and starts serving scrapes for `server`. Bind to port
+    /// 0 to let the OS pick.
+    pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<MetricsHttp> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let open = Arc::new(AtomicBool::new(true));
+        let accept = {
+            let open = Arc::clone(&open);
+            std::thread::Builder::new()
+                .name("qcn-metrics-http".to_string())
+                .spawn(move || {
+                    // Scrapes are rare and cheap, so connections are served
+                    // sequentially on the accept thread; a short timeout
+                    // keeps a stalled peer from blocking the next scrape
+                    // for long.
+                    while let Ok((stream, _)) = listener.accept() {
+                        if !open.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = serve_scrape(stream, &server);
+                    }
+                })
+                .expect("spawn metrics http thread")
+        };
+        Ok(MetricsHttp {
+            local_addr,
+            open,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.open.store(false, Ordering::SeqCst);
+        if let Some(handle) = self.accept.lock().expect("metrics http handle lock").take() {
+            let _ = TcpStream::connect(wakeup_addr(self.local_addr));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttp {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for MetricsHttp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHttp")
+            .field("local_addr", &self.local_addr)
+            .field("open", &self.open.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Answers one scrape connection: read the request head, route on the
+/// request line, write the response, close.
+fn serve_scrape(mut stream: TcpStream, server: &Arc<Server>) -> io::Result<()> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HTTP_REQUEST_BYTES {
+            return Ok(()); // header block too large; just hang up
+        }
+        match stream.read(&mut buf)? {
+            0 => return Ok(()), // peer hung up mid-request
+            n => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = server.prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.shutdown(Shutdown::Both)
 }

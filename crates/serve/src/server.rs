@@ -338,6 +338,15 @@ impl Server {
         self.inner.metrics.snapshot()
     }
 
+    /// Prometheus text exposition (format 0.0.4) of this server's metrics
+    /// followed by the process-wide library metrics (engine stage
+    /// timings, thread-pool dispatch, search-cache counters). This is
+    /// what the HTTP exporter ([`crate::net::MetricsHttp`]) serves and
+    /// what a remote [`crate::client::Client::stats`] call returns.
+    pub fn prometheus(&self) -> String {
+        self.inner.metrics.render_prometheus()
+    }
+
     /// The shared metrics sink (the socket front-end records its wire
     /// counters into the same snapshot).
     pub(crate) fn metrics_sink(&self) -> &Metrics {
@@ -439,6 +448,7 @@ fn worker_loop(inner: &Inner) {
                 .expect("serve queue lock");
             st = guard;
         }
+        inner.metrics.on_queue_depth(st.queue.len());
         drop(st);
         let engine = inner
             .registry

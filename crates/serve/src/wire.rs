@@ -8,7 +8,9 @@
 //! ## Request payload
 //!
 //! ```text
+//! u8      kind (0 = infer, 1 = stats)
 //! u64 be  request id (chosen by the client, echoed in the response)
+//! -- kind 0 only:
 //! u16 be  model-id length  |  UTF-8 model id bytes
 //! u8      rank             |  rank × u32 be dims
 //! f32 le  × product(dims)  sample data
@@ -23,9 +25,11 @@
 //! ```
 //!
 //! Status `0` carries a tensor (rank/dims/data as above: the per-sample
-//! output capsules `[classes, dim]`). Every other tag mirrors one variant
-//! of [`SubmitError`] / [`ServeError`] with its fields, so a remote client
-//! sees exactly the typed errors an in-process caller sees.
+//! output capsules `[classes, dim]`). Status `8` answers a stats request
+//! with a u32-length-prefixed UTF-8 Prometheus text body. Every other tag
+//! mirrors one variant of [`SubmitError`] / [`ServeError`] with its
+//! fields, so a remote client sees exactly the typed errors an in-process
+//! caller sees.
 //!
 //! Multi-byte integers are big-endian ("network order"); tensor payloads
 //! are little-endian `f32` bits — the dominant host layout, so the bulk
@@ -110,6 +114,10 @@ fn bad(reason: impl Into<String>) -> DecodeError {
     }
 }
 
+// Request kinds.
+const KIND_INFER: u8 = 0;
+const KIND_STATS: u8 = 1;
+
 // Response status tags.
 const TAG_OK: u8 = 0;
 const TAG_UNKNOWN_MODEL: u8 = 1;
@@ -119,6 +127,7 @@ const TAG_SHUTTING_DOWN: u8 = 4;
 const TAG_DEADLINE_EXCEEDED: u8 = 5;
 const TAG_ENGINE_FAILURE: u8 = 6;
 const TAG_WORKER_LOST: u8 = 7;
+const TAG_STATS: u8 = 8;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -211,13 +220,28 @@ fn get_tensor(r: &mut Reader<'_>) -> Result<Tensor, DecodeError> {
     Tensor::from_vec(data, dims.as_slice()).map_err(|e| bad(format!("tensor rebuild: {e:?}")))
 }
 
-/// Serializes one request payload (without the frame length prefix).
+/// One decoded client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// An inference request.
+    Infer(WireRequest),
+    /// A metrics pull: answered with a Prometheus-text stats response
+    /// echoing `id`.
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Serializes one inference-request payload (without the frame length
+/// prefix).
 pub fn encode_request(req: &WireRequest) -> Vec<u8> {
     assert!(
         req.model.len() <= u16::MAX as usize,
         "model id longer than the wire format allows"
     );
-    let mut out = Vec::with_capacity(16 + req.model.len() + req.input.data().len() * 4);
+    let mut out = Vec::with_capacity(17 + req.model.len() + req.input.data().len() * 4);
+    out.push(KIND_INFER);
     out.extend_from_slice(&req.id.to_be_bytes());
     out.extend_from_slice(&(req.model.len() as u16).to_be_bytes());
     out.extend_from_slice(req.model.as_bytes());
@@ -225,17 +249,41 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
     out
 }
 
-/// Parses one request payload.
-pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
+/// Serializes one stats-request payload (without the frame length prefix).
+pub fn encode_stats_request(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(KIND_STATS);
+    out.extend_from_slice(&id.to_be_bytes());
+    out
+}
+
+/// Parses one request payload of either kind.
+pub fn decode_request_frame(payload: &[u8]) -> Result<WireFrame, DecodeError> {
     let mut r = Reader::new(payload);
+    let kind = r.u8("request kind")?;
     let id = r.u64("request id")?;
-    let model_len = r.u16("model id length")? as usize;
-    let model = std::str::from_utf8(r.take(model_len, "model id")?)
-        .map_err(|_| bad("model id is not UTF-8"))?
-        .to_string();
-    let input = get_tensor(&mut r)?;
+    let frame = match kind {
+        KIND_INFER => {
+            let model_len = r.u16("model id length")? as usize;
+            let model = std::str::from_utf8(r.take(model_len, "model id")?)
+                .map_err(|_| bad("model id is not UTF-8"))?
+                .to_string();
+            let input = get_tensor(&mut r)?;
+            WireFrame::Infer(WireRequest { id, model, input })
+        }
+        KIND_STATS => WireFrame::Stats { id },
+        other => return Err(bad(format!("unknown request kind {other}"))),
+    };
     r.finish()?;
-    Ok(WireRequest { id, model, input })
+    Ok(frame)
+}
+
+/// Parses one inference-request payload (a stats frame is an error here).
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
+    match decode_request_frame(payload)? {
+        WireFrame::Infer(req) => Ok(req),
+        WireFrame::Stats { .. } => Err(bad("stats frame where an inference request was expected")),
+    }
 }
 
 /// Serializes one response payload (without the frame length prefix).
@@ -272,6 +320,44 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         Err(WireError::Serve(ServeError::WorkerLost)) => out.push(TAG_WORKER_LOST),
     }
     out
+}
+
+/// Serializes one stats-response payload: the request id, the stats
+/// status tag, and the Prometheus exposition text (u32-length-prefixed UTF-8,
+/// truncated at a character boundary if it would overflow the frame
+/// limit — far beyond any real registry).
+pub fn encode_stats_response(id: u64, text: &str) -> Vec<u8> {
+    let mut body = text;
+    let max = MAX_FRAME_BYTES - 13; // id + tag + u32 length
+    if body.len() > max {
+        let mut cut = max;
+        while !body.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        body = &body[..cut];
+    }
+    let mut out = Vec::with_capacity(13 + body.len());
+    out.extend_from_slice(&id.to_be_bytes());
+    out.push(TAG_STATS);
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Parses one stats-response payload into `(id, prometheus_text)`.
+pub fn decode_stats_response(payload: &[u8]) -> Result<(u64, String), DecodeError> {
+    let mut r = Reader::new(payload);
+    let id = r.u64("request id")?;
+    let tag = r.u8("status tag")?;
+    if tag != TAG_STATS {
+        return Err(bad(format!("status tag {tag} is not a stats response")));
+    }
+    let len = r.u32("stats text length")? as usize;
+    let text = std::str::from_utf8(r.take(len, "stats text")?)
+        .map_err(|_| bad("stats text is not UTF-8"))?
+        .to_string();
+    r.finish()?;
+    Ok((id, text))
 }
 
 /// Parses one response payload.
@@ -391,6 +477,41 @@ mod tests {
     }
 
     #[test]
+    fn stats_frames_roundtrip() {
+        let payload = encode_stats_request(42);
+        assert_eq!(
+            decode_request_frame(&payload).unwrap(),
+            WireFrame::Stats { id: 42 }
+        );
+        // The infer-only decoder rejects a stats frame instead of
+        // misparsing it.
+        assert!(decode_request(&payload).is_err());
+
+        let text = "# TYPE qcn_serve_requests_submitted_total counter\n\
+                    qcn_serve_requests_submitted_total 7\n";
+        let resp = encode_stats_response(42, text);
+        assert_eq!(
+            decode_stats_response(&resp).unwrap(),
+            (42, text.to_string())
+        );
+        // An infer response is not a stats response.
+        let infer = encode_response(&WireResponse {
+            id: 1,
+            result: Err(WireError::Serve(ServeError::WorkerLost)),
+        });
+        assert!(decode_stats_response(&infer).is_err());
+        // The generic response decoder rejects the stats tag (stats
+        // responses correlate to stats requests by order, not here).
+        assert!(decode_response(&resp).is_err());
+        // Truncated body.
+        let mut broken = encode_stats_response(1, "hello");
+        broken.pop();
+        assert!(decode_stats_response(&broken).is_err());
+        // Unknown request kind.
+        assert!(decode_request_frame(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
     fn nan_and_infinity_survive_the_wire() {
         let input =
             Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0], [4]).unwrap();
@@ -408,9 +529,10 @@ mod tests {
     #[test]
     fn malformed_payloads_are_rejected() {
         // Truncated id.
-        assert!(decode_request(&[1, 2, 3]).is_err());
+        assert!(decode_request(&[0, 1, 2, 3]).is_err());
         // Model length pointing past the payload.
-        let mut p = 7u64.to_be_bytes().to_vec();
+        let mut p = vec![0u8];
+        p.extend_from_slice(&7u64.to_be_bytes());
         p.extend_from_slice(&100u16.to_be_bytes());
         p.push(b'm');
         assert!(decode_request(&p).is_err());
@@ -426,7 +548,8 @@ mod tests {
         p.push(0);
         assert!(decode_response(&p).is_err());
         // Dim product overflowing the frame limit.
-        let mut p = 1u64.to_be_bytes().to_vec();
+        let mut p = vec![0u8];
+        p.extend_from_slice(&1u64.to_be_bytes());
         p.extend_from_slice(&1u16.to_be_bytes());
         p.push(b'm');
         p.push(4); // rank 4
@@ -435,11 +558,16 @@ mod tests {
         }
         assert!(decode_request(&p).is_err());
         // Zero rank.
-        let mut p = 1u64.to_be_bytes().to_vec();
+        let mut p = vec![0u8];
+        p.extend_from_slice(&1u64.to_be_bytes());
         p.extend_from_slice(&1u16.to_be_bytes());
         p.push(b'm');
         p.push(0);
         assert!(decode_request(&p).is_err());
+        // Trailing garbage after a stats request.
+        let mut p = encode_stats_request(5);
+        p.push(0);
+        assert!(decode_request_frame(&p).is_err());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! The leveled stderr log facade.
+//!
+//! The active level resolves, in priority order: a runtime [`set_level`]
+//! override, the `QCN_LOG` environment variable (parsed once per process),
+//! then the default of [`Level::Warn`]. Binaries that want chattier
+//! defaults without clobbering a user's `QCN_LOG` call
+//! [`set_default_level`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log verbosity, ordered from silent to chatty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No output at all.
+    Off = 0,
+    /// Unrecoverable or data-losing conditions.
+    Error = 1,
+    /// Suspicious conditions the run survives (bad env vars, fallbacks).
+    Warn = 2,
+    /// Progress and lifecycle messages.
+    Info = 3,
+    /// Detail useful when debugging a component.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Parses a `QCN_LOG` value; `None` for unrecognized strings.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The fixed-width label the logger prints.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Runtime override; `UNSET` defers to the environment/default.
+const UNSET: u8 = u8::MAX;
+static OVERRIDE: AtomicU8 = AtomicU8::new(UNSET);
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// The currently active log level.
+pub fn level() -> Level {
+    let over = OVERRIDE.load(Ordering::Relaxed);
+    if over != UNSET {
+        return Level::from_u8(over);
+    }
+    static ENV: OnceLock<Option<Level>> = OnceLock::new();
+    match ENV.get_or_init(|| std::env::var("QCN_LOG").ok().and_then(|v| Level::parse(&v))) {
+        Some(level) => *level,
+        None => Level::from_u8(DEFAULT_LEVEL.load(Ordering::Relaxed)),
+    }
+}
+
+/// Forces the log level, overriding `QCN_LOG`. Tests and CLIs use this.
+pub fn set_level(level: Level) {
+    OVERRIDE.store(level as u8, Ordering::Relaxed);
+}
+
+/// Sets the level used when `QCN_LOG` is unset and no [`set_level`]
+/// override is active. Lets a binary default to `info` progress output
+/// while still honouring an explicit `QCN_LOG=off`.
+pub fn set_default_level(level: Level) {
+    DEFAULT_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted. One relaxed
+/// atomic load on the common (override or cached-env) path.
+#[inline]
+pub fn log_enabled(level_wanted: Level) -> bool {
+    level_wanted != Level::Off && level_wanted <= level()
+}
+
+/// Implementation detail of the log macros: formats and writes one line.
+#[doc(hidden)]
+pub fn __emit(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{} {}] {}", target, level.label(), args);
+}
+
+/// Logs at [`Level::Error`]. First argument is the component tag, then a
+/// format string and arguments: `error!("qcn-serve", "bind failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Error) {
+            $crate::__emit($crate::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`]; see [`error!`] for the argument shape.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Warn) {
+            $crate::__emit($crate::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]; see [`error!`] for the argument shape.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Info) {
+            $crate::__emit($crate::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]; see [`error!`] for the argument shape.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Debug) {
+            $crate::__emit($crate::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`]; see [`error!`] for the argument shape.
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::Level::Trace) {
+            $crate::__emit($crate::Level::Trace, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_level_and_rejects_garbage() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn set_level_override_wins_and_gates_macros() {
+        set_level(Level::Error);
+        assert!(log_enabled(Level::Error));
+        assert!(!log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Off), "Off is never emitted");
+        set_level(Level::Trace);
+        assert!(log_enabled(Level::Trace));
+        // The macros must compile with and without format arguments.
+        crate::trace!("qcn-telemetry", "plain message");
+        crate::debug!("qcn-telemetry", "formatted {}", 42);
+        set_level(Level::Warn);
+    }
+}

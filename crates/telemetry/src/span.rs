@@ -1,0 +1,124 @@
+//! Span timing: RAII wall-clock timers that record elapsed microseconds
+//! into a histogram, compiled down to one relaxed atomic load and a branch
+//! when telemetry is disabled.
+//!
+//! The intended pattern on a hot path caches the histogram handle once
+//! (registration takes a lock; the handle is a lock-free `Arc`):
+//!
+//! ```
+//! use qcn_telemetry::{global, latency_bounds_us, maybe_start};
+//!
+//! let hist = global().histogram(
+//!     "qcn_example_stage_duration_us",
+//!     &[("stage", "conv1")],
+//!     "wall time per stage",
+//!     &latency_bounds_us(),
+//! );
+//! {
+//!     let _t = maybe_start(&hist); // None (free) when telemetry is off
+//!     // ... the timed work ...
+//! }
+//! assert!(hist.count() <= 1);
+//! ```
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// 0 = unresolved, 1 = disabled, 2 = enabled.
+static TIMING: AtomicU8 = AtomicU8::new(0);
+
+fn resolve_timing() -> bool {
+    let enabled = match std::env::var("QCN_TELEMETRY") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false"
+        ),
+        Err(_) => true,
+    };
+    TIMING.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+    enabled
+}
+
+/// Whether span timing and metric hooks are active. The first call
+/// resolves `QCN_TELEMETRY` (default: enabled); afterwards this is a
+/// single relaxed atomic load.
+#[inline]
+pub fn timing_enabled() -> bool {
+    match TIMING.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => resolve_timing(),
+    }
+}
+
+/// Turns span timing and metric hooks on or off at runtime, overriding
+/// `QCN_TELEMETRY`. The overhead guard test and latency-critical callers
+/// use this.
+pub fn set_timing(enabled: bool) {
+    TIMING.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// A running span: records the elapsed wall time, in microseconds, into
+/// its histogram when dropped.
+#[derive(Debug)]
+pub struct StageTimer {
+    hist: Histogram,
+    started: Instant,
+}
+
+impl StageTimer {
+    /// Starts a timer over `hist` unconditionally (callers wanting the
+    /// cheap disabled path use [`maybe_start`]).
+    pub fn start(hist: &Histogram) -> StageTimer {
+        StageTimer {
+            hist: hist.clone(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.hist.observe(self.started.elapsed().as_micros() as f64);
+    }
+}
+
+/// Starts a [`StageTimer`] over `hist` when telemetry is enabled; `None`
+/// — no clock read, no allocation — when it is not. Bind the result to a
+/// `_`-prefixed local so the span covers the enclosing scope.
+#[inline]
+pub fn maybe_start(hist: &Histogram) -> Option<StageTimer> {
+    if timing_enabled() {
+        Some(StageTimer::start(hist))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn spans_record_into_their_histogram() {
+        let reg = Registry::new();
+        let h = reg.histogram("span_us", &[], "spans", &[1e9]);
+        set_timing(true);
+        {
+            let _t = maybe_start(&h);
+        }
+        {
+            let _t = StageTimer::start(&h);
+        }
+        assert_eq!(h.count(), 2);
+        set_timing(false);
+        {
+            let _t = maybe_start(&h);
+            assert!(_t.is_none(), "disabled telemetry starts no timer");
+        }
+        assert_eq!(h.count(), 2);
+        set_timing(true);
+    }
+}

@@ -1,0 +1,119 @@
+//! Concurrency semantics of the metric registry: updates racing a
+//! snapshot must never tear, and nothing recorded may be lost once the
+//! writers are joined.
+
+use qcn_telemetry::{MetricValue, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_updates_during_snapshot_are_never_torn() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let reg = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = reg.counter("hits_total", &[], "hits");
+                let g = reg.gauge("depth", &[], "depth");
+                let h = reg.histogram("lat_us", &[], "lat", &[10.0, 100.0, 1000.0]);
+                for i in 0..PER_WRITER {
+                    c.inc();
+                    g.set((w as i64) * 1_000_000 + i as i64);
+                    h.observe((i % 2_000) as f64);
+                }
+            })
+        })
+        .collect();
+
+    // Snapshot and render continuously while the writers hammer the
+    // registry; every intermediate view must be internally consistent.
+    let snapshotter = {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for m in reg.snapshot() {
+                    match (m.name.as_str(), &m.value) {
+                        ("hits_total", MetricValue::Counter(v)) => {
+                            assert!(*v <= WRITERS as u64 * PER_WRITER, "overcount: {v}");
+                            assert!(*v >= last_count, "counter went backwards");
+                            last_count = *v;
+                        }
+                        ("depth", MetricValue::Gauge(v)) => {
+                            // Torn writes would produce values outside any
+                            // writer's range.
+                            let writer = v / 1_000_000;
+                            let seq = v % 1_000_000;
+                            assert!(
+                                (0..WRITERS as i64).contains(&writer)
+                                    && (0..PER_WRITER as i64).contains(&seq),
+                                "torn gauge value {v}"
+                            );
+                        }
+                        ("lat_us", MetricValue::Histogram { buckets, count, .. }) => {
+                            // Cumulative buckets must be monotone; +Inf
+                            // never exceeds the live count by more than
+                            // the writers still mid-observe.
+                            assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+                            let inf = buckets.last().expect("has +Inf").1;
+                            assert!(inf <= WRITERS as u64 * PER_WRITER);
+                            // The count and last bucket are updated by
+                            // separate atomics; they may differ transiently
+                            // but only by in-flight observations.
+                            assert!(
+                                inf.abs_diff(*count) <= WRITERS as u64,
+                                "bucket/count divergence: {inf} vs {count}"
+                            );
+                        }
+                        other => panic!("unexpected metric {other:?}"),
+                    }
+                }
+                // Rendering must also never panic mid-race.
+                let _ = reg.render_prometheus();
+            }
+        })
+    };
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    snapshotter.join().expect("snapshotter panicked");
+
+    // Joined writers: totals are exact.
+    let c = reg.counter("hits_total", &[], "hits");
+    assert_eq!(c.get(), WRITERS as u64 * PER_WRITER);
+    let h = reg.histogram("lat_us", &[], "lat", &[10.0, 100.0, 1000.0]);
+    assert_eq!(h.count(), WRITERS as u64 * PER_WRITER);
+    let expected_sum: f64 =
+        WRITERS as f64 * (0..PER_WRITER).map(|i| (i % 2_000) as f64).sum::<f64>();
+    assert!(
+        (h.sum() - expected_sum).abs() < 1e-6 * expected_sum.max(1.0),
+        "CAS-accumulated sum drifted: {} vs {expected_sum}",
+        h.sum()
+    );
+}
+
+#[test]
+fn registration_races_resolve_to_one_series() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = reg.counter("raced_total", &[("k", "v")], "raced");
+                c.inc();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("registrant panicked");
+    }
+    assert_eq!(reg.counter("raced_total", &[("k", "v")], "raced").get(), 8);
+    assert_eq!(reg.snapshot().len(), 1, "exactly one series registered");
+}

@@ -66,18 +66,68 @@ fn parse_thread_env(value: &str) -> Option<usize> {
     }
 }
 
-/// Warns on stderr, once per process, that `QCN_NUM_THREADS` was set but
-/// unusable. Silent fallback used to hide typos (`QCN_NUM_THREADS=fast`,
-/// `=0`) behind full hardware parallelism.
+/// Warns through the telemetry log facade, once per process, that
+/// `QCN_NUM_THREADS` was set but unusable. Silent fallback used to hide
+/// typos (`QCN_NUM_THREADS=fast`, `=0`) behind full hardware parallelism.
 fn warn_bad_thread_env(value: &str) {
     static WARNED: std::sync::Once = std::sync::Once::new();
     WARNED.call_once(|| {
-        eprintln!(
-            "qcn-tensor: ignoring unparsable QCN_NUM_THREADS={value:?} \
+        qcn_telemetry::warn!(
+            "qcn-tensor",
+            "ignoring unparsable QCN_NUM_THREADS={value:?} \
              (expected a positive integer); falling back to {} hardware thread(s)",
             hardware_threads()
         );
     });
+}
+
+/// Cached handles for the pool's dispatch metrics (registration locks the
+/// global registry; the handles themselves are lock-free, so the per-call
+/// cost is one relaxed increment — and nothing at all when telemetry is
+/// disabled).
+struct PoolMetrics {
+    serial: qcn_telemetry::Counter,
+    parallel: qcn_telemetry::Counter,
+    workers: qcn_telemetry::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = qcn_telemetry::global();
+        PoolMetrics {
+            serial: reg.counter(
+                "qcn_tensor_pool_dispatch_total",
+                &[("mode", "serial")],
+                "kernel dispatches through the deterministic thread pool",
+            ),
+            parallel: reg.counter(
+                "qcn_tensor_pool_dispatch_total",
+                &[("mode", "parallel")],
+                "kernel dispatches through the deterministic thread pool",
+            ),
+            workers: reg.counter(
+                "qcn_tensor_pool_workers_total",
+                &[],
+                "workers engaged across parallel dispatches (spawned + calling thread)",
+            ),
+        }
+    })
+}
+
+/// Records one pool dispatch that engaged `threads` workers.
+#[inline]
+fn record_dispatch(threads: usize) {
+    if !qcn_telemetry::timing_enabled() {
+        return;
+    }
+    let m = pool_metrics();
+    if threads <= 1 {
+        m.serial.inc();
+    } else {
+        m.parallel.inc();
+        m.workers.add(threads as u64);
+    }
 }
 
 /// The thread count parallel kernels will use right now.
@@ -151,6 +201,7 @@ pub fn par_ranges(n_items: usize, min_per_thread: usize, f: impl Fn(Range<usize>
     }
     let max_workers = (n_items / min_per_thread.max(1)).max(1);
     let threads = current_threads().min(max_workers);
+    record_dispatch(threads);
     if threads <= 1 {
         f(0..n_items);
         return;
@@ -213,6 +264,7 @@ pub fn par_split_mut<T: Send>(
     }
     let max_workers = (n_items / min_items_per_thread.max(1)).max(1);
     let threads = current_threads().min(max_workers);
+    record_dispatch(threads);
     if threads <= 1 {
         f(0..n_items, data);
         return;

@@ -1,0 +1,88 @@
+//! Guard: disabled telemetry must cost (nearly) nothing on the kernel
+//! hot path. Runs in its own test binary so flipping the process-wide
+//! timing gate cannot race other tests.
+
+use qcn_tensor::Tensor;
+use std::time::Instant;
+
+fn gemm_loop(a: &Tensor, b: &Tensor, iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(std::hint::black_box(a).matmul(std::hint::black_box(b)));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median_of<const N: usize>(mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..N).map(|_| f()).collect();
+    times.sort_by(f64::total_cmp);
+    times[N / 2]
+}
+
+/// The disabled path is one relaxed atomic load per pool dispatch: a
+/// small-GEMM loop with telemetry off must not be measurably slower than
+/// with telemetry on (which does strictly more work), and nothing may be
+/// recorded. The factor-of-two margin plus an absolute grace keeps the
+/// comparison robust to scheduler noise on loaded CI hosts.
+#[test]
+fn disabled_telemetry_adds_no_measurable_gemm_overhead() {
+    let a = Tensor::from_fn([48, 48], |idx| (idx[0] * 7 + idx[1]) as f32 * 0.01 - 5.0);
+    let b = Tensor::from_fn([48, 48], |idx| (idx[0] + idx[1] * 3) as f32 * 0.02 - 8.0);
+    const ITERS: usize = 400;
+    // Warm up allocators, the thread pool and the branch predictors.
+    gemm_loop(&a, &b, ITERS / 4);
+
+    qcn_telemetry::set_timing(true);
+    let recorded_from = pool_dispatches();
+    let enabled = median_of::<5>(|| gemm_loop(&a, &b, ITERS));
+    assert!(
+        pool_dispatches() > recorded_from,
+        "enabled telemetry should record pool dispatches (is the GEMM loop off the pool path?)"
+    );
+
+    qcn_telemetry::set_timing(false);
+    let before = pool_dispatches();
+    let disabled = median_of::<5>(|| gemm_loop(&a, &b, ITERS));
+    assert_eq!(
+        pool_dispatches(),
+        before,
+        "disabled telemetry must not record pool dispatches"
+    );
+    qcn_telemetry::set_timing(true);
+
+    assert!(
+        disabled <= enabled * 2.0 + 0.05,
+        "disabled-telemetry GEMM loop took {disabled:.4}s vs {enabled:.4}s enabled"
+    );
+}
+
+/// The gate itself is a single relaxed load — calling it millions of
+/// times must stay far under any per-dispatch noise floor.
+#[test]
+fn timing_gate_is_cheap() {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..10_000_000 {
+        acc += u64::from(std::hint::black_box(qcn_telemetry::timing_enabled()));
+    }
+    std::hint::black_box(acc);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "10M gate checks took {elapsed:?}"
+    );
+}
+
+/// Total pool dispatches recorded in the global registry (serial +
+/// parallel), 0 when the series do not exist yet.
+fn pool_dispatches() -> u64 {
+    qcn_telemetry::global()
+        .snapshot()
+        .iter()
+        .filter(|m| m.name == "qcn_tensor_pool_dispatch_total")
+        .map(|m| match &m.value {
+            qcn_telemetry::MetricValue::Counter(v) => *v,
+            _ => 0,
+        })
+        .sum()
+}

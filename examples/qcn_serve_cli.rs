@@ -10,19 +10,23 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example qcn_serve_cli [ADDR] [SCHEME]
+//! cargo run --release --example qcn_serve_cli [ADDR] [SCHEME] [METRICS_ADDR]
 //! ```
 //!
 //! `ADDR` defaults to `127.0.0.1:7878`; `SCHEME` is one of `trn`, `rtn`,
-//! `rtne`, `sr` (default `rtn`). The server runs until stdin closes or a
-//! `quit` line arrives; a `metrics` line prints a live snapshot. Model
-//! ids: `shallow/fq` (fake-quant f32) and `shallow/int` (true integer).
+//! `rtne`, `sr` (default `rtn`); `METRICS_ADDR` (default `127.0.0.1:7879`)
+//! is a Prometheus endpoint serving `GET /metrics`, or `none` to disable
+//! it. The server runs until stdin closes or a `quit` line arrives; a
+//! `metrics` line prints a live snapshot and a `prom` line dumps the full
+//! Prometheus text (remote clients get the same text via
+//! `Client::stats()`). Model ids: `shallow/fq` (fake-quant f32) and
+//! `shallow/int` (true integer).
 
 use qcn_repro::capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
 use qcn_repro::fixed::RoundingScheme;
 use qcn_repro::framework::export::pack_model;
 use qcn_repro::intinfer::{IntModel, UnitMode};
-use qcn_repro::serve::net::SocketServer;
+use qcn_repro::serve::net::{MetricsHttp, SocketServer};
 use qcn_repro::serve::{
     FakeQuantEngine, IntEngine, MetricsSnapshot, ModelRegistry, ServeConfig, Server,
 };
@@ -96,8 +100,20 @@ fn main() {
     let server = Arc::new(Server::start(registry, ServeConfig::default()));
     let net = SocketServer::bind(Arc::clone(&server), addr.as_str())
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    let metrics_addr = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "127.0.0.1:7879".to_string());
+    let exporter = if metrics_addr == "none" {
+        None
+    } else {
+        let exporter = MetricsHttp::bind(Arc::clone(&server), metrics_addr.as_str())
+            .unwrap_or_else(|e| panic!("cannot bind metrics endpoint {metrics_addr}: {e}"));
+        eprintln!("metrics on http://{}/metrics", exporter.local_addr());
+        Some(exporter)
+    };
     eprintln!(
-        "serving {:?} on {} — `metrics` for a snapshot, `quit` (or EOF) to stop",
+        "serving {:?} on {} — `metrics` for a snapshot, `prom` for Prometheus text, \
+         `quit` (or EOF) to stop",
         server.model_ids(),
         net.local_addr()
     );
@@ -106,12 +122,14 @@ fn main() {
     for line in stdin.lock().lines() {
         match line.as_deref().map(str::trim) {
             Ok("metrics") => print_metrics(&server.metrics()),
+            Ok("prom") => print!("{}", server.prometheus()),
             Ok("quit") | Ok("exit") | Err(_) => break,
             Ok("") => {}
-            Ok(other) => eprintln!("unknown command {other:?}: metrics | quit"),
+            Ok(other) => eprintln!("unknown command {other:?}: metrics | prom | quit"),
         }
     }
     eprintln!("draining and shutting down…");
+    drop(exporter);
     let last = net.shutdown();
     print_metrics(&last);
 }

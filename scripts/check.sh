@@ -14,7 +14,13 @@ for t in 1 2 7; do
   QCN_NUM_THREADS=$t cargo test -q --test serving_determinism
   QCN_NUM_THREADS=$t cargo test -q --test serving_net_equivalence
 done
-cargo clippy --workspace -- -D warnings
+# Telemetry smoke: the metrics endpoint and Stats wire frame must expose
+# the expected series under load, and the bit-identity suites must hold
+# with telemetry hard-disabled too.
+cargo test -q --test observability
+QCN_TELEMETRY=0 cargo test -q --test observability
+QCN_TELEMETRY=0 cargo test -q --test serving_determinism
+cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 # Search-acceleration smoke: one end-to-end Algorithm 1 run, accelerated
 # vs naive, asserting the bit-identical-selection contract.

@@ -166,8 +166,8 @@ proptest! {
         for s in 1..n {
             if widths[s..].iter().all(|&b| b > 0) {
                 let mut candidate = result.clone();
-                for l in s..n {
-                    candidate.layers[l].act_frac = Some(widths[l] - 1);
+                for (layer, &w) in candidate.layers[s..n].iter_mut().zip(&widths[s..n]) {
+                    layer.act_frac = Some(w - 1);
                 }
                 prop_assert!(
                     oracle.accuracy_of(&candidate) < acc_min,

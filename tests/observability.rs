@@ -1,0 +1,158 @@
+//! End-to-end smoke of the telemetry subsystem: a socket server under
+//! real load must expose engine-stage timings, queue/batch metrics and
+//! wire counters through both exposition paths — the Prometheus HTTP
+//! endpoint and the `Stats` wire frame — and both must agree on the
+//! metric families they carry.
+
+use qcn_repro::capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::serve::{
+    Client, FakeQuantEngine, IntEngine, MetricsHttp, ModelRegistry, ServeConfig, Server,
+    SocketServer,
+};
+use qcn_repro::tensor::Tensor;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IN_FRAC: u8 = 5;
+
+/// Deterministic on-grid sample `[1, 16, 16]`.
+fn sample(seed: i64) -> Tensor {
+    Tensor::from_fn([1, 16, 16], |idx| {
+        let i = (idx[1] * 16 + idx[2]) as i64;
+        ((i * 37 + seed * 11).rem_euclid(32)) as f32 / 32.0
+    })
+}
+
+/// One GET against `path`, returning (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn metrics_flow_through_http_endpoint_and_stats_frame() {
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+    let packed = pack_model(&model, &config);
+    let int_model = IntModel::load(&model.descriptor(), &packed).unwrap();
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "fq",
+            FakeQuantEngine::new(&model, config.clone(), [1, 16, 16]),
+        )
+        .unwrap();
+    registry
+        .register(
+            "int",
+            IntEngine::new(int_model, IN_FRAC, UnitMode::FloatExact, [1, 16, 16]),
+        )
+        .unwrap();
+    let server = Arc::new(Server::start(registry, ServeConfig::default()));
+    let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let exporter = MetricsHttp::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    // Drive load through the socket front-end on both engines.
+    let mut client = Client::connect(net.local_addr()).unwrap();
+    for i in 0..8 {
+        for model_id in ["fq", "int"] {
+            client.infer(model_id, &sample(i)).unwrap();
+        }
+    }
+
+    // Path 1: the Prometheus HTTP endpoint.
+    let (status, scraped) = http_get(exporter.local_addr(), "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    // Server-registry series: request accounting, queue/batch, wire bytes.
+    for needle in [
+        "# TYPE qcn_serve_requests_submitted_total counter",
+        "qcn_serve_requests_submitted_total 16",
+        "qcn_serve_requests_completed_total 16",
+        "# TYPE qcn_serve_queue_depth gauge",
+        "qcn_serve_queue_depth_max",
+        "# TYPE qcn_serve_batch_size histogram",
+        "qcn_serve_batch_size_sum 16",
+        "# TYPE qcn_serve_request_latency_us histogram",
+        "qcn_serve_request_latency_us_bucket",
+        "qcn_serve_request_latency_window_us{quantile=\"0.5\"}",
+        "qcn_serve_wire_bytes_total{direction=\"in\"}",
+        "qcn_serve_wire_bytes_total{direction=\"out\"}",
+        "qcn_serve_connections_accepted_total 1",
+        "# TYPE qcn_serve_uptime_seconds gauge",
+    ] {
+        assert!(
+            scraped.contains(needle),
+            "missing {needle:?} in:\n{scraped}"
+        );
+    }
+    // Global-registry series: per-stage engine timings from both engines
+    // (when timing is enabled; under QCN_TELEMETRY=0 the engines record
+    // nothing and the endpoint must still serve what it has).
+    if qcn_repro::telemetry::timing_enabled() {
+        for needle in [
+            "# TYPE qcn_stage_duration_us histogram",
+            "engine=\"fake_quant\"",
+            "engine=\"integer\"",
+            "stage=\"L1\"",
+        ] {
+            assert!(
+                scraped.contains(needle),
+                "missing {needle:?} in:\n{scraped}"
+            );
+        }
+        assert!(
+            scraped.contains("qcn_tensor_pool_dispatch_total"),
+            "missing pool dispatch counters in:\n{scraped}"
+        );
+    }
+
+    // Unknown paths 404.
+    let (status, _) = http_get(exporter.local_addr(), "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // Path 2: the Stats wire frame returns the same registry view (modulo
+    // the traffic the scrapes themselves added).
+    let stats = client.stats().unwrap();
+    for needle in [
+        "qcn_serve_requests_submitted_total 16",
+        "qcn_serve_batch_size_sum 16",
+        "qcn_serve_request_latency_window_us{quantile=\"0.99\"}",
+    ] {
+        assert!(stats.contains(needle), "missing {needle:?} in:\n{stats}");
+    }
+    // Same families in both expositions.
+    let families = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(families(&scraped), families(&stats));
+
+    // The stats pull flowed through the ordered writer: a subsequent
+    // inference on the same connection still answers correctly.
+    let out = client.infer("fq", &sample(99)).unwrap();
+    assert_eq!(out.dims(), &[10, 8]);
+
+    drop(client);
+    exporter.shutdown();
+    let final_metrics = net.shutdown();
+    assert_eq!(final_metrics.completed, 17);
+    assert_eq!(final_metrics.submitted, 17);
+}
