@@ -21,6 +21,7 @@ use qcn_fixed::{QFormat, Quantizer, RoundingScheme};
 use qcn_hwmodel::archstats;
 use qcn_hwmodel::latency::Accelerator;
 use qcn_intinfer::{IntModel, UnitMode};
+use qcn_router::{Router, RouterConfig};
 use qcn_serve::{
     Client, FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, ServeEngine, Server,
     SocketServer,
@@ -177,6 +178,19 @@ struct ServingNetEntry {
     socket_pipelined_rps: f64,
     socket_sync_rps: f64,
     wire_bytes_per_request: f64,
+}
+
+/// The routing tier's overhead: the same pipelined request stream against
+/// one replica directly vs through a `qcn_router::Router` fronting the
+/// fleet. `routed_rps / direct_rps` is the cost of the extra hop (id
+/// rewriting, balancing, admission control); the acceptance bar for the
+/// tier is ≥ 0.9.
+struct RouterBenchEntry {
+    engine: &'static str,
+    requests: usize,
+    replicas: usize,
+    direct_rps: f64,
+    routed_rps: f64,
 }
 
 /// One end-to-end Algorithm 1 timing: the full framework run (binary
@@ -924,6 +938,110 @@ fn main() {
         ]
     };
 
+    // Routing tier: the identical pipelined stream against one replica
+    // directly vs through the router — the price of the extra hop.
+    qcn_telemetry::info!("bench_report", "timing the routing tier");
+    let router_entries: Vec<RouterBenchEntry> = {
+        let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+        let mut config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+        for lq in &mut config.layers {
+            lq.dr_frac = Some(4);
+        }
+        let int_model = IntModel::load(&model.descriptor(), &pack_model(&model, &config))
+            .expect("config fully quantized");
+        let requests: Vec<Tensor> = (0..192)
+            .map(|i| {
+                let x = grid_input([1, 1, 16, 16], 100 + i as u64);
+                Tensor::from_vec(x.data().to_vec(), [1, 16, 16]).unwrap()
+            })
+            .collect();
+        let passes = 5;
+        const REPLICAS: usize = 2;
+
+        let run = |register: &dyn Fn(&mut ModelRegistry)| -> RouterBenchEntry {
+            let fleet: Vec<SocketServer> = (0..REPLICAS)
+                .map(|_| {
+                    let mut registry = ModelRegistry::new();
+                    register(&mut registry);
+                    let server = std::sync::Arc::new(Server::start(
+                        registry,
+                        ServeConfig {
+                            max_batch: 8,
+                            queue_capacity: requests.len(),
+                            batch_window: Duration::from_millis(2),
+                            request_timeout: None,
+                            workers: 1,
+                        },
+                    ));
+                    SocketServer::bind(server, "127.0.0.1:0").expect("bind bench replica")
+                })
+                .collect();
+            let mut cfg = RouterConfig::new(fleet.iter().map(|r| r.local_addr()));
+            cfg.max_inflight = requests.len();
+            let router = Router::bind(cfg, "127.0.0.1:0").expect("bind bench router");
+
+            let pipelined = |client: &mut Client| -> f64 {
+                let mut best = 0.0f64;
+                for _ in 0..passes {
+                    let start = Instant::now();
+                    for x in &requests {
+                        client.send("m", x).expect("pipelined send");
+                    }
+                    for _ in &requests {
+                        client
+                            .recv()
+                            .expect("pipelined recv")
+                            .result
+                            .expect("remote inference");
+                    }
+                    best = best.max(requests.len() as f64 / start.elapsed().as_secs_f64());
+                }
+                best
+            };
+            let mut direct = Client::connect(fleet[0].local_addr()).expect("connect direct");
+            let direct_rps = pipelined(&mut direct);
+            drop(direct);
+            let mut routed = Client::connect(router.local_addr()).expect("connect routed");
+            let routed_rps = pipelined(&mut routed);
+            drop(routed);
+
+            let snap = router.shutdown();
+            assert_eq!(snap.failed, 0, "bench traffic must not fail over");
+            for replica in fleet {
+                replica.shutdown();
+            }
+            RouterBenchEntry {
+                engine: "",
+                requests: requests.len(),
+                replicas: REPLICAS,
+                direct_rps,
+                routed_rps,
+            }
+        };
+        vec![
+            RouterBenchEntry {
+                engine: "fake_quant",
+                ..run(&|r| {
+                    r.register(
+                        "m",
+                        FakeQuantEngine::new(&model, config.clone(), [1, 16, 16]),
+                    )
+                    .unwrap();
+                })
+            },
+            RouterBenchEntry {
+                engine: "integer_float_exact",
+                ..run(&|r| {
+                    r.register(
+                        "m",
+                        IntEngine::new(int_model.clone(), 5, UnitMode::FloatExact, [1, 16, 16]),
+                    )
+                    .unwrap();
+                })
+            },
+        ]
+    };
+
     // Search-time acceleration: Algorithm 1 end to end, accelerated vs
     // the naive evaluator, with the exactness contract re-verified at
     // thread counts 1/2/7.
@@ -1030,6 +1148,25 @@ fn main() {
             e.socket_pipelined_rps / e.in_process_rps,
             e.wire_bytes_per_request,
             if i + 1 < serving_net_entries.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"router\": [\n");
+    for (i, e) in router_entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"engine\": \"{}\", \"requests\": {}, \"replicas\": {}, \
+             \"direct_rps\": {:.1}, \"routed_rps\": {:.1}, \"routed_vs_direct\": {:.3} }}{}\n",
+            e.engine,
+            e.requests,
+            e.replicas,
+            e.direct_rps,
+            e.routed_rps,
+            e.routed_rps / e.direct_rps,
+            if i + 1 < router_entries.len() {
                 ","
             } else {
                 ""

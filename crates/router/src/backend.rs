@@ -1,0 +1,319 @@
+//! One backend replica: its health, its labelled metrics, and a small
+//! pool of multiplexing upstream connections.
+//!
+//! ## Channel model
+//!
+//! A [`Channel`] is one TCP connection to a replica. Any router thread
+//! may send on it: the sender stamps the request with a fresh
+//! channel-local id ([`qcn_serve::wire::rewrite_request_id`]), registers
+//! the in-flight [`Task`] in the channel's pending map, and writes the
+//! frame under a write lock. A single reader thread per channel pulls
+//! response frames, correlates them by id, restores the client's id and
+//! hands the payload to the task's response channel — so many client
+//! connections share one upstream socket without head-of-line coupling
+//! between their *completions* (only the backend's own scheduling
+//! orders those).
+//!
+//! ## Death and drain
+//!
+//! Any transport error — failed write, failed read, read timeout with
+//! requests outstanding, a response id that matches nothing — kills the
+//! channel: the pending map is taken (`None` marks the channel dead for
+//! late senders), the socket is shut down, and every drained task is
+//! handed back to the router core for failover. The next send to this
+//! backend dials a fresh connection.
+
+use crate::health::HealthTracker;
+use crate::metrics::BackendMetrics;
+use crate::router::RouterCore;
+use qcn_serve::wire;
+use std::collections::HashMap;
+use std::io::{self, BufReader, ErrorKind};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What a [`Task`] is carrying.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum TaskKind {
+    /// A client inference request — retried and failed over.
+    Infer,
+    /// A health-check stats probe — never retried (the prober times out
+    /// and records the failure itself).
+    Probe,
+}
+
+/// One in-flight request inside the router.
+pub(crate) struct Task {
+    pub kind: TaskKind,
+    /// The id the client used; restored on the response payload.
+    pub client_id: u64,
+    /// The encoded request payload. Bytes `[1..9]` (the id) are
+    /// rewritten per attempt; everything else is forwarded verbatim.
+    pub payload: Vec<u8>,
+    /// Where the response payload goes (the client connection's writer,
+    /// or a prober).
+    pub done: mpsc::Sender<Vec<u8>>,
+    /// Failed attempts so far.
+    pub attempts: u32,
+    /// Admission time, for end-to-end latency.
+    pub accepted: Instant,
+    /// The backend of the most recent attempt — avoided on the next one.
+    pub last_backend: usize,
+}
+
+/// One multiplexing upstream connection.
+pub(crate) struct Channel {
+    stream: TcpStream,
+    writer: Mutex<TcpStream>,
+    /// In-flight tasks by channel-local id; `None` once the channel died.
+    pending: Mutex<Option<HashMap<u64, Task>>>,
+    next_id: AtomicU64,
+    outstanding: qcn_telemetry::Gauge,
+}
+
+impl Channel {
+    /// Queues `task` and writes its frame. On any failure the channel is
+    /// dead and `Err` carries every task that was pending on it (the
+    /// caller's included) for failover.
+    pub(crate) fn send(&self, mut task: Task) -> Result<(), Vec<Task>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if wire::rewrite_request_id(&mut task.payload, id).is_err() {
+            // Can't happen for frames that passed decode_request_frame;
+            // treat defensively as a dead-channel-equivalent failure.
+            return Err(vec![task]);
+        }
+        let mut framed = Vec::with_capacity(task.payload.len() + 4);
+        framed.extend_from_slice(&(task.payload.len() as u32).to_be_bytes());
+        framed.extend_from_slice(&task.payload);
+        let kind = task.kind;
+        {
+            let mut pending = self.pending.lock().expect("pending map lock");
+            let Some(map) = pending.as_mut() else {
+                return Err(vec![task]); // raced with a kill; caller retries
+            };
+            map.insert(id, task);
+            if kind == TaskKind::Infer {
+                self.outstanding.inc();
+            }
+        }
+        // The write happens outside the pending lock so a slow syscall
+        // never blocks the reader from completing other requests. The
+        // response cannot overtake us: the backend only sees the frame
+        // once this write lands.
+        let ok = {
+            use std::io::Write;
+            let mut writer = self.writer.lock().expect("channel write lock");
+            writer.write_all(&framed).is_ok()
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(self.kill())
+        }
+    }
+
+    /// Marks the channel dead, shuts the socket down and drains every
+    /// pending task. Idempotent — exactly one caller gets the tasks.
+    pub(crate) fn kill(&self) -> Vec<Task> {
+        let drained = self.pending.lock().expect("pending map lock").take();
+        let _ = self.stream.shutdown(Shutdown::Both);
+        let tasks: Vec<Task> = drained
+            .map(|m| m.into_values().collect())
+            .unwrap_or_default();
+        for t in &tasks {
+            if t.kind == TaskKind::Infer {
+                self.outstanding.dec();
+            }
+        }
+        tasks
+    }
+
+    fn is_alive(&self) -> bool {
+        self.pending.lock().expect("pending map lock").is_some()
+    }
+
+    /// Removes one pending task by channel-local id.
+    fn take(&self, id: u64) -> Option<Task> {
+        let task = self
+            .pending
+            .lock()
+            .expect("pending map lock")
+            .as_mut()
+            .and_then(|m| m.remove(&id));
+        if let Some(t) = &task {
+            if t.kind == TaskKind::Infer {
+                self.outstanding.dec();
+            }
+        }
+        task
+    }
+
+    fn has_pending(&self) -> bool {
+        self.pending
+            .lock()
+            .expect("pending map lock")
+            .as_ref()
+            .is_some_and(|m| !m.is_empty())
+    }
+}
+
+struct Slot {
+    chan: Arc<Channel>,
+    reader: JoinHandle<()>,
+}
+
+/// One replica of the fleet.
+pub(crate) struct Backend {
+    pub idx: usize,
+    pub addr: SocketAddr,
+    pub health: Mutex<HealthTracker>,
+    pub m: BackendMetrics,
+    slots: Vec<Mutex<Option<Slot>>>,
+    rr: AtomicUsize,
+}
+
+impl Backend {
+    pub(crate) fn new(
+        idx: usize,
+        addr: SocketAddr,
+        health: HealthTracker,
+        m: BackendMetrics,
+        pool_size: usize,
+    ) -> Backend {
+        m.healthy.set(1);
+        Backend {
+            idx,
+            addr,
+            health: Mutex::new(health),
+            m,
+            slots: (0..pool_size).map(|_| Mutex::new(None)).collect(),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Requests awaiting this backend (the balancer's load signal).
+    pub(crate) fn outstanding(&self) -> i64 {
+        self.m.outstanding.get()
+    }
+
+    /// Forwards `task` over a pooled channel, dialing one if needed. On
+    /// failure `Err` carries every task needing failover (at least
+    /// `task` itself).
+    pub(crate) fn try_send(
+        self: &Arc<Backend>,
+        core: &Arc<RouterCore>,
+        task: Task,
+    ) -> Result<(), Vec<Task>> {
+        match self.channel(core) {
+            Ok(chan) => chan.send(task),
+            Err(_) => Err(vec![task]),
+        }
+    }
+
+    /// A live pooled channel (round-robin across slots), reconnecting a
+    /// dead slot in place.
+    fn channel(self: &Arc<Backend>, core: &Arc<RouterCore>) -> io::Result<Arc<Channel>> {
+        let slot_idx = self.rr.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        let mut slot = self.slots[slot_idx].lock().expect("channel slot lock");
+        if let Some(s) = slot.as_ref() {
+            if s.chan.is_alive() {
+                return Ok(Arc::clone(&s.chan));
+            }
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, core.cfg.connect_timeout)?;
+        // Request frames are latency-critical and flushed whole; never
+        // let Nagle hold them for coalescing.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(core.cfg.io_timeout))?;
+        stream.set_write_timeout(Some(core.cfg.io_timeout))?;
+        self.m.connects.inc();
+        let chan = Arc::new(Channel {
+            stream: stream.try_clone()?,
+            writer: Mutex::new(stream),
+            pending: Mutex::new(Some(HashMap::new())),
+            next_id: AtomicU64::new(1),
+            outstanding: self.m.outstanding.clone(),
+        });
+        let reader = {
+            let chan = Arc::clone(&chan);
+            let backend = Arc::clone(self);
+            let core = Arc::downgrade(core);
+            std::thread::Builder::new()
+                .name(format!("qcn-router-up-{}", self.idx))
+                .spawn(move || reader_loop(&chan, &backend, &core))?
+        };
+        // A previous dead slot's reader (if any) exits on its own; its
+        // handle is dropped here, detached.
+        *slot = Some(Slot {
+            chan: Arc::clone(&chan),
+            reader,
+        });
+        Ok(chan)
+    }
+
+    /// Kills every pooled channel and joins the reader threads — shutdown
+    /// only. Returns any tasks that were still pending.
+    pub(crate) fn teardown(&self) -> Vec<Task> {
+        let mut orphans = Vec::new();
+        for slot in &self.slots {
+            let taken = slot.lock().expect("channel slot lock").take();
+            if let Some(s) = taken {
+                orphans.extend(s.chan.kill());
+                let _ = s.reader.join();
+            }
+        }
+        orphans
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// The per-channel reader: correlates response frames to pending tasks
+/// until the channel dies, then hands the drained tasks to the core.
+fn reader_loop(chan: &Arc<Channel>, backend: &Arc<Backend>, core: &Weak<RouterCore>) {
+    let stream = match chan.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            die(chan, backend, core);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                let task = wire::response_id(&payload).and_then(|id| chan.take(id));
+                let Some(task) = task else {
+                    // A response that matches no pending request: the
+                    // correlation (or framing) is untrustworthy.
+                    break;
+                };
+                let Some(core) = core.upgrade() else { return };
+                core.complete(task, payload, backend);
+            }
+            Err(e) if is_timeout(&e) => {
+                if chan.has_pending() {
+                    // The backend sat on in-flight requests for the whole
+                    // io timeout: declare it dead and fail over.
+                    break;
+                }
+                // Idle timeout with nothing outstanding — keep listening.
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    die(chan, backend, core);
+}
+
+fn die(chan: &Arc<Channel>, backend: &Arc<Backend>, core: &Weak<RouterCore>) {
+    let tasks = chan.kill();
+    if let Some(core) = core.upgrade() {
+        core.on_channel_death(backend, tasks);
+    }
+}

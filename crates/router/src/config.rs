@@ -1,0 +1,134 @@
+//! Router configuration: the static replica list plus every tuning knob
+//! of the balancing, retry and health-check machinery.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Configuration for a [`Router`](crate::Router).
+///
+/// [`RouterConfig::new`] fills every knob with a sane default; override
+/// fields directly. The replica list is static — the router owns *which*
+/// replica serves a request, not *how many* replicas exist.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// The replica fleet. Every address must speak the
+    /// [`qcn_serve::wire`] protocol (a `SocketServer`, or another
+    /// router). Must be non-empty.
+    pub backends: Vec<SocketAddr>,
+    /// Admission budget: requests in flight through the router (accepted
+    /// but unanswered) beyond this are rejected with the wire-level
+    /// `QueueFull` error, mirroring the backpressure signal of the
+    /// backends' own bounded queues. Default 256.
+    pub max_inflight: usize,
+    /// How many *additional* attempts a request gets after its first
+    /// forward fails on connect/transport (or hits a draining replica).
+    /// `0` disables failover. Default 3.
+    pub max_retries: u32,
+    /// Backoff before retry attempt 1; doubles per attempt. Default 10 ms.
+    pub retry_backoff: Duration,
+    /// Cap on the exponential backoff. Default 200 ms.
+    pub max_backoff: Duration,
+    /// TCP connect timeout per upstream dial. Default 500 ms.
+    pub connect_timeout: Duration,
+    /// Read/write timeout on upstream pool sockets. A backend that stays
+    /// silent this long with requests outstanding is declared dead and
+    /// its in-flight requests fail over. Default 10 s.
+    pub io_timeout: Duration,
+    /// How long a health probe waits for its stats response. Default 2 s.
+    pub probe_timeout: Duration,
+    /// Period of the background health checker. Default 500 ms.
+    pub health_interval: Duration,
+    /// Consecutive failures (transport errors, failed probes) that eject
+    /// a backend from balancing. Default 2.
+    pub eject_after: u32,
+    /// How long an ejected backend sits out before probes may readmit
+    /// it. Default 1 s.
+    pub eject_cooldown: Duration,
+    /// Pooled connections per backend. Requests multiplex over each
+    /// connection, so one is enough to keep a replica saturated; more
+    /// spread head-of-line blocking on very large tensors. Default 1.
+    pub channels_per_backend: usize,
+}
+
+impl RouterConfig {
+    /// A configuration with default knobs for the given replica list.
+    pub fn new(backends: impl IntoIterator<Item = SocketAddr>) -> RouterConfig {
+        RouterConfig {
+            backends: backends.into_iter().collect(),
+            max_inflight: 256,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(10),
+            probe_timeout: Duration::from_secs(2),
+            health_interval: Duration::from_millis(500),
+            eject_after: 2,
+            eject_cooldown: Duration::from_secs(1),
+            channels_per_backend: 1,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.backends.is_empty() {
+            return Err("router needs at least one backend".to_string());
+        }
+        if self.max_inflight == 0 {
+            return Err("max_inflight must admit at least one request".to_string());
+        }
+        if self.eject_after == 0 {
+            return Err("eject_after must tolerate at least one failure".to_string());
+        }
+        if self.channels_per_backend == 0 {
+            return Err("channels_per_backend must pool at least one connection".to_string());
+        }
+        Ok(())
+    }
+
+    /// Backoff before retry `attempt` (1-based): exponential from
+    /// [`retry_backoff`](Self::retry_backoff), capped at
+    /// [`max_backoff`](Self::max_backoff).
+    pub(crate) fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        self.retry_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), port)
+    }
+
+    #[test]
+    fn validation_catches_degenerate_knobs() {
+        assert!(RouterConfig::new([]).validate().is_err());
+        let mut cfg = RouterConfig::new([addr(1)]);
+        assert!(cfg.validate().is_ok());
+        cfg.max_inflight = 0;
+        assert!(cfg.validate().is_err());
+        cfg.max_inflight = 1;
+        cfg.eject_after = 0;
+        assert!(cfg.validate().is_err());
+        cfg.eject_after = 1;
+        cfg.channels_per_backend = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut cfg = RouterConfig::new([addr(1)]);
+        cfg.retry_backoff = Duration::from_millis(10);
+        cfg.max_backoff = Duration::from_millis(70);
+        assert_eq!(cfg.backoff(1), Duration::from_millis(10));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(20));
+        assert_eq!(cfg.backoff(3), Duration::from_millis(40));
+        assert_eq!(cfg.backoff(4), Duration::from_millis(70)); // capped
+        assert_eq!(cfg.backoff(40), Duration::from_millis(70)); // no overflow
+    }
+}

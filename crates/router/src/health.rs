@@ -1,0 +1,142 @@
+//! Per-backend health as a small explicit state machine, driven by
+//! transport outcomes and background probes.
+//!
+//! A backend is either **available** (participates in balancing) or
+//! **ejected** (skipped, with a cooldown timestamp). Consecutive failures
+//! — dead connections, failed health probes, a drain-mode response —
+//! count toward ejection; one success resets the count and, after the
+//! cooldown has passed and a probe succeeds, readmits the backend. While
+//! ejected, further failures push the cooldown out again, so a backend
+//! that keeps refusing connections is re-probed at the cooldown period,
+//! not hammered.
+
+use std::time::{Duration, Instant};
+
+/// The ejection state machine for one backend. Pure logic — callers hold
+/// it under a mutex and feed it observations.
+#[derive(Debug)]
+pub(crate) struct HealthTracker {
+    eject_after: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    ejected_until: Option<Instant>,
+}
+
+impl HealthTracker {
+    pub(crate) fn new(eject_after: u32, cooldown: Duration) -> HealthTracker {
+        assert!(eject_after >= 1, "eject_after must tolerate a failure");
+        HealthTracker {
+            eject_after,
+            cooldown,
+            consecutive_failures: 0,
+            ejected_until: None,
+        }
+    }
+
+    /// A successful exchange (forwarded response or probe). Returns true
+    /// if this readmitted an ejected backend.
+    pub(crate) fn on_success(&mut self) -> bool {
+        let recovered = self.ejected_until.is_some();
+        self.consecutive_failures = 0;
+        self.ejected_until = None;
+        recovered
+    }
+
+    /// A failed exchange (connect error, dead channel, failed probe).
+    /// Returns true if this transition ejected the backend.
+    pub(crate) fn on_failure(&mut self, now: Instant) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.eject_after {
+            let newly = self.ejected_until.is_none();
+            self.ejected_until = Some(now + self.cooldown);
+            newly
+        } else {
+            false
+        }
+    }
+
+    /// Immediate ejection regardless of the failure count — used when a
+    /// backend *says* it is going away (a drain-mode `ShuttingDown`
+    /// response). Returns true if the backend was not already ejected.
+    pub(crate) fn force_eject(&mut self, now: Instant) -> bool {
+        self.consecutive_failures = self.consecutive_failures.max(self.eject_after);
+        let newly = self.ejected_until.is_none();
+        self.ejected_until = Some(now + self.cooldown);
+        newly
+    }
+
+    /// Whether the balancer may route new requests here. Ejection only
+    /// lifts via [`on_success`](Self::on_success) — i.e. a probe must
+    /// prove the backend back, passage of time alone is not evidence.
+    pub(crate) fn is_available(&self) -> bool {
+        self.ejected_until.is_none()
+    }
+
+    /// Whether the health checker should probe now: always for available
+    /// backends (to catch silent death early), and for ejected ones once
+    /// their cooldown has elapsed (the half-open readmission probe).
+    pub(crate) fn probe_due(&self, now: Instant) -> bool {
+        match self.ejected_until {
+            None => true,
+            Some(until) => now >= until,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn ejects_after_consecutive_failures_and_recovers_on_success() {
+        let mut h = HealthTracker::new(2, COOLDOWN);
+        let t0 = Instant::now();
+        assert!(h.is_available());
+        assert!(!h.on_failure(t0)); // 1 of 2
+        assert!(h.is_available());
+        assert!(h.on_failure(t0)); // ejects, newly
+        assert!(!h.is_available());
+        assert!(!h.on_failure(t0)); // still ejected, not newly
+        assert!(h.on_success()); // readmitted
+        assert!(h.is_available());
+        assert!(!h.on_success()); // already available
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut h = HealthTracker::new(2, COOLDOWN);
+        let t0 = Instant::now();
+        assert!(!h.on_failure(t0));
+        h.on_success();
+        assert!(!h.on_failure(t0)); // count restarted, one more tolerated
+        assert!(h.is_available());
+    }
+
+    #[test]
+    fn probes_gate_on_the_cooldown() {
+        let mut h = HealthTracker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        assert!(h.probe_due(t0)); // available backends probe every tick
+        h.on_failure(t0);
+        assert!(!h.probe_due(t0)); // cooling down
+        assert!(!h.probe_due(t0 + COOLDOWN / 2));
+        assert!(h.probe_due(t0 + COOLDOWN)); // half-open probe due
+                                             // A failed half-open probe pushes the cooldown out again.
+        h.on_failure(t0 + COOLDOWN);
+        assert!(!h.probe_due(t0 + COOLDOWN + COOLDOWN / 2));
+        assert!(h.probe_due(t0 + COOLDOWN + COOLDOWN));
+    }
+
+    #[test]
+    fn force_eject_skips_the_failure_count() {
+        let mut h = HealthTracker::new(5, COOLDOWN);
+        let t0 = Instant::now();
+        assert!(h.force_eject(t0));
+        assert!(!h.is_available());
+        assert!(!h.force_eject(t0)); // idempotent on the transition flag
+        assert!(h.on_success());
+        assert!(h.is_available());
+    }
+}

@@ -1,0 +1,57 @@
+//! # qcn-router — a replica-aware routing tier for the serving wire protocol
+//!
+//! One `qcn_serve::SocketServer` is one host. The road to "heavy traffic
+//! from millions of users" is a fleet of identical replicas behind a
+//! single endpoint — and because both inference engines are
+//! **bit-deterministic** (any replica returns the same bits for the same
+//! request), that endpoint can retry, fail over and re-balance freely
+//! without ever changing a response by a single bit.
+//!
+//! [`Router`] is that endpoint. It speaks the existing length-prefixed
+//! wire protocol ([`qcn_serve::wire`]) on both sides, so
+//! `qcn_serve::client::Client` connects to it exactly as it would to a
+//! single server, and the replicas behind it are stock `SocketServer`s
+//! (or further routers). What it adds:
+//!
+//! * **Balancing** — least outstanding requests across the replica list,
+//!   ties broken by a power-of-two-choices draw ([`RouterConfig`] holds
+//!   the static fleet).
+//! * **Connection pooling** — per-backend multiplexed channels: many
+//!   client connections share one upstream socket, correlated by
+//!   rewritten request ids, so adding the router costs one hop, not one
+//!   connection per client per replica.
+//! * **Health** — a background checker probes every replica with the
+//!   cheap wire stats request; consecutive failures eject a replica from
+//!   balancing until a post-cooldown probe readmits it.
+//! * **Retries & failover** — connect/transport failures (and replicas
+//!   answering `ShuttingDown` mid-drain) move the request to a different
+//!   replica with capped exponential backoff; in-flight requests on a
+//!   dying connection fail over the same way. Safe by the determinism
+//!   argument above: a replayed request cannot produce different bits.
+//! * **Admission control** — a bounded in-flight budget answered with
+//!   the existing typed `QueueFull` wire error, so clients see the same
+//!   backpressure signal a single server's bounded queue gives them.
+//! * **Observability** — per-backend labelled metrics
+//!   (`qcn_router_requests_total{backend,outcome}`, outstanding gauges,
+//!   retry/ejection counters, latency histograms) on a private registry,
+//!   served as Prometheus text via the wire stats frame.
+//!
+//! The end-to-end failover soak (`tests/router_failover.rs` at the
+//! workspace root) kills and restarts a replica under sustained load and
+//! asserts zero lost requests and bit-identical responses for both
+//! engines across all four rounding schemes; `docs/serving.md` documents
+//! the topology and failure semantics.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod balance;
+mod config;
+mod health;
+mod metrics;
+pub mod reuse;
+mod router;
+
+pub use config::RouterConfig;
+pub use reuse::bind_reusable;
+pub use router::{BackendSnapshot, Router, RouterSnapshot};

@@ -1,0 +1,153 @@
+//! Binding a listener with `SO_REUSEADDR` — the one socket option the
+//! failover story needs that `std::net` does not expose.
+//!
+//! When a replica restarts on its advertised port, the old process's
+//! graceful shutdown leaves `TIME_WAIT` sockets behind (the server side
+//! closes first), and a plain `TcpListener::bind` on that port fails
+//! with `EADDRINUSE` for up to a minute. Real servers set `SO_REUSEADDR`
+//! before binding; this module does the same through the libc already
+//! linked by `std`, with no new dependency. The resulting listener is
+//! handed to `SocketServer::from_listener` /
+//! [`Router::from_listener`](crate::Router::from_listener).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+
+/// Binds `addr` with `SO_REUSEADDR` set, so a restarted server can take
+/// over a port that still holds `TIME_WAIT` sockets from its previous
+/// life. On non-Linux targets this falls back to a plain bind.
+pub fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+    imp::bind_reusable(addr)
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+    use std::os::fd::FromRawFd;
+
+    // The tiny slice of libc this needs, declared directly: std already
+    // links libc, and the workspace vendors no libc crate. Values are
+    // the Linux ABI constants (x86-64 and aarch64 agree on all of them).
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16, // network byte order
+        sin_addr: u32, // network byte order
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(super) fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            // IPv6 needs a different sockaddr layout; the fleet binds
+            // IPv4 loopback/interfaces, so plain bind is fine there.
+            return TcpListener::bind(addr);
+        };
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let one: i32 = 1;
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &one,
+                std::mem::size_of::<i32>() as u32,
+            ) < 0
+            {
+                let e = io::Error::last_os_error();
+                close(fd);
+                return Err(e);
+            }
+            let sa = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                sin_zero: [0; 8],
+            };
+            if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+                let e = io::Error::last_os_error();
+                close(fd);
+                return Err(e);
+            }
+            if listen(fd, 128) < 0 {
+                let e = io::Error::last_os_error();
+                close(fd);
+                return Err(e);
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use std::io;
+    use std::net::{SocketAddr, TcpListener};
+
+    pub(super) fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+        TcpListener::bind(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{IpAddr, Ipv4Addr, TcpStream};
+
+    #[test]
+    fn reusable_listener_accepts_and_reports_its_addr() {
+        let bind_addr = SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0);
+        let listener = bind_reusable(bind_addr).unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert_eq!(addr.ip(), bind_addr.ip());
+        assert_ne!(addr.port(), 0);
+        let t = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(&buf).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rebinding_a_port_with_lingering_state_works() {
+        // Bind, touch the socket with a connection, drop, rebind the
+        // same port immediately — the SO_REUSEADDR path must not see
+        // EADDRINUSE. (A plain bind usually works here too unless a
+        // TIME_WAIT socket lingers; the full restart scenario is covered
+        // by the failover soak.)
+        let first = bind_reusable(SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0)).unwrap();
+        let addr = first.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = first.accept().unwrap();
+        drop(server_side); // server closes first => TIME_WAIT on the server side
+        drop(client);
+        drop(first);
+        let second = bind_reusable(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+    }
+}

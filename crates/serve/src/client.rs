@@ -18,14 +18,18 @@ use crate::wire::{
 };
 use qcn_tensor::Tensor;
 use std::fmt;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// The connection broke (or could not be written/read).
     Io(io::Error),
+    /// A configured timeout elapsed before the peer connected or answered
+    /// (see [`Client::connect_timeout`] / [`Client::set_io_timeout`]).
+    TimedOut,
     /// The server sent bytes that do not parse as a response, or a
     /// response that cannot belong to this request.
     Protocol(String),
@@ -40,6 +44,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting on the peer"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ClientError::Rejected(e) => write!(f, "request rejected: {e}"),
             ClientError::Failed(e) => write!(f, "request failed: {e}"),
@@ -51,7 +56,13 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        // Both kinds mean "the configured socket timeout elapsed" —
+        // platforms disagree on which one SO_RCVTIMEO surfaces as.
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ClientError::TimedOut
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -78,7 +89,26 @@ pub struct Client {
 impl Client {
     /// Connects to a socket front-end.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects like [`connect`](Self::connect), but gives up after
+    /// `timeout` per resolved address instead of waiting for the OS-level
+    /// connect timeout (minutes, on a silently dropped SYN).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last_err = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -86,6 +116,18 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
         })
+    }
+
+    /// Bounds every subsequent socket read and write: a peer that stays
+    /// silent past `timeout` turns the blocked call into
+    /// [`ClientError::TimedOut`] instead of hanging forever. `None`
+    /// restores unbounded blocking. Note a timed-out [`recv`](Self::recv)
+    /// abandons the connection mid-frame — reconnect rather than retrying
+    /// on the same stream.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
     }
 
     /// Sends one request without waiting for its response; returns the

@@ -131,7 +131,16 @@ impl SocketServer {
     /// Binds `addr` and starts accepting connections for `server`.
     /// Bind to port 0 to let the OS pick (see [`local_addr`](Self::local_addr)).
     pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> io::Result<SocketServer> {
-        let listener = TcpListener::bind(addr)?;
+        SocketServer::from_listener(server, TcpListener::bind(addr)?)
+    }
+
+    /// Starts accepting connections on an already-bound listener.
+    ///
+    /// This is the hook for callers that need bind-time socket options the
+    /// std API does not expose — e.g. `qcn-router`'s restart tests bind
+    /// with `SO_REUSEADDR` so a replica can come back on a port that still
+    /// holds `TIME_WAIT` sockets from its previous life.
+    pub fn from_listener(server: Arc<Server>, listener: TcpListener) -> io::Result<SocketServer> {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(NetShared {
             open: AtomicBool::new(true),
@@ -251,6 +260,9 @@ fn accept_loop(listener: &TcpListener, server: &Arc<Server>, shared: &Arc<NetSha
 }
 
 fn spawn_connection(stream: TcpStream, server: &Arc<Server>) -> io::Result<Connection> {
+    // Response frames are small relative to Nagle's coalescing window and
+    // the client blocks on them; never trade their latency for batching.
+    stream.set_nodelay(true)?;
     let metrics = server.metrics_sink();
     metrics.on_connection_open();
     let guard = Arc::new(ConnGuard {

@@ -118,16 +118,41 @@ fn bad(reason: impl Into<String>) -> DecodeError {
 const KIND_INFER: u8 = 0;
 const KIND_STATS: u8 = 1;
 
-// Response status tags.
-const TAG_OK: u8 = 0;
-const TAG_UNKNOWN_MODEL: u8 = 1;
-const TAG_BAD_INPUT: u8 = 2;
-const TAG_QUEUE_FULL: u8 = 3;
-const TAG_SHUTTING_DOWN: u8 = 4;
-const TAG_DEADLINE_EXCEEDED: u8 = 5;
-const TAG_ENGINE_FAILURE: u8 = 6;
-const TAG_WORKER_LOST: u8 = 7;
-const TAG_STATS: u8 = 8;
+/// Response status tags as they appear on the wire (`payload[8]`).
+///
+/// Intermediaries like `qcn-router` classify responses by tag without
+/// paying for a full decode (an `OK` body carries a whole tensor), so the
+/// values are public protocol surface, frozen like the layout itself.
+pub mod status {
+    /// Successful inference: a tensor body follows.
+    pub const OK: u8 = 0;
+    /// `SubmitError::UnknownModel`.
+    pub const UNKNOWN_MODEL: u8 = 1;
+    /// `SubmitError::BadInput`.
+    pub const BAD_INPUT: u8 = 2;
+    /// `SubmitError::QueueFull`.
+    pub const QUEUE_FULL: u8 = 3;
+    /// `SubmitError::ShuttingDown`.
+    pub const SHUTTING_DOWN: u8 = 4;
+    /// `ServeError::DeadlineExceeded`.
+    pub const DEADLINE_EXCEEDED: u8 = 5;
+    /// `ServeError::EngineFailure`.
+    pub const ENGINE_FAILURE: u8 = 6;
+    /// `ServeError::WorkerLost`.
+    pub const WORKER_LOST: u8 = 7;
+    /// Answer to a stats request: Prometheus text body.
+    pub const STATS: u8 = 8;
+}
+
+const TAG_OK: u8 = status::OK;
+const TAG_UNKNOWN_MODEL: u8 = status::UNKNOWN_MODEL;
+const TAG_BAD_INPUT: u8 = status::BAD_INPUT;
+const TAG_QUEUE_FULL: u8 = status::QUEUE_FULL;
+const TAG_SHUTTING_DOWN: u8 = status::SHUTTING_DOWN;
+const TAG_DEADLINE_EXCEEDED: u8 = status::DEADLINE_EXCEEDED;
+const TAG_ENGINE_FAILURE: u8 = status::ENGINE_FAILURE;
+const TAG_WORKER_LOST: u8 = status::WORKER_LOST;
+const TAG_STATS: u8 = status::STATS;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -396,6 +421,51 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
     Ok(WireResponse { id, result })
 }
 
+/// The correlation id of an encoded request payload (`None` if the
+/// payload is too short to carry one).
+pub fn request_id(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(1..9)
+        .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")))
+}
+
+/// The correlation id of an encoded response payload.
+pub fn response_id(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(0..8)
+        .map(|b| u64::from_be_bytes(b.try_into().expect("8-byte slice")))
+}
+
+/// The [`status`] tag of an encoded response payload (`None` if the
+/// payload is too short to carry one).
+pub fn response_tag(payload: &[u8]) -> Option<u8> {
+    payload.get(8).copied()
+}
+
+/// Replaces the correlation id of an encoded request payload in place.
+///
+/// Intermediaries use this to stamp their own id on a forwarded request
+/// (then restore the client's id on the response) without re-encoding the
+/// tensor body. Errors on payloads too short to carry an id; everything
+/// after the id is untouched.
+pub fn rewrite_request_id(payload: &mut [u8], id: u64) -> Result<(), DecodeError> {
+    let Some(slot) = payload.get_mut(1..9) else {
+        return Err(bad("request payload shorter than kind byte + id"));
+    };
+    slot.copy_from_slice(&id.to_be_bytes());
+    Ok(())
+}
+
+/// Replaces the correlation id of an encoded response payload in place —
+/// the inverse of [`rewrite_request_id`] on the return path.
+pub fn rewrite_response_id(payload: &mut [u8], id: u64) -> Result<(), DecodeError> {
+    if payload.len() < 9 {
+        return Err(bad("response payload shorter than id + status tag"));
+    }
+    payload[0..8].copy_from_slice(&id.to_be_bytes());
+    Ok(())
+}
+
 /// Writes one length-prefixed frame, returning the total wire bytes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
     assert!(payload.len() <= MAX_FRAME_BYTES, "frame exceeds wire limit");
@@ -568,6 +638,100 @@ mod tests {
         let mut p = encode_stats_request(5);
         p.push(0);
         assert!(decode_request_frame(&p).is_err());
+    }
+
+    #[test]
+    fn id_rewrites_touch_only_the_id_bytes() {
+        let req = WireRequest {
+            id: 7,
+            model: "m".into(),
+            input: tensor(0.5),
+        };
+        let original = encode_request(&req);
+        let mut forwarded = original.clone();
+        rewrite_request_id(&mut forwarded, 0xFEED_F00D).unwrap();
+        assert_eq!(request_id(&forwarded), Some(0xFEED_F00D));
+        let decoded = decode_request(&forwarded).unwrap();
+        assert_eq!(decoded.id, 0xFEED_F00D);
+        assert_eq!(decoded.model, req.model);
+        let got: Vec<u32> = decoded.input.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = req.input.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        // Restoring the original id restores the original bytes exactly.
+        rewrite_request_id(&mut forwarded, 7).unwrap();
+        assert_eq!(forwarded, original);
+
+        let resp = encode_response(&WireResponse {
+            id: 0xFEED_F00D,
+            result: Ok(tensor(1.0)),
+        });
+        let mut returned = resp.clone();
+        rewrite_response_id(&mut returned, 7).unwrap();
+        assert_eq!(response_id(&returned), Some(7));
+        assert_eq!(response_tag(&returned), Some(status::OK));
+        assert_eq!(decode_response(&returned).unwrap().id, 7);
+        assert_eq!(returned[8..], resp[8..]);
+
+        // Stats requests carry an id in the same slot.
+        let mut stats = encode_stats_request(3);
+        rewrite_request_id(&mut stats, 9).unwrap();
+        assert_eq!(
+            decode_request_frame(&stats).unwrap(),
+            WireFrame::Stats { id: 9 }
+        );
+
+        // Too-short payloads are typed errors, not panics.
+        assert!(rewrite_request_id(&mut [0u8; 8], 1).is_err());
+        assert!(rewrite_response_id(&mut [0u8; 8], 1).is_err());
+        assert_eq!(request_id(&[0u8; 8]), None);
+        assert_eq!(response_id(&[0u8; 7]), None);
+        assert_eq!(response_tag(&[0u8; 8]), None);
+    }
+
+    #[test]
+    fn status_tags_match_the_encoded_wire_bytes() {
+        let cases: Vec<(Result<Tensor, WireError>, u8)> = vec![
+            (Ok(tensor(2.0)), status::OK),
+            (
+                Err(WireError::Submit(SubmitError::UnknownModel("x".into()))),
+                status::UNKNOWN_MODEL,
+            ),
+            (
+                Err(WireError::Submit(SubmitError::BadInput {
+                    expected: vec![1],
+                    got: vec![2],
+                })),
+                status::BAD_INPUT,
+            ),
+            (
+                Err(WireError::Submit(SubmitError::QueueFull { capacity: 1 })),
+                status::QUEUE_FULL,
+            ),
+            (
+                Err(WireError::Submit(SubmitError::ShuttingDown)),
+                status::SHUTTING_DOWN,
+            ),
+            (
+                Err(WireError::Serve(ServeError::DeadlineExceeded)),
+                status::DEADLINE_EXCEEDED,
+            ),
+            (
+                Err(WireError::Serve(ServeError::EngineFailure("e".into()))),
+                status::ENGINE_FAILURE,
+            ),
+            (
+                Err(WireError::Serve(ServeError::WorkerLost)),
+                status::WORKER_LOST,
+            ),
+        ];
+        for (result, tag) in cases {
+            let payload = encode_response(&WireResponse { id: 1, result });
+            assert_eq!(response_tag(&payload), Some(tag));
+        }
+        assert_eq!(
+            response_tag(&encode_stats_response(1, "x")),
+            Some(status::STATS)
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! `qcn-router-cli`: a replica fleet behind the routing tier, in one
+//! process — the failover demo you can drive by hand.
+//!
+//! Spawns N in-process replicas (each a full `SocketServer` serving both
+//! engines), puts a `qcn_router::Router` in front, and takes commands on
+//! stdin to kill and revive replicas while you watch traffic survive.
+//! Clients connect to the router with `qcn_serve::client::Client` exactly
+//! as they would to a single server (see `docs/serving.md`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qcn_router_cli [ADDR] [REPLICAS] [SCHEME]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7890`, `REPLICAS` to 3, `SCHEME` to
+//! `rtn` (one of `trn`, `rtn`, `rtne`, `sr`). Commands:
+//!
+//! * `status` — per-replica health, traffic and retry counters
+//! * `infer` — one routed inference against each model id, timed
+//! * `kill N` / `revive N` — stop replica N / restart it on the same port
+//! * `prom` — the router's Prometheus text
+//! * `quit` (or EOF) — drain everything and exit
+
+use qcn_repro::capsnet::{ModelQuant, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::router::{bind_reusable, Router, RouterConfig, RouterSnapshot};
+use qcn_repro::serve::{
+    Client, FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, Server, SocketServer,
+};
+use qcn_repro::tensor::Tensor;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn replica(
+    model: &ShallowCaps,
+    scheme: RoundingScheme,
+    listener: std::net::TcpListener,
+) -> SocketServer {
+    let mut config = ModelQuant::uniform(3, 5, scheme);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    let packed = pack_model(model, &config);
+    let int_model = IntModel::load(&model.descriptor(), &packed).expect("packed model loads");
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "shallow/fq",
+            FakeQuantEngine::new(model, config, [1, 16, 16]),
+        )
+        .expect("fresh id");
+    registry
+        .register(
+            "shallow/int",
+            IntEngine::new(int_model, 5, UnitMode::FloatExact, [1, 16, 16]),
+        )
+        .expect("fresh id");
+    let server = Arc::new(Server::start(registry, ServeConfig::default()));
+    SocketServer::from_listener(server, listener).expect("replica starts")
+}
+
+fn print_status(snap: &RouterSnapshot) {
+    println!(
+        "router: uptime {:.1}s | completed {} failed {} rejected {} inflight {} \
+         | p50/p95/p99 {}/{}/{} µs | conns {} accepted / {} active",
+        snap.uptime_secs,
+        snap.completed,
+        snap.failed,
+        snap.rejected,
+        snap.inflight,
+        snap.latency_p50_us,
+        snap.latency_p95_us,
+        snap.latency_p99_us,
+        snap.connections_accepted,
+        snap.connections_active,
+    );
+    for (i, b) in snap.backends.iter().enumerate() {
+        println!(
+            "  replica {i} @ {} | {} | ok {} err {} retries {} ejections {} \
+             | outstanding {} | probes {} ok / {} fail | connects {}",
+            b.addr,
+            if b.available { "available" } else { "EJECTED" },
+            b.ok,
+            b.error,
+            b.retries,
+            b.ejections,
+            b.outstanding,
+            b.health_ok,
+            b.health_fail,
+            b.connects,
+        );
+    }
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7890".to_string());
+    let replicas: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("REPLICAS must be a number"))
+        .unwrap_or(3);
+    let scheme = match std::env::args().nth(3).as_deref() {
+        None | Some("rtn") => RoundingScheme::RoundToNearest,
+        Some("trn") => RoundingScheme::Truncation,
+        Some("rtne") => RoundingScheme::RoundToNearestEven,
+        Some("sr") => RoundingScheme::Stochastic,
+        Some(other) => {
+            eprintln!("unknown scheme {other:?}: use trn | rtn | rtne | sr");
+            std::process::exit(2);
+        }
+    };
+
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    eprintln!("starting {replicas} replicas (scheme {scheme})…");
+    let mut fleet: Vec<Option<SocketServer>> = Vec::new();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    for _ in 0..replicas {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        addrs.push(listener.local_addr().unwrap());
+        fleet.push(Some(replica(&model, scheme, listener)));
+    }
+    for (i, a) in addrs.iter().enumerate() {
+        eprintln!("  replica {i} on {a}");
+    }
+
+    let router = Router::bind(RouterConfig::new(addrs.iter().copied()), addr.as_str())
+        .unwrap_or_else(|e| panic!("cannot bind router on {addr}: {e}"));
+    eprintln!(
+        "router on {} — status | infer | kill N | revive N | prom | quit",
+        router.local_addr()
+    );
+
+    let sample = Tensor::from_fn([1, 16, 16], |idx| {
+        (((idx[1] * 16 + idx[2]) * 37).rem_euclid(32)) as f32 / 32.0
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match &line {
+            Ok(l) => l.trim(),
+            Err(_) => break,
+        };
+        let mut words = line.split_whitespace();
+        match (words.next(), words.next()) {
+            (Some("status"), _) => print_status(&router.snapshot()),
+            (Some("prom"), _) => print!("{}", router.prometheus()),
+            (Some("infer"), _) => match Client::connect(router.local_addr()) {
+                Ok(mut client) => {
+                    for id in ["shallow/fq", "shallow/int"] {
+                        let t = Instant::now();
+                        match client.infer(id, &sample) {
+                            Ok(out) => println!(
+                                "{id}: {:?} in {} µs",
+                                out.shape().dims(),
+                                t.elapsed().as_micros()
+                            ),
+                            Err(e) => println!("{id}: FAILED: {e}"),
+                        }
+                    }
+                }
+                Err(e) => println!("cannot connect to the router: {e}"),
+            },
+            (Some(cmd @ ("kill" | "revive")), Some(n)) => {
+                let Ok(i) = n.parse::<usize>() else {
+                    println!("usage: {cmd} N");
+                    continue;
+                };
+                if i >= fleet.len() {
+                    println!("no replica {i} (fleet of {})", fleet.len());
+                    continue;
+                }
+                match (cmd, fleet[i].take()) {
+                    ("kill", Some(net)) => {
+                        net.shutdown();
+                        println!("replica {i} stopped — watch `status` eject it");
+                    }
+                    ("kill", None) => println!("replica {i} is already down"),
+                    ("revive", None) => match bind_reusable(addrs[i]) {
+                        Ok(listener) => {
+                            fleet[i] = Some(replica(&model, scheme, listener));
+                            println!(
+                                "replica {i} back on {} — the next health probe readmits it",
+                                addrs[i]
+                            );
+                        }
+                        Err(e) => println!("cannot rebind {}: {e}", addrs[i]),
+                    },
+                    ("revive", Some(net)) => {
+                        println!("replica {i} is already up");
+                        fleet[i] = Some(net);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            (Some("quit") | Some("exit"), _) => break,
+            (None, _) => {}
+            (Some(other), _) => {
+                println!(
+                    "unknown command {other:?}: status | infer | kill N | revive N | prom | quit"
+                );
+            }
+        }
+    }
+    eprintln!("draining and shutting down…");
+    let last = router.shutdown();
+    print_status(&last);
+    for net in fleet.into_iter().flatten() {
+        net.shutdown();
+    }
+}

@@ -9,11 +9,18 @@ cargo test -q
 cargo test -q --test integer_inference_equivalence
 # Serving soak: the determinism contract must hold for every kernel
 # thread count (serial, even split, odd split) — both for in-process
-# submits and over the socket front-end.
+# submits and over the socket front-end. `--router-smoke` additionally
+# runs the replica-fleet failover soak (kill + same-port restart under
+# load) at each thread count.
 for t in 1 2 7; do
   QCN_NUM_THREADS=$t cargo test -q --test serving_determinism
   QCN_NUM_THREADS=$t cargo test -q --test serving_net_equivalence
+  if [[ "${1:-}" == "--router-smoke" ]]; then
+    QCN_NUM_THREADS=$t cargo test -q --test router_failover
+  fi
 done
+# Wire robustness: untrusted-byte decoders must fail typed, never panic.
+cargo test -q --test wire_robustness
 # Telemetry smoke: the metrics endpoint and Stats wire frame must expose
 # the expected series under load, and the bit-identity suites must hold
 # with telemetry hard-disabled too.

@@ -28,6 +28,7 @@ pub use qcn_datasets as datasets;
 pub use qcn_fixed as fixed;
 pub use qcn_hwmodel as hwmodel;
 pub use qcn_intinfer as intinfer;
+pub use qcn_router as router;
 pub use qcn_serve as serve;
 pub use qcn_telemetry as telemetry;
 pub use qcn_tensor as tensor;

@@ -1,0 +1,231 @@
+//! End-to-end failover acceptance: three replicas behind a `qcn-router`,
+//! both engines (fake-quant f32 and true integer fixed-point) × every
+//! rounding scheme (TRN / RTN / RTNE / SR), sustained client load while
+//! one replica is killed and later restarted **on the same port**
+//! (`bind_reusable` + `SocketServer::from_listener`).
+//!
+//! The contract under test: no accepted request is ever lost or answered
+//! with an error, and every response is bit-identical to the cold
+//! single-server oracle — the determinism property that makes retries and
+//! mid-flight failover safe in the first place. After the restart, the
+//! health checker must readmit the replica and the balancer must route
+//! real traffic to it again.
+
+use qcn_repro::capsnet::{CapsNet, ModelQuant, QuantCtx, ShallowCaps, ShallowCapsConfig};
+use qcn_repro::fixed::RoundingScheme;
+use qcn_repro::framework::export::pack_model;
+use qcn_repro::intinfer::{IntModel, UnitMode};
+use qcn_repro::router::{bind_reusable, Router, RouterConfig};
+use qcn_repro::serve::{
+    Client, FakeQuantEngine, IntEngine, ModelRegistry, ServeConfig, Server, SocketServer,
+};
+use qcn_repro::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const IN_FRAC: u8 = 5;
+const SAMPLES: usize = 3;
+
+fn shallow_config(scheme: RoundingScheme) -> ModelQuant {
+    let mut config = ModelQuant::uniform(3, 5, scheme);
+    for lq in &mut config.layers {
+        lq.dr_frac = Some(4);
+    }
+    config.seed = 0xBEEF;
+    config
+}
+
+/// Deterministic on-grid sample `[1, 16, 16]` at Q1.5.
+fn sample(seed: i64) -> Tensor {
+    Tensor::from_fn([1, 16, 16], |idx| {
+        let i = (idx[1] * 16 + idx[2]) as i64;
+        ((i * 37 + seed * 11).rem_euclid(32)) as f32 / 32.0
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A replica serving both engines under every rounding scheme, on a
+/// caller-provided listener (so a restart can reclaim the same port).
+fn replica(model: &ShallowCaps, listener: std::net::TcpListener) -> SocketServer {
+    let mut registry = ModelRegistry::new();
+    for scheme in RoundingScheme::EXTENDED {
+        let config = shallow_config(scheme);
+        let packed = pack_model(model, &config);
+        let int_model = IntModel::load(&model.descriptor(), &packed).unwrap();
+        registry
+            .register(
+                format!("fq-{scheme}"),
+                FakeQuantEngine::new(model, config, [1, 16, 16]),
+            )
+            .unwrap();
+        registry
+            .register(
+                format!("int-{scheme}"),
+                IntEngine::new(int_model, IN_FRAC, UnitMode::FloatExact, [1, 16, 16]),
+            )
+            .unwrap();
+    }
+    let server = Arc::new(Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 4,
+            queue_capacity: 64,
+            batch_window: Duration::from_millis(1),
+            request_timeout: None,
+            workers: 2,
+        },
+    ));
+    SocketServer::from_listener(server, listener).unwrap()
+}
+
+fn ephemeral_listener() -> std::net::TcpListener {
+    std::net::TcpListener::bind("127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn killing_and_restarting_a_replica_under_load_loses_nothing() {
+    let model = ShallowCaps::new(ShallowCapsConfig::small(1), 5);
+    let samples: Vec<Tensor> = (0..SAMPLES).map(|i| sample(i as i64)).collect();
+
+    // Cold single-server oracles: what every routed response must match
+    // bit for bit, no matter which replica answered or how many retries
+    // the request survived.
+    let mut oracle: BTreeMap<(String, usize), Vec<u32>> = BTreeMap::new();
+    for scheme in RoundingScheme::EXTENDED {
+        let config = shallow_config(scheme);
+        let packed = pack_model(&model, &config);
+        let int_model = IntModel::load(&model.descriptor(), &packed).unwrap();
+        let qmodel = model.with_quantized_weights(&config);
+        for (i, x) in samples.iter().enumerate() {
+            let single = Tensor::from_vec(x.data().to_vec(), [1, 1, 16, 16]).unwrap();
+            let mut ctx = QuantCtx::from_config(&config);
+            oracle.insert(
+                (format!("fq-{scheme}"), i),
+                bits(&qmodel.infer(&single, &config, &mut ctx)),
+            );
+            oracle.insert(
+                (format!("int-{scheme}"), i),
+                bits(&int_model.infer(&single, IN_FRAC, UnitMode::FloatExact)),
+            );
+        }
+    }
+    let ids: Vec<String> = RoundingScheme::EXTENDED
+        .into_iter()
+        .flat_map(|s| [format!("fq-{s}"), format!("int-{s}")])
+        .collect();
+
+    let victim_listener = ephemeral_listener();
+    let victim_addr = victim_listener.local_addr().unwrap();
+    let victim = replica(&model, victim_listener);
+    let others: Vec<SocketServer> = (0..2)
+        .map(|_| replica(&model, ephemeral_listener()))
+        .collect();
+
+    let mut cfg = RouterConfig::new(
+        std::iter::once(victim_addr).chain(others.iter().map(|r| r.local_addr())),
+    );
+    cfg.connect_timeout = Duration::from_millis(250);
+    cfg.retry_backoff = Duration::from_millis(2);
+    cfg.max_backoff = Duration::from_millis(20);
+    cfg.health_interval = Duration::from_millis(100);
+    cfg.eject_after = 1;
+    cfg.eject_cooldown = Duration::from_millis(200);
+    cfg.io_timeout = Duration::from_secs(5);
+    let router = Router::bind(cfg, "127.0.0.1:0").unwrap();
+    let router_addr = router.local_addr();
+
+    // Sustained load: cycle through every (model, sample) pair, assert
+    // bit-exactness on every single response. Any lost or failed request
+    // panics the thread and fails the test at join.
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = {
+        let stop = Arc::clone(&stop);
+        let ids = ids.clone();
+        let samples = samples.clone();
+        let oracle = oracle.clone();
+        thread::spawn(move || -> u64 {
+            let mut client = Client::connect(router_addr).unwrap();
+            let mut done: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let id = &ids[(done as usize) % ids.len()];
+                let i = (done as usize / ids.len()) % samples.len();
+                let out = client
+                    .infer(id, &samples[i])
+                    .unwrap_or_else(|e| panic!("request {done} ({id}, sample {i}) lost: {e}"));
+                assert_eq!(
+                    bits(&out),
+                    oracle[&(id.clone(), i)],
+                    "request {done} ({id}, sample {i}) is not bit-identical"
+                );
+                done += 1;
+            }
+            done
+        })
+    };
+
+    let wait_until = |deadline: Duration, what: &str, cond: &dyn Fn() -> bool| {
+        let start = Instant::now();
+        while !cond() {
+            assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    // Phase 1: all three replicas serving.
+    thread::sleep(Duration::from_millis(300));
+
+    // Phase 2: kill the victim mid-load. In-flight requests it already
+    // accepted drain; anything beyond that fails over to the survivors.
+    victim.shutdown();
+    wait_until(Duration::from_secs(10), "victim ejection", &|| {
+        !router.snapshot().backends[0].available
+    });
+    thread::sleep(Duration::from_millis(300));
+
+    // Phase 3: restart on the very same port — TIME_WAIT sockets from the
+    // first life make a plain bind fail, hence SO_REUSEADDR.
+    let revived = replica(&model, bind_reusable(victim_addr).unwrap());
+    wait_until(Duration::from_secs(10), "victim readmission", &|| {
+        router.snapshot().backends[0].available
+    });
+    let served_before = router.snapshot().backends[0].ok;
+    wait_until(
+        Duration::from_secs(10),
+        "traffic on the restarted replica",
+        &|| router.snapshot().backends[0].ok > served_before,
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let total = load.join().expect("a request was lost or answered wrong");
+    let snap = router.shutdown();
+
+    assert!(
+        total >= ids.len() as u64,
+        "load loop barely ran ({total} requests)"
+    );
+    assert_eq!(snap.failed, 0, "no accepted request may fail: {snap:?}");
+    assert_eq!(snap.completed, total);
+    assert_eq!(snap.rejected, 0);
+    assert!(
+        snap.backends[0].ejections >= 1,
+        "the killed replica was never ejected"
+    );
+    assert!(
+        snap.backends[0].ok > served_before,
+        "the restarted replica saw no traffic"
+    );
+    for b in &snap.backends {
+        assert!(b.ok > 0, "replica {} never served", b.addr);
+    }
+
+    revived.shutdown();
+    for r in others {
+        r.shutdown();
+    }
+}
