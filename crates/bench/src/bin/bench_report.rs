@@ -720,6 +720,7 @@ fn main() {
                     // all cores internally, so a second concurrent batch
                     // would only thrash the same cores.
                     workers: 1,
+                    shed_watermark: None,
                 },
             );
             // Best of nine saturated passes (first doubles as warm-up):
@@ -854,6 +855,7 @@ fn main() {
                     batch_window: Duration::from_millis(2),
                     request_timeout: None,
                     workers: 1,
+                    shed_watermark: None,
                 },
             ));
             let net = SocketServer::bind(std::sync::Arc::clone(&server), "127.0.0.1:0")
@@ -971,6 +973,7 @@ fn main() {
                             batch_window: Duration::from_millis(2),
                             request_timeout: None,
                             workers: 1,
+                            shed_watermark: None,
                         },
                     ));
                     SocketServer::bind(server, "127.0.0.1:0").expect("bind bench replica")

@@ -1,0 +1,623 @@
+//! # qcn-chaos — deterministic fault injection for the serving stack
+//!
+//! A dependency-free fault-injection layer with *named injection points*
+//! threaded through the seams of the stack: socket reads and writes in
+//! `qcn_serve::net` and `qcn_serve::client`, the router's upstream
+//! channels, the serve queue and worker pool, model loading in
+//! `qcn-intinfer`, and the router's health probes. Each site calls one of
+//! the tiny helpers in this crate ([`hit`], [`should_panic`],
+//! [`flip_bit_at`]); with chaos disabled every helper is a single relaxed
+//! atomic load — the same compiled-out fast path as `QCN_TELEMETRY`.
+//!
+//! ## Determinism
+//!
+//! Faults are described by a [`FaultPlan`]: a seed plus, per site, a list
+//! of [`FaultSpec`]s (kind, probability, parameter). Whether the *n*-th
+//! call at a site fires is a pure function of `(seed, site, spec index,
+//! n)` — a splitmix64 hash, no global RNG, no clock. Two runs with the
+//! same plan see the identical fault schedule per site; the only
+//! nondeterminism left is which thread's request lands on which call
+//! index, which is exactly the nondeterminism the stack must already
+//! tolerate. [`FaultPlan::preview`] exposes the schedule as data so tests
+//! can assert reproducibility directly.
+//!
+//! ## Activation
+//!
+//! * Programmatic: [`install`] a [`FaultPlan`] (tests, soaks), [`clear`]
+//!   to disarm.
+//! * Environment: `QCN_CHAOS="seed=42;serve.worker.panic:0.01;\
+//!   serve.net.write.reset:0.05;serve.dispatch.delay:0.2:500us"` — a
+//!   `;`-separated list of `seed=N` and `<site>.<kind>:<prob>[:<param>]`
+//!   clauses, parsed on first use. Unset (or `0`/`off`) means disabled.
+//!
+//! The clause grammar per fault kind:
+//!
+//! | kind       | param                  | effect at the site                    |
+//! |------------|------------------------|---------------------------------------|
+//! | `delay`    | duration (`2ms`, `500us`, `1s`) | sleep before proceeding      |
+//! | `reset`    | —                      | kill the connection / fail the probe  |
+//! | `truncate` | byte count             | write only the first N frame bytes    |
+//! | `panic`    | —                      | panic the worker thread               |
+//! | `flipbit`  | —                      | corrupt one bit of the model blob     |
+//!
+//! Every injected fault increments a
+//! `qcn_chaos_faults_injected_total{site,kind}` counter in the global
+//! telemetry registry, so a chaos run's storm is observable through the
+//! same Prometheus surface as the symptoms it causes.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use qcn_telemetry::Counter;
+
+/// One concrete fault, as handed to an injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Sleep for the given duration before proceeding.
+    Delay(Duration),
+    /// Tear the connection down (or fail the probe) as if the peer reset.
+    Reset,
+    /// Write only the first `n` bytes of the frame, then close.
+    Truncate(usize),
+    /// Panic the current thread at the site.
+    Panic,
+    /// Flip one bit of the payload; the `u64` seeds which bit.
+    FlipBit(u64),
+}
+
+/// The kind half of a [`FaultSpec`] (the parameter lives alongside it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Delay,
+    Reset,
+    Truncate,
+    Panic,
+    FlipBit,
+}
+
+impl FaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Delay => "delay",
+            FaultKind::Reset => "reset",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Panic => "panic",
+            FaultKind::FlipBit => "flipbit",
+        }
+    }
+}
+
+/// One fault kind with a firing probability and an optional parameter,
+/// attached to a site by [`FaultPlan::with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    kind: FaultKind,
+    probability: f64,
+    /// Delay: microseconds. Truncate: byte count. Others: unused.
+    param: u64,
+}
+
+impl FaultSpec {
+    /// A delay fault: sleep `pause` with the given probability.
+    pub fn delay(probability: f64, pause: Duration) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::Delay,
+            probability,
+            param: pause.as_micros().min(u128::from(u64::MAX)) as u64,
+        }
+    }
+
+    /// A connection-reset (or probe-failure) fault.
+    pub fn reset(probability: f64) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::Reset,
+            probability,
+            param: 0,
+        }
+    }
+
+    /// A partial-write fault: emit only the first `bytes` bytes.
+    pub fn truncate(probability: f64, bytes: usize) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::Truncate,
+            probability,
+            param: bytes as u64,
+        }
+    }
+
+    /// A worker-panic fault.
+    pub fn panic_fault(probability: f64) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::Panic,
+            probability,
+            param: 0,
+        }
+    }
+
+    /// A bit-corruption fault (model blobs).
+    pub fn flip_bit(probability: f64) -> FaultSpec {
+        FaultSpec {
+            kind: FaultKind::FlipBit,
+            probability,
+            param: 0,
+        }
+    }
+
+    fn materialize(&self, draw: u64) -> Fault {
+        match self.kind {
+            FaultKind::Delay => Fault::Delay(Duration::from_micros(self.param)),
+            FaultKind::Reset => Fault::Reset,
+            FaultKind::Truncate => Fault::Truncate(self.param as usize),
+            FaultKind::Panic => Fault::Panic,
+            FaultKind::FlipBit => Fault::FlipBit(splitmix64(draw)),
+        }
+    }
+}
+
+/// A seeded fault schedule: which faults can fire at which sites, and
+/// with what probability. Build programmatically with
+/// [`FaultPlan::new`] plus [`FaultPlan::with`], or parse the
+/// `QCN_CHAOS` grammar with [`FaultPlan::parse`]; arm it with
+/// [`install`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<(String, Vec<FaultSpec>)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Attach `spec` to `site` (appending if the site already has specs).
+    pub fn with(mut self, site: &str, spec: FaultSpec) -> FaultPlan {
+        if let Some((_, specs)) = self.sites.iter_mut().find(|(s, _)| s == site) {
+            specs.push(spec);
+        } else {
+            self.sites.push((site.to_string(), vec![spec]));
+        }
+        self
+    }
+
+    /// Parse the `QCN_CHAOS` grammar: `;`-separated clauses, each either
+    /// `seed=N` or `<site>.<kind>:<prob>[:<param>]` where `<kind>` is the
+    /// last dot-segment (`delay`, `reset`, `truncate`, `panic`,
+    /// `flipbit`). Empty clauses are ignored.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in text.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = parse_seed(seed)?;
+                continue;
+            }
+            let mut parts = clause.split(':');
+            let target = parts.next().unwrap_or("");
+            let (site, kind) = target
+                .rsplit_once('.')
+                .ok_or_else(|| format!("clause {clause:?}: expected <site>.<kind>:<prob>"))?;
+            if site.is_empty() {
+                return Err(format!("clause {clause:?}: empty site name"));
+            }
+            let prob_text = parts
+                .next()
+                .ok_or_else(|| format!("clause {clause:?}: missing probability"))?;
+            let probability: f64 = prob_text
+                .parse()
+                .map_err(|_| format!("clause {clause:?}: bad probability {prob_text:?}"))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(format!(
+                    "clause {clause:?}: probability {probability} outside [0, 1]"
+                ));
+            }
+            let param = parts.next();
+            if parts.next().is_some() {
+                return Err(format!("clause {clause:?}: too many fields"));
+            }
+            let spec = match kind {
+                "delay" => {
+                    let pause = match param {
+                        Some(p) => parse_duration(p)
+                            .ok_or_else(|| format!("clause {clause:?}: bad duration {p:?}"))?,
+                        None => Duration::from_millis(1),
+                    };
+                    FaultSpec::delay(probability, pause)
+                }
+                "reset" => FaultSpec::reset(probability),
+                "truncate" => {
+                    let bytes = match param {
+                        Some(p) => p
+                            .parse()
+                            .map_err(|_| format!("clause {clause:?}: bad byte count {p:?}"))?,
+                        None => 8,
+                    };
+                    FaultSpec::truncate(probability, bytes)
+                }
+                "panic" => FaultSpec::panic_fault(probability),
+                "flipbit" => FaultSpec::flip_bit(probability),
+                other => {
+                    return Err(format!(
+                        "clause {clause:?}: unknown fault kind {other:?} \
+                         (delay | reset | truncate | panic | flipbit)"
+                    ))
+                }
+            };
+            if spec.kind != FaultKind::Delay && spec.kind != FaultKind::Truncate && param.is_some()
+            {
+                return Err(format!("clause {clause:?}: {kind} takes no parameter"));
+            }
+            plan = plan.with(site, spec);
+        }
+        Ok(plan)
+    }
+
+    /// The fault schedule for `site` as pure data: for each of the first
+    /// `calls` call indices, the fault that would fire (first firing spec
+    /// in attachment order), or `None`. Does not touch global state — two
+    /// plans with equal seeds and specs always preview identically, which
+    /// is the reproducibility contract chaos runs rely on.
+    pub fn preview(&self, site: &str, calls: u64) -> Vec<Option<Fault>> {
+        let specs = self
+            .sites
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, specs)| specs.as_slice())
+            .unwrap_or(&[]);
+        let site_hash = fnv1a(site);
+        (0..calls)
+            .map(|n| {
+                first_firing(self.seed, site_hash, specs, n)
+                    .map(|(spec, draw)| spec.materialize(draw))
+            })
+            .collect()
+    }
+}
+
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|_| format!("bad seed {text:?}"))
+}
+
+fn parse_duration(text: &str) -> Option<Duration> {
+    let (digits, scale) = if let Some(d) = text.strip_suffix("us") {
+        (d, 1u64)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (text, 1_000) // bare number: milliseconds
+    };
+    let n: u64 = digits.parse().ok()?;
+    Some(Duration::from_micros(n.checked_mul(scale)?))
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic decision function
+// ---------------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The raw draw for `(seed, site, spec j, call n)`; firing compares the
+/// top 53 bits against the probability.
+fn draw(seed: u64, site_hash: u64, spec_idx: usize, call: u64) -> u64 {
+    let lane = site_hash
+        .rotate_left(17)
+        .wrapping_add((spec_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    splitmix64(splitmix64(seed ^ lane) ^ call)
+}
+
+fn fires(spec: &FaultSpec, x: u64) -> bool {
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    unit < spec.probability
+}
+
+fn first_firing(
+    seed: u64,
+    site_hash: u64,
+    specs: &[FaultSpec],
+    call: u64,
+) -> Option<(&FaultSpec, u64)> {
+    specs.iter().enumerate().find_map(|(j, spec)| {
+        let x = draw(seed, site_hash, j, call);
+        fires(spec, x).then_some((spec, x))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+const UNRESOLVED: u8 = 0;
+const DISABLED: u8 = 1;
+const ENABLED: u8 = 2;
+
+static GATE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+static PLAN: RwLock<Option<Arc<ActivePlan>>> = RwLock::new(None);
+
+struct SpecState {
+    spec: FaultSpec,
+    fired: Counter,
+}
+
+struct SiteState {
+    hash: u64,
+    calls: AtomicU64,
+    specs: Vec<SpecState>,
+}
+
+struct ActivePlan {
+    seed: u64,
+    sites: HashMap<String, SiteState>,
+}
+
+impl ActivePlan {
+    fn build(plan: &FaultPlan) -> ActivePlan {
+        let registry = qcn_telemetry::global();
+        let sites = plan
+            .sites
+            .iter()
+            .map(|(site, specs)| {
+                let states = specs
+                    .iter()
+                    .map(|spec| SpecState {
+                        spec: *spec,
+                        fired: registry.counter(
+                            "qcn_chaos_faults_injected_total",
+                            &[("site", site), ("kind", spec.kind.name())],
+                            "faults injected by qcn-chaos, per site and kind",
+                        ),
+                    })
+                    .collect();
+                (
+                    site.clone(),
+                    SiteState {
+                        hash: fnv1a(site),
+                        calls: AtomicU64::new(0),
+                        specs: states,
+                    },
+                )
+            })
+            .collect();
+        ActivePlan {
+            seed: plan.seed,
+            sites,
+        }
+    }
+}
+
+/// Whether fault injection is armed. One relaxed load on the fast path;
+/// the first call resolves the `QCN_CHAOS` environment variable.
+#[inline]
+pub fn enabled() -> bool {
+    match GATE.load(Ordering::Relaxed) {
+        ENABLED => true,
+        DISABLED => false,
+        _ => resolve_from_env(),
+    }
+}
+
+#[cold]
+fn resolve_from_env() -> bool {
+    match std::env::var("QCN_CHAOS") {
+        Ok(value) if !matches!(value.trim(), "" | "0" | "off" | "false") => {
+            match FaultPlan::parse(&value) {
+                Ok(plan) => {
+                    install(plan);
+                    true
+                }
+                Err(why) => {
+                    eprintln!("qcn-chaos: ignoring malformed QCN_CHAOS: {why}");
+                    GATE.store(DISABLED, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+        _ => {
+            GATE.store(DISABLED, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Arm the given plan process-wide, replacing any previous plan. Call
+/// indices restart at zero.
+pub fn install(plan: FaultPlan) {
+    let active = Arc::new(ActivePlan::build(&plan));
+    *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(active);
+    GATE.store(ENABLED, Ordering::Relaxed);
+}
+
+/// Disarm fault injection (and do not re-read the environment).
+pub fn clear() {
+    GATE.store(DISABLED, Ordering::Relaxed);
+    *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Evaluate one call at `site`, returning every firing fault in spec
+/// order. The common result — even under an armed plan — is the empty
+/// vector.
+fn faults_at(site: &str) -> Vec<Fault> {
+    if !enabled() {
+        return Vec::new();
+    }
+    let guard = PLAN.read().unwrap_or_else(|e| e.into_inner());
+    let Some(plan) = guard.as_ref() else {
+        return Vec::new();
+    };
+    let Some(state) = plan.sites.get(site) else {
+        return Vec::new();
+    };
+    let call = state.calls.fetch_add(1, Ordering::Relaxed);
+    let mut fired = Vec::new();
+    for (j, spec_state) in state.specs.iter().enumerate() {
+        let x = draw(plan.seed, state.hash, j, call);
+        if fires(&spec_state.spec, x) {
+            spec_state.fired.inc();
+            fired.push(spec_state.spec.materialize(x));
+        }
+    }
+    fired
+}
+
+/// The workhorse helper for wire and queue sites: consumes one call at
+/// `site`, sleeps through any firing [`Fault::Delay`]s inline, and
+/// returns the first firing non-delay fault (if any) for the caller to
+/// act on. Disabled cost: one relaxed load.
+pub fn hit(site: &str) -> Option<Fault> {
+    let mut result = None;
+    for fault in faults_at(site) {
+        match fault {
+            Fault::Delay(pause) => std::thread::sleep(pause),
+            other => {
+                if result.is_none() {
+                    result = Some(other);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Whether a [`Fault::Panic`] fires for this call at `site`. The caller
+/// owns the actual `panic!` so the panic message names the site.
+pub fn should_panic(site: &str) -> bool {
+    faults_at(site).iter().any(|f| matches!(f, Fault::Panic))
+}
+
+/// If a [`Fault::FlipBit`] fires for this call at `site`, the 64-bit
+/// value that seeds which bit to corrupt.
+pub fn flip_bit_at(site: &str) -> Option<u64> {
+    faults_at(site).iter().find_map(|f| match f {
+        Fault::FlipBit(x) => Some(*x),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let build = |seed| {
+            FaultPlan::new(seed)
+                .with("a.write", FaultSpec::reset(0.3))
+                .with("a.write", FaultSpec::truncate(0.2, 16))
+                .with("b.read", FaultSpec::delay(0.5, Duration::from_micros(10)))
+        };
+        let p1 = build(42).preview("a.write", 256);
+        let p2 = build(42).preview("a.write", 256);
+        assert_eq!(p1, p2, "same seed must produce an identical schedule");
+        let p3 = build(43).preview("a.write", 256);
+        assert_ne!(p1, p3, "different seeds must diverge");
+        assert!(
+            p1.iter().any(|f| f.is_some()) && p1.iter().any(|f| f.is_none()),
+            "a 30%/20% site over 256 calls should both fire and not fire"
+        );
+    }
+
+    #[test]
+    fn sites_are_independent_lanes() {
+        let plan = FaultPlan::new(7)
+            .with("x", FaultSpec::reset(0.5))
+            .with("y", FaultSpec::reset(0.5));
+        assert_ne!(
+            plan.preview("x", 128),
+            plan.preview("y", 128),
+            "distinct sites must not share a decision stream"
+        );
+        assert!(plan.preview("unknown", 8).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let plan = FaultPlan::new(1)
+            .with("never", FaultSpec::panic_fault(0.0))
+            .with("always", FaultSpec::reset(1.0));
+        assert!(plan.preview("never", 512).iter().all(Option::is_none));
+        assert!(plan
+            .preview("always", 512)
+            .iter()
+            .all(|f| *f == Some(Fault::Reset)));
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=0x2A; serve.net.write.reset:0.05; serve.net.write.truncate:0.02:9;\
+             serve.dispatch.delay:0.2:500us; serve.worker.panic:0.01; intinfer.load.flipbit:1.0",
+        )
+        .expect("grammar parses");
+        assert_eq!(plan.seed(), 42);
+        let expected = FaultPlan::new(42)
+            .with("serve.net.write", FaultSpec::reset(0.05))
+            .with("serve.net.write", FaultSpec::truncate(0.02, 9))
+            .with(
+                "serve.dispatch",
+                FaultSpec::delay(0.2, Duration::from_micros(500)),
+            )
+            .with("serve.worker", FaultSpec::panic_fault(0.01))
+            .with("intinfer.load", FaultSpec::flip_bit(1.0));
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "serve.worker.panic",         // missing probability
+            "serve.worker.panic:2.0",     // probability out of range
+            "serve.worker.panic:0.1:7",   // panic takes no parameter
+            "serve.worker.explode:0.1",   // unknown kind
+            "noshape:0.1",                // no site.kind split
+            "serve.dispatch.delay:0.1:x", // bad duration
+            "seed=zzz",                   // bad seed
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("250us"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_duration("2ms"), Some(Duration::from_millis(2)));
+        assert_eq!(parse_duration("1s"), Some(Duration::from_secs(1)));
+        assert_eq!(parse_duration("3"), Some(Duration::from_millis(3)));
+        assert_eq!(parse_duration("fast"), None);
+    }
+
+    // Global install/clear behavior is exercised in the dedicated
+    // `chaos_overhead` and `chaos_soak` integration binaries; unit tests
+    // here stay off the process-wide gate so `cargo test -p qcn-chaos`
+    // can run its cases concurrently.
+}

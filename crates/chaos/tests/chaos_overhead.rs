@@ -1,0 +1,67 @@
+//! Guard: with no chaos plan installed, every injection point must cost
+//! (nearly) nothing — one relaxed atomic load per site, same contract as
+//! the telemetry timing gate. Runs in its own test binary so flipping
+//! the process-wide plan cannot race other tests.
+
+use qcn_chaos::{FaultPlan, FaultSpec};
+use std::time::{Duration, Instant};
+
+/// A tight loop over the disabled-path gate: `hit` on a site that no
+/// plan names (and, for most of the run, with no plan installed at all).
+fn hit_loop(iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(qcn_chaos::hit(std::hint::black_box("overhead.probe")));
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn median_of<const N: usize>(mut f: impl FnMut() -> f64) -> f64 {
+    let mut times: Vec<f64> = (0..N).map(|_| f()).collect();
+    times.sort_by(f64::total_cmp);
+    times[N / 2]
+}
+
+/// The disabled path must not be measurably slower than an *installed*
+/// plan that misses the probed site (which does strictly more work:
+/// schedule lookup, counter bump, hash). Factor-of-two margin plus an
+/// absolute grace keeps the comparison robust on loaded CI hosts.
+#[test]
+fn uninstalled_chaos_adds_no_measurable_overhead() {
+    const ITERS: usize = 2_000_000;
+    hit_loop(ITERS / 4); // warm up
+
+    // Enabled baseline: a real plan is installed, with a fault on some
+    // *other* site so the probed site walks the full miss path.
+    qcn_chaos::install(
+        FaultPlan::new(7).with("elsewhere.entirely", FaultSpec::delay(1.0, Duration::ZERO)),
+    );
+    assert!(qcn_chaos::enabled());
+    let enabled = median_of::<5>(|| hit_loop(ITERS));
+
+    qcn_chaos::clear();
+    assert!(!qcn_chaos::enabled());
+    let disabled = median_of::<5>(|| hit_loop(ITERS));
+
+    assert!(
+        disabled <= enabled * 2.0 + 0.05,
+        "disabled-chaos hit loop took {disabled:.4}s vs {enabled:.4}s with a plan installed"
+    );
+}
+
+/// The gate itself is a single relaxed load — calling it millions of
+/// times must stay far under any per-request noise floor.
+#[test]
+fn chaos_gate_is_cheap() {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..10_000_000 {
+        acc += u64::from(std::hint::black_box(qcn_chaos::enabled()));
+    }
+    std::hint::black_box(acc);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "10M gate checks took {elapsed:?}"
+    );
+}

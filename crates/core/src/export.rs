@@ -21,6 +21,10 @@ pub struct PackedGroup {
     pub count: usize,
     /// Bit-packed two's-complement words, LSB-first within each byte.
     pub data: Vec<u8>,
+    /// IEEE CRC-32 of `data`, computed at pack time. Loaders verify it so
+    /// a blob corrupted in storage or transit fails typed instead of
+    /// silently decoding to wrong weights.
+    pub crc32: u32,
 }
 
 /// A fully packed model: per-group blobs plus the recipe to decode them.
@@ -37,6 +41,22 @@ impl PackedModel {
     pub fn total_bytes(&self) -> usize {
         self.groups.iter().map(|g| g.data.len()).sum()
     }
+}
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the same checksum
+/// as zlib/PNG, implemented bitwise so the export path stays
+/// dependency-free. Integrity only, not authentication: it catches every
+/// single-bit flip and all burst errors up to 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// Appends `bits` low-order bits of `value` to a LSB-first bit stream.
@@ -107,11 +127,13 @@ pub fn pack_model<M: CapsNet>(model: &M, config: &ModelQuant) -> PackedModel {
                 }
             }
         }
+        let checksum = crc32(&stream);
         packed_groups.push(PackedGroup {
             name: group.name.clone(),
             wordlength,
             count: group.weight_count,
             data: stream,
+            crc32: checksum,
         });
     }
     PackedModel {
@@ -262,6 +284,28 @@ mod tests {
         assert_eq!(read_bits(&stream, &mut cursor, 4), -3);
         assert_eq!(read_bits(&stream, &mut cursor, 4), 5);
         assert_eq!(stream.len(), 1, "two 4-bit words fit one byte");
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn packed_groups_carry_a_valid_checksum_and_flips_break_it() {
+        let m = model();
+        let config = ModelQuant::uniform(3, 5, RoundingScheme::RoundToNearest);
+        let packed = pack_model(&m, &config);
+        for group in &packed.groups {
+            assert_eq!(group.crc32, crc32(&group.data), "group {}", group.name);
+            if !group.data.is_empty() {
+                let mut corrupt = group.data.clone();
+                corrupt[0] ^= 0x10;
+                assert_ne!(group.crc32, crc32(&corrupt), "group {}", group.name);
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub enum LoadError {
         /// Bits actually present in the blob.
         have_bits: usize,
     },
+    /// A group's bit stream fails its CRC-32 integrity check: the blob
+    /// was corrupted in storage or transit (the geometry still parsed, so
+    /// without the checksum the flipped bits would silently decode to
+    /// wrong weights).
+    ChecksumMismatch {
+        /// Group name.
+        group: String,
+        /// CRC-32 recorded at pack time.
+        stored: u32,
+        /// CRC-32 of the bytes actually present.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -109,6 +121,14 @@ impl fmt::Display for LoadError {
             } => write!(
                 f,
                 "group {group}: blob holds {have_bits} bits but {needed_bits} are declared"
+            ),
+            LoadError::ChecksumMismatch {
+                group,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "group {group}: blob CRC-32 is {computed:#010x}, pack-time checksum says {stored:#010x}"
             ),
         }
     }
@@ -182,6 +202,24 @@ impl IntModel {
     /// truncated or corrupted blob yields a typed [`LoadError`] instead of
     /// an out-of-bounds panic inside the bit reader.
     pub fn load(desc: &ModelDesc, packed: &PackedModel) -> Result<IntModel, LoadError> {
+        // Chaos site `intinfer.load`: simulate a blob corrupted in storage
+        // or transit by flipping one deterministic bit of one group's
+        // stream. The CRC-32 verification below must catch it.
+        let chaos_storage;
+        let packed = match qcn_chaos::flip_bit_at("intinfer.load") {
+            Some(which) if !packed.groups.is_empty() => {
+                let mut corrupted = packed.clone();
+                let g = (which as usize) % corrupted.groups.len();
+                let data = &mut corrupted.groups[g].data;
+                if !data.is_empty() {
+                    let bit = (which >> 8) as usize % (data.len() * 8);
+                    data[bit / 8] ^= 1 << (bit % 8);
+                }
+                chaos_storage = corrupted;
+                &chaos_storage
+            }
+            _ => packed,
+        };
         if packed.groups.len() != desc.groups.len()
             || packed.config.layers.len() != desc.groups.len()
         {
@@ -223,6 +261,17 @@ impl IntModel {
                     group: name.clone(),
                     needed_bits,
                     have_bits,
+                });
+            }
+            // Geometry checks first so a short blob stays `TruncatedBlob`;
+            // the checksum then catches pure bit corruption that leaves
+            // the shape intact.
+            let computed = qcapsnets::export::crc32(&pg.data);
+            if computed != pg.crc32 {
+                return Err(LoadError::ChecksumMismatch {
+                    group: name.clone(),
+                    stored: pg.crc32,
+                    computed,
                 });
             }
         }

@@ -23,6 +23,7 @@
 //! handed back to the router core for failover. The next send to this
 //! backend dials a fresh connection.
 
+use crate::budget::TokenBucket;
 use crate::health::HealthTracker;
 use crate::metrics::BackendMetrics;
 use crate::router::RouterCore;
@@ -100,6 +101,13 @@ impl Channel {
                 self.outstanding.inc();
             }
         }
+        // Chaos site `router.upstream.write`: a delayed or failed write
+        // to the replica. Any non-delay fault kills the channel before
+        // the frame lands — exactly the shape of a mid-write transport
+        // error, so every pending task (ours included) fails over.
+        if qcn_chaos::hit("router.upstream.write").is_some() {
+            return Err(self.kill());
+        }
         // The write happens outside the pending lock so a slow syscall
         // never blocks the reader from completing other requests. The
         // response cannot overtake us: the backend only sees the frame
@@ -172,6 +180,9 @@ pub(crate) struct Backend {
     pub addr: SocketAddr,
     pub health: Mutex<HealthTracker>,
     pub m: BackendMetrics,
+    /// Retry budget: every retry charged to a failure of this backend
+    /// spends one token; an empty bucket fails the request typed.
+    pub budget: TokenBucket,
     slots: Vec<Mutex<Option<Slot>>>,
     rr: AtomicUsize,
 }
@@ -182,6 +193,7 @@ impl Backend {
         addr: SocketAddr,
         health: HealthTracker,
         m: BackendMetrics,
+        budget: TokenBucket,
         pool_size: usize,
     ) -> Backend {
         m.healthy.set(1);
@@ -190,6 +202,7 @@ impl Backend {
             addr,
             health: Mutex::new(health),
             m,
+            budget,
             slots: (0..pool_size).map(|_| Mutex::new(None)).collect(),
             rr: AtomicUsize::new(0),
         }
@@ -286,6 +299,13 @@ fn reader_loop(chan: &Arc<Channel>, backend: &Arc<Backend>, core: &Weak<RouterCo
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // Chaos site `router.upstream.read`: the response path of this
+        // upstream connection goes dark — the channel dies and its
+        // in-flight requests fail over, like any read-side transport
+        // error.
+        if qcn_chaos::hit("router.upstream.read").is_some() {
+            break;
+        }
         match wire::read_frame(&mut reader) {
             Ok(Some(payload)) => {
                 let task = wire::response_id(&payload).and_then(|id| chan.take(id));

@@ -48,6 +48,16 @@ pub struct RouterConfig {
     /// connection, so one is enough to keep a replica saturated; more
     /// spread head-of-line blocking on very large tensors. Default 1.
     pub channels_per_backend: usize,
+    /// Retry-budget burst: how many retries a backend's token bucket
+    /// holds when full. Every retry charged against a backend (failover,
+    /// drain redirect, probe-failure redistribution) spends one token;
+    /// an empty bucket fails the request typed instead of retrying, so a
+    /// partial outage cannot amplify into a retry storm. Default 512.
+    pub retry_burst: u32,
+    /// Steady-state retry refill rate per backend, tokens per second.
+    /// Bounds sustained retry traffic at `retry_refill_per_sec` per
+    /// backend once the burst is spent. Default 128.
+    pub retry_refill_per_sec: f64,
 }
 
 impl RouterConfig {
@@ -66,6 +76,8 @@ impl RouterConfig {
             eject_after: 2,
             eject_cooldown: Duration::from_secs(1),
             channels_per_backend: 1,
+            retry_burst: 512,
+            retry_refill_per_sec: 128.0,
         }
     }
 
@@ -81,6 +93,12 @@ impl RouterConfig {
         }
         if self.channels_per_backend == 0 {
             return Err("channels_per_backend must pool at least one connection".to_string());
+        }
+        if self.retry_burst == 0 {
+            return Err("retry_burst must hold at least one token".to_string());
+        }
+        if !self.retry_refill_per_sec.is_finite() || self.retry_refill_per_sec < 0.0 {
+            return Err("retry_refill_per_sec must be finite and non-negative".to_string());
         }
         Ok(())
     }
@@ -118,6 +136,16 @@ mod tests {
         cfg.eject_after = 1;
         cfg.channels_per_backend = 0;
         assert!(cfg.validate().is_err());
+        cfg.channels_per_backend = 1;
+        cfg.retry_burst = 0;
+        assert!(cfg.validate().is_err());
+        cfg.retry_burst = 1;
+        cfg.retry_refill_per_sec = f64::NAN;
+        assert!(cfg.validate().is_err());
+        cfg.retry_refill_per_sec = -1.0;
+        assert!(cfg.validate().is_err());
+        cfg.retry_refill_per_sec = 0.0;
+        assert!(cfg.validate().is_ok(), "zero refill (burst-only) is legal");
     }
 
     #[test]

@@ -130,6 +130,42 @@ mod tests {
     }
 
     #[test]
+    fn readmission_boundary_is_exact() {
+        let mut h = HealthTracker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        h.on_failure(t0);
+        // One nanosecond early the half-open probe is not due; exactly at
+        // the boundary it is.
+        assert!(!h.probe_due(t0 + COOLDOWN - Duration::from_nanos(1)));
+        assert!(h.probe_due(t0 + COOLDOWN));
+        // The cooldown elapsing is NOT readmission: availability only
+        // returns once a probe succeeds.
+        assert!(!h.is_available());
+        assert!(h.on_success());
+        assert!(h.is_available());
+    }
+
+    #[test]
+    fn probe_success_racing_ejection_resolves_by_arrival_order() {
+        // Callers hold the tracker under a mutex, so a probe success
+        // racing a transport failure serializes one way or the other;
+        // both orders must land in a sane state.
+        let mut h = HealthTracker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        // Failure first, then the in-flight probe's success lands: the
+        // success is newer evidence and readmits.
+        assert!(h.on_failure(t0));
+        assert!(h.on_success());
+        assert!(h.is_available());
+        // Success first (no-op while available), then the failure lands:
+        // the backend ejects and stays out.
+        assert!(!h.on_success());
+        assert!(h.on_failure(t0));
+        assert!(!h.is_available());
+        assert!(!h.probe_due(t0 + COOLDOWN / 2));
+    }
+
+    #[test]
     fn force_eject_skips_the_failure_count() {
         let mut h = HealthTracker::new(5, COOLDOWN);
         let t0 = Instant::now();

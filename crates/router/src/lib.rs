@@ -46,6 +46,7 @@
 
 mod backend;
 mod balance;
+mod budget;
 mod config;
 mod health;
 mod metrics;

@@ -48,6 +48,8 @@ pub(crate) struct BackendMetrics {
     pub error: Counter,
     /// Retry attempts charged to a failure of this backend.
     pub retries: Counter,
+    /// Retries denied because this backend's token bucket was empty.
+    pub budget_exhausted: Counter,
     /// Transitions into the ejected state.
     pub ejections: Counter,
     /// Requests currently awaiting this backend's answer.
@@ -145,6 +147,11 @@ impl RouterMetrics {
                 "qcn_router_retries_total",
                 l,
                 "retry attempts charged to a failure of this backend",
+            ),
+            budget_exhausted: self.registry.counter(
+                "qcn_router_retry_budget_exhausted_total",
+                l,
+                "retries denied because this backend's retry budget was empty",
             ),
             ejections: self.registry.counter(
                 "qcn_router_ejections_total",

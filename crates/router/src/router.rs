@@ -18,6 +18,7 @@
 
 use crate::backend::{Backend, Task, TaskKind};
 use crate::balance::{self, XorShift};
+use crate::budget::TokenBucket;
 use crate::config::RouterConfig;
 use crate::health::HealthTracker;
 use crate::metrics::RouterMetrics;
@@ -106,6 +107,21 @@ impl RouterCore {
         }
     }
 
+    /// Charges one retry to `backend`'s token bucket. `true` means the
+    /// retry may proceed; `false` means the budget is exhausted and the
+    /// caller must fail the task typed instead of re-forwarding it —
+    /// this is what keeps a partial outage from amplifying into a retry
+    /// storm against the surviving replicas.
+    pub(crate) fn charge_retry(&self, backend: &Backend) -> bool {
+        if backend.budget.try_take() {
+            backend.m.retries.inc();
+            true
+        } else {
+            backend.m.budget_exhausted.inc();
+            false
+        }
+    }
+
     fn note_success(&self, backend: &Backend) {
         let recovered = backend.health.lock().expect("health lock").on_success();
         if recovered {
@@ -144,8 +160,7 @@ impl RouterCore {
                 );
             }
             task.attempts += 1;
-            backend.m.retries.inc();
-            if task.attempts > self.cfg.max_retries {
+            if task.attempts > self.cfg.max_retries || !self.charge_retry(backend) {
                 // Retry budget gone: relay the typed drain signal as-is.
                 self.relay(task, payload, backend);
                 return;
@@ -219,17 +234,20 @@ impl RouterCore {
             backend.addr,
             tasks.len()
         );
-        let retryable = tasks
-            .into_iter()
+        let mut retryable = Vec::new();
+        for mut t in tasks {
             // Probes are never requeued — the prober's timeout records
             // the failure. Dropping the task drops its response sender.
-            .filter(|t| t.kind == TaskKind::Infer)
-            .map(|mut t| {
-                t.attempts += 1;
-                backend.m.retries.inc();
-                t
-            })
-            .collect();
+            if t.kind != TaskKind::Infer {
+                continue;
+            }
+            t.attempts += 1;
+            if self.charge_retry(backend) {
+                retryable.push(t);
+            } else {
+                self.fail(t, backend, "retry budget exhausted");
+            }
+        }
         dispatch(self, retryable);
     }
 }
@@ -262,8 +280,11 @@ pub(crate) fn dispatch(core: &Arc<RouterCore>, work: Vec<Task>) {
                 for mut t in failed {
                     if t.kind == TaskKind::Infer {
                         t.attempts += 1;
-                        backend.m.retries.inc();
-                        queue.push_back(t);
+                        if core.charge_retry(&backend) {
+                            queue.push_back(t);
+                        } else {
+                            core.fail(t, &backend, "retry budget exhausted");
+                        }
                     }
                 }
             }
@@ -294,6 +315,8 @@ pub struct BackendSnapshot {
     pub error: u64,
     /// Retry attempts charged to failures of this backend.
     pub retries: u64,
+    /// Retries denied because this backend's retry budget was empty.
+    pub budget_exhausted: u64,
     /// Transitions into the ejected state.
     pub ejections: u64,
     /// Requests currently awaiting this backend.
@@ -381,6 +404,7 @@ impl Router {
                     *addr,
                     HealthTracker::new(config.eject_after, config.eject_cooldown),
                     metrics.backend(addr),
+                    TokenBucket::new(config.retry_burst, config.retry_refill_per_sec),
                     config.channels_per_backend,
                 ))
             })
@@ -465,6 +489,7 @@ impl Router {
                     ok: b.m.ok.get(),
                     error: b.m.error.get(),
                     retries: b.m.retries.get(),
+                    budget_exhausted: b.m.budget_exhausted.get(),
                     ejections: b.m.ejections.get(),
                     outstanding: b.outstanding(),
                     available: b.health.lock().expect("health lock").is_available(),
@@ -773,6 +798,14 @@ fn health_loop(core: &Arc<RouterCore>, stop: &Arc<(Mutex<bool>, Condvar)>) {
 /// One health probe: a stats request through the backend's own pooled
 /// channel (which doubles as the reconnect path for ejected replicas).
 fn probe(core: &Arc<RouterCore>, backend: &Arc<Backend>) {
+    // Chaos site `router.probe`: the probe fails outright (simulating a
+    // timeout or flapping replica) without touching the transport, so
+    // the ejection state machine is exercised on its own.
+    if qcn_chaos::hit("router.probe").is_some() {
+        backend.m.health_fail.inc();
+        core.note_failure(backend);
+        return;
+    }
     let (tx, rx) = mpsc::channel();
     let task = Task {
         kind: TaskKind::Probe,
@@ -789,15 +822,18 @@ fn probe(core: &Arc<RouterCore>, backend: &Arc<Backend>) {
             core.note_failure(backend);
             // A dead channel may have carried live requests; fail them
             // over (the probe itself is filtered out by dispatch).
-            let retryable: Vec<Task> = failed
-                .into_iter()
-                .filter(|t| t.kind == TaskKind::Infer)
-                .map(|mut t| {
-                    t.attempts += 1;
-                    backend.m.retries.inc();
-                    t
-                })
-                .collect();
+            let mut retryable = Vec::new();
+            for mut t in failed {
+                if t.kind != TaskKind::Infer {
+                    continue;
+                }
+                t.attempts += 1;
+                if core.charge_retry(backend) {
+                    retryable.push(t);
+                } else {
+                    core.fail(t, backend, "retry budget exhausted");
+                }
+            }
             dispatch(core, retryable);
         }
         Ok(()) => match rx.recv_timeout(core.cfg.probe_timeout) {

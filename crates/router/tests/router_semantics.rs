@@ -63,6 +63,7 @@ fn replica(model: &ShallowCaps, batch_window: Duration) -> SocketServer {
             batch_window,
             request_timeout: None,
             workers: 1,
+            shed_watermark: None,
         },
     ));
     SocketServer::bind(server, "127.0.0.1:0").unwrap()
@@ -268,6 +269,44 @@ fn dead_replica_is_ejected_and_traffic_fails_over() {
     );
     assert!(snap.backends[1].ok >= 1);
     assert_eq!(snap.backends[0].ok, 0);
+}
+
+#[test]
+fn all_backends_ejected_still_answers_typed() {
+    // Every replica is a dead port: the whole fleet ejects, yet every
+    // request must still resolve to a typed router error — never a hang,
+    // never a dropped connection.
+    let mut cfg = fast_config(vec![dead_port(), dead_port(), dead_port()]);
+    cfg.eject_after = 1;
+    cfg.max_retries = 2;
+    cfg.eject_cooldown = Duration::from_secs(30); // nothing readmits mid-test
+    let router = Router::bind(cfg, "127.0.0.1:0").unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    for round in 0..4 {
+        match client.infer("m", &sample(round)) {
+            Err(ClientError::Failed(ServeError::EngineFailure(msg))) => {
+                assert!(msg.contains("router:"), "round {round}: {msg}");
+            }
+            other => panic!("round {round}: expected a typed router error, got {other:?}"),
+        }
+    }
+    let snap = router.snapshot();
+    assert!(
+        snap.backends.iter().all(|b| !b.available),
+        "every backend must be ejected: {snap:?}"
+    );
+    // A request against a fully ejected fleet still gets the last-resort
+    // "try anyway" path and a typed answer.
+    assert!(matches!(
+        client.infer("m", &sample(9)),
+        Err(ClientError::Failed(ServeError::EngineFailure(_)))
+    ));
+    drop(client);
+    let snap = router.shutdown();
+    assert_eq!(snap.completed, 0);
+    assert_eq!(snap.failed, 5);
+    assert_eq!(snap.inflight, 0);
 }
 
 #[test]

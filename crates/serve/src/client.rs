@@ -140,6 +140,11 @@ impl Client {
             model: model.to_string(),
             input: input.clone(),
         });
+        // Chaos site `client.send`: delay before writing, or kill our own
+        // socket first so the write surfaces as a typed io error.
+        if qcn_chaos::hit("client.send").is_some() {
+            let _ = self.writer.get_ref().shutdown(std::net::Shutdown::Both);
+        }
         write_frame(&mut self.writer, &payload)?;
         self.writer.flush()?;
         Ok(id)
@@ -148,6 +153,12 @@ impl Client {
     /// Blocks for the next response frame. Responses arrive in the order
     /// their requests were sent on this connection.
     pub fn recv(&mut self) -> Result<WireResponse, ClientError> {
+        // Chaos site `client.recv`: delay before reading, or abandon the
+        // connection (the pending response is lost; the caller must treat
+        // the io error as fatal for this connection and reconnect).
+        if qcn_chaos::hit("client.recv").is_some() {
+            let _ = self.reader.get_ref().shutdown(std::net::Shutdown::Both);
+        }
         let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,

@@ -44,6 +44,8 @@ pub(crate) struct Metrics {
     rejected_closed: Counter,
     expired: Counter,
     failed: Counter,
+    shed: Counter,
+    worker_respawns: Counter,
     queue_depth: Gauge,
     queue_depth_max: Gauge,
     connections_accepted: Counter,
@@ -103,6 +105,14 @@ impl Metrics {
             failed: counter(
                 "qcn_serve_requests_failed_total",
                 "requests answered with an engine failure",
+            ),
+            shed: counter(
+                "qcn_serve_requests_shed_total",
+                "accepted requests evicted by overload control (Overloaded)",
+            ),
+            worker_respawns: counter(
+                "qcn_serve_worker_respawns_total",
+                "worker threads respawned in place after a panic",
             ),
             queue_depth: registry.gauge(
                 "qcn_serve_queue_depth",
@@ -181,6 +191,14 @@ impl Metrics {
         self.expired.inc();
     }
 
+    pub(crate) fn on_shed(&self) {
+        self.shed.inc();
+    }
+
+    pub(crate) fn on_worker_respawn(&self) {
+        self.worker_respawns.inc();
+    }
+
     pub(crate) fn on_failed(&self, n: usize) {
         self.failed.add(n as u64);
     }
@@ -238,6 +256,8 @@ impl Metrics {
             rejected_closed: self.rejected_closed.get(),
             expired: self.expired.get(),
             failed: self.failed.get(),
+            shed: self.shed.get(),
+            worker_respawns: self.worker_respawns.get(),
             max_queue_depth: self.queue_depth_max.get() as usize,
             connections_accepted: self.connections_accepted.get(),
             connections_active: self.connections_active.get().max(0) as usize,
@@ -305,6 +325,11 @@ pub struct MetricsSnapshot {
     pub expired: u64,
     /// Requests answered with `EngineFailure`.
     pub failed: u64,
+    /// Accepted requests evicted by overload control (`Overloaded`).
+    pub shed: u64,
+    /// Worker threads respawned in place after a panic escaped the
+    /// per-batch isolation.
+    pub worker_respawns: u64,
     /// High-water mark of the submission queue depth.
     pub max_queue_depth: usize,
     /// Socket connections accepted by the front-end since start.

@@ -314,6 +314,14 @@ fn connection_reader(stream: TcpStream, server: &Arc<Server>, tx: &mpsc::Sender<
                 break;
             }
         };
+        // Chaos site `serve.net.read`: stall the reader (delay) or tear
+        // the connection down mid-stream (reset) after a frame arrives.
+        // The client sees an io error / EOF — a typed failure, and the
+        // server-side pipeline for already-submitted work still drains.
+        if qcn_chaos::hit("serve.net.read").is_some() {
+            let _ = reader.get_ref().shutdown(Shutdown::Both);
+            break;
+        }
         metrics.on_bytes_in(payload.len() as u64 + 4);
         let frame = match decode_request_frame(&payload) {
             Ok(frame) => frame,
@@ -374,6 +382,21 @@ fn connection_writer(stream: TcpStream, server: &Arc<Server>, rx: &mpsc::Receive
                 result: pending.wait().map_err(WireError::Serve),
             }),
         };
+        // Chaos site `serve.net.write`: delay, reset before the frame, or
+        // emit a truncated frame then close — the client's framing layer
+        // must turn the torn frame into a typed io error, never a
+        // misparsed tensor.
+        match qcn_chaos::hit("serve.net.write") {
+            None => {}
+            Some(qcn_chaos::Fault::Truncate(n)) => {
+                let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+                framed.extend_from_slice(&payload);
+                framed.truncate(n.min(framed.len().saturating_sub(1)).max(1));
+                let _ = writer.write_all(&framed);
+                break;
+            }
+            Some(_) => break,
+        }
         match write_frame(&mut writer, &payload) {
             Ok(n) => metrics.on_bytes_out(n),
             Err(_) => break,

@@ -31,6 +31,12 @@
 //!
 //! * **Backpressure**: the queue is bounded; a full queue rejects with
 //!   [`SubmitError::QueueFull`] instead of growing without limit.
+//! * **Load shedding**: with [`ServeConfig::shed_watermark`] set, a queue
+//!   deeper than the watermark sheds the request with the earliest
+//!   deadline (oldest submission when none carry deadlines), answering it
+//!   [`ServeError::Overloaded`]. Under a burst the queue keeps admitting
+//!   fresh work and drops the work least likely to still matter, instead
+//!   of rejecting everything at the hard capacity wall.
 //! * **Timeouts**: with [`ServeConfig::request_timeout`] set, a request
 //!   still queued past its deadline is answered
 //!   [`ServeError::DeadlineExceeded`] and never executed. Requests already
@@ -69,6 +75,13 @@ pub struct ServeConfig {
     /// into the kernels' own thread pool, so more than a few workers
     /// mostly helps when serving several models concurrently.
     pub workers: usize,
+    /// Load-shedding watermark (≥ 1 when set). Whenever a submission
+    /// leaves the queue deeper than this, the queued request with the
+    /// earliest deadline (oldest submission if none carry deadlines) is
+    /// evicted and answered [`ServeError::Overloaded`]. `None` disables
+    /// shedding; the hard [`ServeConfig::queue_capacity`] rejection
+    /// still applies either way.
+    pub shed_watermark: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +92,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             request_timeout: None,
             workers: 2,
+            shed_watermark: None,
         }
     }
 }
@@ -135,6 +149,12 @@ pub enum ServeError {
     /// while requests were in flight — cannot happen through
     /// [`Server::shutdown`], which drains first).
     WorkerLost,
+    /// The request was accepted but then shed by overload control: a
+    /// later submission pushed the queue past
+    /// [`ServeConfig::shed_watermark`] and this request held the earliest
+    /// deadline. Distinct from [`SubmitError::QueueFull`], which rejects
+    /// *new* work at the hard capacity wall.
+    Overloaded,
 }
 
 impl fmt::Display for ServeError {
@@ -143,6 +163,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded in queue"),
             ServeError::EngineFailure(msg) => write!(f, "engine failed: {msg}"),
             ServeError::WorkerLost => write!(f, "server dropped the request unanswered"),
+            ServeError::Overloaded => write!(f, "request shed by overload control"),
         }
     }
 }
@@ -202,6 +223,38 @@ struct Inner {
     metrics: Metrics,
 }
 
+impl Inner {
+    /// The queue lock, recovering from poisoning. A worker that panics
+    /// while holding it unwinds into the respawn loop; the queue's
+    /// invariants hold between individual operations, so the data is
+    /// still sound and submissions must keep flowing rather than
+    /// panicking in every client thread.
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Evicts the queued request with the earliest deadline (oldest
+/// submission among deadline-free requests) and answers it
+/// [`ServeError::Overloaded`]. Caller guarantees the queue is non-empty.
+fn shed_one(inner: &Inner, st: &mut QueueState) {
+    let victim = st
+        .queue
+        .iter()
+        .enumerate()
+        // Deadline-carrying requests sort before deadline-free ones;
+        // within each class the earliest deadline / oldest submission
+        // loses. Ties fall to the earlier queue position.
+        .min_by_key(|(_, r)| (r.deadline.is_none(), r.deadline, r.enqueued))
+        .map(|(i, _)| i)
+        .expect("shed_one on a non-empty queue");
+    let shed = st.queue.remove(victim).expect("victim index in range");
+    inner.metrics.on_shed();
+    let _ = shed.tx.send(Err(ServeError::Overloaded));
+}
+
 /// A running inference service over a [`ModelRegistry`].
 ///
 /// # Examples
@@ -244,6 +297,9 @@ impl Server {
             "queue_capacity must be at least 1"
         );
         assert!(config.workers >= 1, "workers must be at least 1");
+        if let Some(mark) = config.shed_watermark {
+            assert!(mark >= 1, "shed_watermark must be at least 1 when set");
+        }
         let inner = Arc::new(Inner {
             metrics: Metrics::new(config.max_batch),
             registry,
@@ -259,7 +315,18 @@ impl Server {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("qcn-serve-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    // Respawn-in-place: a panic that escapes `worker_loop`
+                    // (engine panics are already isolated per batch; this
+                    // catches queue-path panics and injected worker
+                    // faults) unwinds to here, is counted, and the same
+                    // thread re-enters the loop — a poisoned request
+                    // costs a counter increment, not a worker.
+                    .spawn(move || loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
+                            Ok(()) => break,
+                            Err(_) => inner.metrics.on_worker_respawn(),
+                        }
+                    })
                     .expect("spawn serve worker")
             })
             .collect();
@@ -295,7 +362,7 @@ impl Server {
             tx,
         };
         {
-            let mut st = self.inner.state.lock().expect("serve queue lock");
+            let mut st = self.inner.lock_queue();
             if !st.open {
                 self.inner.metrics.on_reject_closed();
                 return Err(SubmitError::ShuttingDown);
@@ -308,6 +375,15 @@ impl Server {
             }
             st.queue.push_back(request);
             self.inner.metrics.on_submit(st.queue.len());
+            // Overload control: admit the fresh request, then shed the
+            // queued work with the earliest deadline until the queue is
+            // back at the watermark. The submission that overflowed may
+            // itself be the victim if it holds the earliest deadline.
+            if let Some(mark) = self.inner.config.shed_watermark {
+                while st.queue.len() > mark {
+                    shed_one(&self.inner, &mut st);
+                }
+            }
         }
         self.inner.notify.notify_all();
         Ok(Pending { rx })
@@ -325,12 +401,7 @@ impl Server {
 
     /// Current queue depth (racy, for monitoring).
     pub fn queue_depth(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("serve queue lock")
-            .queue
-            .len()
+        self.inner.lock_queue().queue.len()
     }
 
     /// A point-in-time metrics snapshot.
@@ -358,7 +429,7 @@ impl Server {
     /// metrics. Idempotent — later calls just re-snapshot.
     pub fn shutdown(&self) -> MetricsSnapshot {
         {
-            let mut st = self.inner.state.lock().expect("serve queue lock");
+            let mut st = self.inner.lock_queue();
             st.open = false;
         }
         self.inner.notify.notify_all();
@@ -376,7 +447,7 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.state.lock().expect("serve queue lock");
+            let mut st = self.inner.lock_queue();
             st.open = false;
         }
         self.inner.notify.notify_all();
@@ -404,7 +475,7 @@ impl fmt::Debug for Server {
 /// One worker: wait for work, form a batch, execute, route responses.
 fn worker_loop(inner: &Inner) {
     loop {
-        let mut st = inner.state.lock().expect("serve queue lock");
+        let mut st = inner.lock_queue();
         // Wait for a live head request (answering expired ones as we go),
         // or exit once the server is closed *and* drained.
         let first = loop {
@@ -419,7 +490,10 @@ fn worker_loop(inner: &Inner) {
                     if !st.open {
                         return;
                     }
-                    st = inner.notify.wait(st).expect("serve queue lock");
+                    st = inner
+                        .notify
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             }
         };
@@ -445,11 +519,20 @@ fn worker_loop(inner: &Inner) {
             let (guard, _timeout) = inner
                 .notify
                 .wait_timeout(st, remaining)
-                .expect("serve queue lock");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
         }
         inner.metrics.on_queue_depth(st.queue.len());
         drop(st);
+        // Chaos site `serve.dispatch`: artificial latency between batch
+        // formation and execution (lock released, so only this batch
+        // stalls). `serve.worker`: panic the worker outside the engine's
+        // own catch_unwind — the batch's tickets resolve to `WorkerLost`
+        // and the respawn loop revives the thread.
+        qcn_chaos::hit("serve.dispatch");
+        if qcn_chaos::should_panic("serve.worker") {
+            panic!("qcn-chaos: injected panic at serve.worker");
+        }
         let engine = inner
             .registry
             .get(&model)
@@ -696,6 +779,93 @@ mod tests {
         assert_eq!(pending.wait(), Err(ServeError::WorkerLost));
     }
 
+    /// `shed_one` evicts the earliest deadline first, then (among
+    /// deadline-free requests) the oldest submission, answering each
+    /// victim `Overloaded`.
+    #[test]
+    fn shed_one_prefers_earliest_deadline_then_oldest_submission() {
+        let inner = test_inner(8);
+        let mut st = QueueState {
+            queue: VecDeque::new(),
+            open: true,
+        };
+        let now = Instant::now();
+        let mut rxs = Vec::new();
+        // Arrival order: no-deadline (oldest), deadline now+50ms,
+        // deadline now+10ms, no-deadline (newest).
+        for (tag, deadline) in [
+            (0.0, None),
+            (1.0, Some(now + Duration::from_millis(50))),
+            (2.0, Some(now + Duration::from_millis(10))),
+            (3.0, None),
+        ] {
+            let (mut req, rx) = request("m", tag);
+            req.deadline = deadline;
+            st.queue.push_back(req);
+            rxs.push(rx);
+        }
+        // Eviction order: tightest deadline (2), next deadline (1), then
+        // oldest deadline-free (0), then (3).
+        for expect in [2usize, 1, 0, 3] {
+            shed_one(&inner, &mut st);
+            assert_eq!(
+                rxs[expect].try_recv(),
+                Ok(Err(ServeError::Overloaded)),
+                "victim {expect}"
+            );
+        }
+        assert!(st.queue.is_empty());
+        assert_eq!(inner.metrics.snapshot().shed, 4);
+    }
+
+    /// End to end: a burst past the watermark sheds with `Overloaded`
+    /// while the hard capacity stays out of reach, and everything not
+    /// shed completes normally.
+    #[test]
+    fn burst_past_watermark_sheds_overloaded_not_queue_full() {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "sleep",
+                SleepEngine {
+                    dims: vec![1, 1, 1],
+                    out: vec![1, 1],
+                    per_sample: Duration::from_millis(20),
+                },
+            )
+            .unwrap();
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                max_batch: 1,
+                queue_capacity: 64,
+                batch_window: Duration::from_millis(1),
+                request_timeout: None,
+                workers: 1,
+                shed_watermark: Some(2),
+            },
+        );
+        let pending: Vec<Pending> = (0..10)
+            .map(|_| server.submit("sleep", Tensor::zeros([1, 1, 1])).unwrap())
+            .collect();
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        for p in pending {
+            match p.wait() {
+                Ok(_) => ok += 1,
+                Err(ServeError::Overloaded) => shed += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert_eq!(ok + shed, 10);
+        assert!(shed >= 1, "a 10-deep burst over watermark 2 must shed");
+        assert!(ok >= 1, "shedding must not starve the queue entirely");
+        let m = server.shutdown();
+        assert_eq!(m.shed, shed);
+        assert_eq!(m.completed, ok);
+        assert_eq!(m.rejected_full, 0, "capacity wall must stay untouched");
+    }
+
     /// A non-batchable engine whose per-sample inference takes a fixed,
     /// visible amount of time.
     struct SleepEngine {
@@ -750,6 +920,7 @@ mod tests {
                 batch_window: Duration::from_millis(500),
                 request_timeout: None,
                 workers: 1,
+                shed_watermark: None,
             },
         );
         // Three near-simultaneous submissions form one batch of three.

@@ -142,6 +142,10 @@ pub mod status {
     pub const WORKER_LOST: u8 = 7;
     /// Answer to a stats request: Prometheus text body.
     pub const STATS: u8 = 8;
+    /// `ServeError::Overloaded` — shed by admission control, distinct
+    /// from `QUEUE_FULL` (which rejects at submit; shedding evicts work
+    /// that was already accepted).
+    pub const OVERLOADED: u8 = 9;
 }
 
 const TAG_OK: u8 = status::OK;
@@ -153,6 +157,7 @@ const TAG_DEADLINE_EXCEEDED: u8 = status::DEADLINE_EXCEEDED;
 const TAG_ENGINE_FAILURE: u8 = status::ENGINE_FAILURE;
 const TAG_WORKER_LOST: u8 = status::WORKER_LOST;
 const TAG_STATS: u8 = status::STATS;
+const TAG_OVERLOADED: u8 = status::OVERLOADED;
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -343,6 +348,7 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             out.extend_from_slice(msg);
         }
         Err(WireError::Serve(ServeError::WorkerLost)) => out.push(TAG_WORKER_LOST),
+        Err(WireError::Serve(ServeError::Overloaded)) => out.push(TAG_OVERLOADED),
     }
     out
 }
@@ -415,6 +421,7 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
             Err(WireError::Serve(ServeError::EngineFailure(msg)))
         }
         TAG_WORKER_LOST => Err(WireError::Serve(ServeError::WorkerLost)),
+        TAG_OVERLOADED => Err(WireError::Serve(ServeError::Overloaded)),
         other => return Err(bad(format!("unknown response status tag {other}"))),
     };
     r.finish()?;
@@ -535,6 +542,7 @@ mod tests {
                 "int overflow in requant".into(),
             ))),
             Err(WireError::Serve(ServeError::WorkerLost)),
+            Err(WireError::Serve(ServeError::Overloaded)),
         ];
         for (i, result) in cases.into_iter().enumerate() {
             let resp = WireResponse {
@@ -722,6 +730,10 @@ mod tests {
             (
                 Err(WireError::Serve(ServeError::WorkerLost)),
                 status::WORKER_LOST,
+            ),
+            (
+                Err(WireError::Serve(ServeError::Overloaded)),
+                status::OVERLOADED,
             ),
         ];
         for (result, tag) in cases {

@@ -173,6 +173,7 @@ fn queue_saturation_rejects_with_queue_full() {
         batch_window: Duration::ZERO,
         request_timeout: None,
         workers: 1,
+        shed_watermark: None,
     });
     // First request occupies the single worker (blocked in the gate), so
     // the queue is empty and its capacity fully available.
@@ -206,6 +207,7 @@ fn expired_requests_get_deadline_errors_without_running() {
         batch_window: Duration::ZERO,
         request_timeout: Some(Duration::from_millis(1)),
         workers: 1,
+        shed_watermark: None,
     });
     let busy = server.submit("gated", sample(0)).unwrap();
     gate.wait_started(1);
@@ -228,6 +230,7 @@ fn shutdown_drains_queued_requests() {
         batch_window: Duration::ZERO,
         request_timeout: None,
         workers: 1,
+        shed_watermark: None,
     });
     let first = server.submit("gated", sample(0)).unwrap();
     gate.wait_started(1);
@@ -391,6 +394,7 @@ fn submit_racing_shutdown_is_rejected_or_answered_never_dropped() {
             batch_window: Duration::from_millis(1),
             request_timeout: None,
             workers: 2,
+            shed_watermark: None,
         },
     ));
     let submitters: Vec<_> = (0..SUBMITTERS)

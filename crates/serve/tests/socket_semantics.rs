@@ -216,6 +216,7 @@ fn shutdown_drains_in_flight_socket_requests() {
         batch_window: Duration::from_millis(1),
         request_timeout: None,
         workers: 1,
+        shed_watermark: None,
     });
     let mut client = Client::connect(net.local_addr()).unwrap();
     let ids: Vec<u64> = (0..IN_FLIGHT as i64)

@@ -36,32 +36,42 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Fatal startup error: print the typed message and exit — never an
+/// unwind with a backtrace pointed at the operator.
+fn die(msg: String) -> ! {
+    eprintln!("qcn-router-cli: {msg}");
+    std::process::exit(1);
+}
+
+/// Builds one replica, surfacing every failure as a typed message (the
+/// revive path reports it and keeps the shell alive).
 fn replica(
     model: &ShallowCaps,
     scheme: RoundingScheme,
     listener: std::net::TcpListener,
-) -> SocketServer {
+) -> Result<SocketServer, String> {
     let mut config = ModelQuant::uniform(3, 5, scheme);
     for lq in &mut config.layers {
         lq.dr_frac = Some(4);
     }
     let packed = pack_model(model, &config);
-    let int_model = IntModel::load(&model.descriptor(), &packed).expect("packed model loads");
+    let int_model = IntModel::load(&model.descriptor(), &packed)
+        .map_err(|e| format!("packed model failed to load: {e}"))?;
     let mut registry = ModelRegistry::new();
     registry
         .register(
             "shallow/fq",
             FakeQuantEngine::new(model, config, [1, 16, 16]),
         )
-        .expect("fresh id");
+        .map_err(|e| format!("cannot register shallow/fq: {e}"))?;
     registry
         .register(
             "shallow/int",
             IntEngine::new(int_model, 5, UnitMode::FloatExact, [1, 16, 16]),
         )
-        .expect("fresh id");
+        .map_err(|e| format!("cannot register shallow/int: {e}"))?;
     let server = Arc::new(Server::start(registry, ServeConfig::default()));
-    SocketServer::from_listener(server, listener).expect("replica starts")
+    SocketServer::from_listener(server, listener).map_err(|e| format!("replica cannot start: {e}"))
 }
 
 fn print_status(snap: &RouterSnapshot) {
@@ -81,13 +91,14 @@ fn print_status(snap: &RouterSnapshot) {
     );
     for (i, b) in snap.backends.iter().enumerate() {
         println!(
-            "  replica {i} @ {} | {} | ok {} err {} retries {} ejections {} \
+            "  replica {i} @ {} | {} | ok {} err {} retries {} budget-denied {} ejections {} \
              | outstanding {} | probes {} ok / {} fail | connects {}",
             b.addr,
             if b.available { "available" } else { "EJECTED" },
             b.ok,
             b.error,
             b.retries,
+            b.budget_exhausted,
             b.ejections,
             b.outstanding,
             b.health_ok,
@@ -101,10 +112,12 @@ fn main() {
     let addr = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:7890".to_string());
-    let replicas: usize = std::env::args()
-        .nth(2)
-        .map(|s| s.parse().expect("REPLICAS must be a number"))
-        .unwrap_or(3);
+    let replicas: usize = match std::env::args().nth(2) {
+        None => 3,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| die(format!("REPLICAS must be a number, got {s:?}"))),
+    };
     let scheme = match std::env::args().nth(3).as_deref() {
         None | Some("rtn") => RoundingScheme::RoundToNearest,
         Some("trn") => RoundingScheme::Truncation,
@@ -121,16 +134,22 @@ fn main() {
     let mut fleet: Vec<Option<SocketServer>> = Vec::new();
     let mut addrs: Vec<SocketAddr> = Vec::new();
     for _ in 0..replicas {
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
-        addrs.push(listener.local_addr().unwrap());
-        fleet.push(Some(replica(&model, scheme, listener)));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap_or_else(|e| die(format!("cannot bind an ephemeral replica port: {e}")));
+        let addr = listener
+            .local_addr()
+            .unwrap_or_else(|e| die(format!("cannot resolve a replica's bound address: {e}")));
+        addrs.push(addr);
+        fleet.push(Some(
+            replica(&model, scheme, listener).unwrap_or_else(|e| die(e)),
+        ));
     }
     for (i, a) in addrs.iter().enumerate() {
         eprintln!("  replica {i} on {a}");
     }
 
     let router = Router::bind(RouterConfig::new(addrs.iter().copied()), addr.as_str())
-        .unwrap_or_else(|e| panic!("cannot bind router on {addr}: {e}"));
+        .unwrap_or_else(|e| die(format!("cannot bind router on {addr}: {e}")));
     eprintln!(
         "router on {} — status | infer | kill N | revive N | prom | quit",
         router.local_addr()
@@ -181,13 +200,16 @@ fn main() {
                     }
                     ("kill", None) => println!("replica {i} is already down"),
                     ("revive", None) => match bind_reusable(addrs[i]) {
-                        Ok(listener) => {
-                            fleet[i] = Some(replica(&model, scheme, listener));
-                            println!(
-                                "replica {i} back on {} — the next health probe readmits it",
-                                addrs[i]
-                            );
-                        }
+                        Ok(listener) => match replica(&model, scheme, listener) {
+                            Ok(net) => {
+                                fleet[i] = Some(net);
+                                println!(
+                                    "replica {i} back on {} — the next health probe readmits it",
+                                    addrs[i]
+                                );
+                            }
+                            Err(e) => println!("cannot revive replica {i}: {e}"),
+                        },
                         Err(e) => println!("cannot rebind {}: {e}", addrs[i]),
                     },
                     ("revive", Some(net)) => {

@@ -33,6 +33,13 @@ use qcn_repro::serve::{
 use std::io::BufRead;
 use std::sync::Arc;
 
+/// Fatal startup error: print the typed message and exit — never an
+/// unwind with a backtrace pointed at the operator.
+fn die(msg: String) -> ! {
+    eprintln!("qcn-serve-cli: {msg}");
+    std::process::exit(1);
+}
+
 fn print_metrics(m: &MetricsSnapshot) {
     println!(
         "uptime {:.1}s | submitted {} completed {} failed {} expired {} \
@@ -81,7 +88,8 @@ fn main() {
     }
     eprintln!("packing model (scheme {scheme})…");
     let packed = pack_model(&model, &config);
-    let int_model = IntModel::load(&model.descriptor(), &packed).expect("packed model loads");
+    let int_model = IntModel::load(&model.descriptor(), &packed)
+        .unwrap_or_else(|e| die(format!("packed model failed to load: {e}")));
 
     let mut registry = ModelRegistry::new();
     registry
@@ -89,17 +97,17 @@ fn main() {
             "shallow/fq",
             FakeQuantEngine::new(&model, config, [1, 16, 16]),
         )
-        .expect("fresh id");
+        .unwrap_or_else(|e| die(format!("cannot register shallow/fq: {e}")));
     registry
         .register(
             "shallow/int",
             IntEngine::new(int_model, 5, UnitMode::FloatExact, [1, 16, 16]),
         )
-        .expect("fresh id");
+        .unwrap_or_else(|e| die(format!("cannot register shallow/int: {e}")));
 
     let server = Arc::new(Server::start(registry, ServeConfig::default()));
     let net = SocketServer::bind(Arc::clone(&server), addr.as_str())
-        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+        .unwrap_or_else(|e| die(format!("cannot bind {addr}: {e}")));
     let metrics_addr = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "127.0.0.1:7879".to_string());
@@ -107,7 +115,7 @@ fn main() {
         None
     } else {
         let exporter = MetricsHttp::bind(Arc::clone(&server), metrics_addr.as_str())
-            .unwrap_or_else(|e| panic!("cannot bind metrics endpoint {metrics_addr}: {e}"));
+            .unwrap_or_else(|e| die(format!("cannot bind metrics endpoint {metrics_addr}: {e}")));
         eprintln!("metrics on http://{}/metrics", exporter.local_addr());
         Some(exporter)
     };

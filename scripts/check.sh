@@ -18,6 +18,15 @@ for t in 1 2 7; do
   if [[ "${1:-}" == "--router-smoke" ]]; then
     QCN_NUM_THREADS=$t cargo test -q --test router_failover
   fi
+  # Chaos smoke: the seeded fault storm must resolve every request to a
+  # bit-identical response or a typed error at each thread count, across
+  # a fixed seed matrix, and the disabled path must stay free.
+  if [[ "${1:-}" == "--chaos-smoke" ]]; then
+    for seed in 1 42 123456789; do
+      QCN_NUM_THREADS=$t QCN_CHAOS_SEED=$seed cargo test -q --test chaos_soak
+    done
+    QCN_NUM_THREADS=$t cargo test -q -p qcn-chaos --test chaos_overhead
+  fi
 done
 # Wire robustness: untrusted-byte decoders must fail typed, never panic.
 cargo test -q --test wire_robustness

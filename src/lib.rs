@@ -24,6 +24,7 @@ pub use qcapsnets as framework;
 pub use qcn_autograd as autograd;
 pub use qcn_bench as bench;
 pub use qcn_capsnet as capsnet;
+pub use qcn_chaos as chaos;
 pub use qcn_datasets as datasets;
 pub use qcn_fixed as fixed;
 pub use qcn_hwmodel as hwmodel;

@@ -60,6 +60,41 @@ fn emptied_blob_is_a_typed_error() {
 }
 
 #[test]
+fn bit_flipped_blob_is_a_checksum_mismatch() {
+    let (desc, packed) = packed_shallow();
+    for (g, group) in packed.groups.iter().enumerate() {
+        // Flip one mid-stream bit per group: length and geometry stay
+        // valid, so only the CRC-32 can catch it.
+        let mut damaged = packed.clone();
+        let mid = group.data.len() / 2;
+        damaged.groups[g].data[mid] ^= 0x04;
+        match IntModel::load(&desc, &damaged) {
+            Err(LoadError::ChecksumMismatch {
+                group: name,
+                stored,
+                computed,
+            }) => {
+                assert_eq!(name, group.name);
+                assert_eq!(stored, group.crc32);
+                assert_ne!(computed, stored);
+            }
+            other => panic!("group {g}: expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_stored_checksum_is_a_typed_error() {
+    let (desc, mut packed) = packed_shallow();
+    // The data is pristine but the recorded checksum lies.
+    packed.groups[0].crc32 ^= 0xDEAD_BEEF;
+    assert!(matches!(
+        IntModel::load(&desc, &packed),
+        Err(LoadError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
 fn corrupted_wordlength_is_a_typed_error() {
     let (desc, packed) = packed_shallow();
     // Both directions must fail cleanly: a wider word would read past the

@@ -79,6 +79,7 @@ fn replica(model: &ShallowCaps, listener: std::net::TcpListener) -> SocketServer
             batch_window: Duration::from_millis(1),
             request_timeout: None,
             workers: 2,
+            shed_watermark: None,
         },
     ));
     SocketServer::from_listener(server, listener).unwrap()

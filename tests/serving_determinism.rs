@@ -118,6 +118,7 @@ fn soaked_responses_are_bit_identical_to_sequential_inference() {
             batch_window: Duration::from_millis(1),
             request_timeout: None,
             workers: 3,
+            shed_watermark: None,
         },
     ));
 

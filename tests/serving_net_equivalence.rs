@@ -101,6 +101,7 @@ fn socket_round_trip_is_bit_identical_to_in_process_submit() {
             batch_window: Duration::from_millis(1),
             request_timeout: None,
             workers: 2,
+            shed_watermark: None,
         },
     ));
     let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
@@ -208,6 +209,7 @@ fn concurrent_socket_clients_stay_bit_exact() {
             batch_window: Duration::from_millis(1),
             request_timeout: None,
             workers: 2,
+            shed_watermark: None,
         },
     ));
     let net = SocketServer::bind(Arc::clone(&server), "127.0.0.1:0").unwrap();
